@@ -1,0 +1,11 @@
+"""Benchmark helpers.
+
+Every bench runs its experiment exactly once under pytest-benchmark
+(``pedantic(rounds=1)``): the experiments are end-to-end reproductions
+measured for wall time, not micro-kernels to be re-sampled.
+"""
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under the benchmark timer and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

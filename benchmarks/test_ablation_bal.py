@@ -1,0 +1,68 @@
+"""Ablation bench: BAL design choices (DESIGN.md §5).
+
+Sweeps the ε-greedy exploration floor (the paper fixes 25%), the
+severity-rank weighting exponent (1.0 in the paper; 0.0 = uniform within
+an assertion), and the fallback baseline, on the fast ECG task.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core import BALStrategy, run_active_learning
+from repro.domains.ecg import ECGActiveLearningTask, make_ecg_task_data
+from repro.experiments.reporting import format_table
+
+
+def _run_variants(variants, n_trials=3, n_rounds=4, budget=100):
+    results = {}
+    for label, kwargs in variants:
+        finals = []
+        for trial in range(n_trials):
+            data = make_ecg_task_data(trial, n_train=120, n_pool=1200, n_test=400)
+            task = ECGActiveLearningTask(data, fine_tune_epochs=15, seed=trial)
+            strategy = BALStrategy(seed=trial, **kwargs)
+            run = run_active_learning(
+                task, strategy, n_rounds=n_rounds, budget_per_round=budget
+            )
+            finals.append(run.final_metric)
+        results[label] = float(np.mean(finals))
+    return results
+
+
+def test_bal_exploration_fraction_ablation(benchmark):
+    variants = [
+        ("eps=0.00", dict(exploration_fraction=0.0)),
+        ("eps=0.25 (paper)", dict(exploration_fraction=0.25)),
+        ("eps=0.50", dict(exploration_fraction=0.5)),
+    ]
+    results = run_once(benchmark, _run_variants, variants)
+    print(
+        "\n"
+        + format_table(
+            ["Variant", "Final accuracy%"],
+            [(k, f"{v:.1f}") for k, v in results.items()],
+            title="Ablation: BAL exploration fraction (ECG)",
+        )
+    )
+    values = list(results.values())
+    assert max(values) - min(values) < 8.0  # robust to the ε choice
+    assert all(v > 60.0 for v in values)
+
+
+def test_bal_rank_power_and_fallback_ablation(benchmark):
+    variants = [
+        ("rank=1, fb=random (paper)", dict(rank_power=1.0, fallback="random")),
+        ("rank=0 (uniform)", dict(rank_power=0.0, fallback="random")),
+        ("rank=2 (aggressive)", dict(rank_power=2.0, fallback="random")),
+        ("fb=uncertainty", dict(rank_power=1.0, fallback="uncertainty")),
+    ]
+    results = run_once(benchmark, _run_variants, variants)
+    print(
+        "\n"
+        + format_table(
+            ["Variant", "Final accuracy%"],
+            [(k, f"{v:.1f}") for k, v in results.items()],
+            title="Ablation: BAL rank weighting and fallback (ECG)",
+        )
+    )
+    assert all(v > 60.0 for v in results.values())

@@ -1,0 +1,46 @@
+"""Ablation bench: the temporal threshold T of consistency assertions.
+
+The paper sets T = 30 s for ECG (ESC guidance). Sweeping T shows the
+monitoring trade-off: a larger window flags more oscillations (higher
+recall of unstable records) while precision stays high because any
+oscillation inside a constant-rhythm record is a real error.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.domains.ecg import bootstrap_ecg_classifier, make_ecg_task_data, record_severities
+from repro.experiments.reporting import format_table
+
+
+def _sweep(thresholds=(10.0, 30.0, 60.0)):
+    data = make_ecg_task_data(0, n_train=120, n_pool=800, n_test=100)
+    model = bootstrap_ecg_classifier(data, seed=1)
+    rows = []
+    for t in thresholds:
+        severities = record_severities(model, data.pool, temporal_threshold=t)[:, 0]
+        flagged = np.flatnonzero(severities > 0)
+        errors = sum(
+            1
+            for i in flagged
+            if np.any(model.predict_windows(data.pool[i])[0] != data.pool[i].label)
+        )
+        precision = errors / len(flagged) if len(flagged) else 1.0
+        rows.append((t, len(flagged), precision))
+    return rows
+
+
+def test_temporal_threshold_ablation(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print(
+        "\n"
+        + format_table(
+            ["T (s)", "Records flagged", "Precision"],
+            [(t, n, f"{100 * p:.0f}%") for t, n, p in rows],
+            title="Ablation: ECG consistency window T",
+        )
+    )
+    flagged_counts = [n for _, n, _ in rows]
+    # Wider windows can only flag more (oscillations are a superset).
+    assert flagged_counts == sorted(flagged_counts)
+    assert all(p >= 0.95 for _, _, p in rows)

@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 3 (assertions find high-confidence errors).
+
+Paper claim: the top-ranked errors caught by the video assertions sit in
+high confidence percentiles (up to the 94th), so confidence-based
+monitoring would not flag them. Flicker error confidence is the mean of
+the surrounding boxes, per the paper.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig3
+
+
+def test_fig3_high_confidence_errors(benchmark):
+    result = run_once(benchmark, run_fig3, seed=0, n_pool=800)
+    print("\n" + result.format_table())
+    assert result.n_boxes > 0
+    # The flicker assertion's top error must be high-confidence.
+    assert result.top_percentile("flicker") >= 80.0
+    # At least one other assertion also surfaces above-median-confidence errors.
+    others = max(result.top_percentile("appear"), result.top_percentile("multibox"))
+    assert others >= 50.0

@@ -1,0 +1,64 @@
+"""Bench: regenerate Figures 4/9 (active learning, night-street + AV).
+
+Paper shape: all strategies improve substantially over the pretrained
+model; BAL is competitive with (within a small band of) the best
+baseline by the final round.
+
+Substrate note (see EXPERIMENTS.md): our stand-in detector is a
+feature-based model for which any labeled night sample carries most of
+the adaptation signal, so the four strategies converge within ~1–2 mAP —
+narrower separation than the paper's deep-detector gaps. The structural
+claims asserted here are the ones that transfer: large gains over the
+pretrained model for every strategy, BAL ending within tolerance of the
+best strategy, and monotone-ish improvement across rounds.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig4_av, run_fig4_video
+
+
+def _check_shape(result, tolerance):
+    print("\n" + result.format_table())
+    for name, curve in result.curves.items():
+        assert len(curve) == 5
+        # every strategy improves well beyond the pretrained model
+        assert curve[-1] > result.initial_metric + 5.0, name
+        # learning curves trend upward (first → last)
+        assert curve[-1] >= curve[0] - 2.0, name
+    best_final = max(curve[-1] for curve in result.curves.values())
+    assert result.final("bal") >= best_final - tolerance
+    assert result.final("bal") >= result.curves["random"][-1] - tolerance
+
+
+def test_fig4_video_active_learning(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig4_video,
+        seed=0,
+        n_rounds=5,
+        budget_per_round=25,
+        n_pool=500,
+        n_test=150,
+        n_trials=2,
+    )
+    # night-street reproduces the paper's ordering: BAL leads, so the
+    # tolerance is tight.
+    _check_shape(result, tolerance=2.0)
+
+
+def test_fig4_av_active_learning(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig4_av,
+        seed=0,
+        n_rounds=5,
+        budget_per_round=25,
+        n_bootstrap_scenes=10,
+        n_pool_scenes=20,
+        n_test_scenes=6,
+        n_trials=2,
+    )
+    # The AV task has high trial variance at this scale (two trials, 120
+    # test samples): strategies land within a ±4–5 mAP band.
+    _check_shape(result, tolerance=5.0)

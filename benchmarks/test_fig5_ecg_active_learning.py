@@ -1,0 +1,33 @@
+"""Bench: regenerate Figure 5 (ECG active learning, single assertion).
+
+Paper claim: "with just a single assertion, model-assertion based active
+learning can match uncertainty sampling and outperform random sampling."
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig5
+
+
+def test_fig5_ecg_active_learning(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig5,
+        seed=0,
+        n_rounds=5,
+        budget_per_round=100,
+        n_pool=2000,
+        n_test=500,
+        n_trials=8,
+    )
+    print("\n" + result.format_table())
+    bal = result.curves["bal"]
+    random = result.curves["random"]
+    uncertainty = result.curves["uncertainty"]
+    # BAL matches uncertainty sampling by the final round …
+    assert bal[-1] >= uncertainty[-1] - 1.0
+    # … and is competitive with random sampling (paper: outperforms).
+    assert bal[-1] >= random[-1] - 1.0
+    # everyone learns something
+    for curve in result.curves.values():
+        assert curve[-1] > result.initial_metric

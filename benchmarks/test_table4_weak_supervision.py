@@ -1,0 +1,26 @@
+"""Bench: regenerate Table 4 (weak supervision, no human labels).
+
+Paper shape: weak supervision improves the pretrained model in every
+domain (video 34.4→49.9 mAP, AVs 10.6→14.1 mAP, ECG 70.7→72.1%);
+magnitudes depend on the substrate, the direction must hold for the
+detection domains and be ≥ −1 point for ECG (the paper's own gain is
++1.4 points and within run-to-run noise here).
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_table4
+
+
+def test_table4_weak_supervision(benchmark):
+    result = run_once(benchmark, run_table4, seed=0)
+    print("\n" + result.format_table())
+
+    video = result.result_for("video analytics")
+    assert video.weakly_supervised_metric > video.pretrained_metric
+
+    av = result.result_for("AVs")
+    assert av.weakly_supervised_metric > av.pretrained_metric
+
+    ecg = result.result_for("ECG")
+    assert ecg.weakly_supervised_metric >= ecg.pretrained_metric - 1.0

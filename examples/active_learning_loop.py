@@ -1,0 +1,48 @@
+"""Active learning with BAL: selecting which data to label (§3).
+
+Runs the paper's data-collection loop on the ECG task: per round, the
+model predicts over the unlabeled pool, assertions score every record,
+and the strategy picks which records to send for labeling. BAL allocates
+budget across assertions by their marginal reduction in fire counts,
+with a 25% exploration floor and severity-rank sampling (Algorithm 2).
+
+Run:  python examples/active_learning_loop.py
+"""
+
+from repro.core import BALStrategy, RandomStrategy, UncertaintyStrategy, run_active_learning
+from repro.domains.ecg import ECGActiveLearningTask, make_ecg_task_data
+
+
+def main() -> None:
+    print("Building the ECG active-learning task (2000-record pool) ...")
+    data = make_ecg_task_data(seed=0, n_train=120, n_pool=2000, n_test=500)
+
+    strategies = [
+        RandomStrategy(seed=0),
+        UncertaintyStrategy(),
+        BALStrategy(seed=0, fallback="uncertainty"),
+    ]
+    print("Running 5 rounds x 100 labels for each strategy ...\n")
+    header = f"{'round':>5}  " + "  ".join(f"{s.name:>12}" for s in strategies)
+    curves = {}
+    for strategy in strategies:
+        task = ECGActiveLearningTask(data, fine_tune_epochs=15, seed=0)
+        result = run_active_learning(task, strategy, n_rounds=5, budget_per_round=100)
+        curves[strategy.name] = [result.initial_metric] + result.metrics
+
+    print(header)
+    for r in range(6):
+        row = f"{r:>5}  " + "  ".join(
+            f"{curves[s.name][r]:>12.1f}" for s in strategies
+        )
+        print(row)
+
+    print(
+        "\nround 0 = pretrained accuracy. BAL samples from assertion-flagged "
+        "records, reallocating budget toward assertions whose fire counts "
+        "shrink — and falls back to uncertainty sampling when none do."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Quickstart: registering and running model assertions with OMG.
+
+Covers the three entry points from the paper:
+
+1. ``add_assertion`` — arbitrary Python functions as assertions (§2.1);
+2. ``add_consistency_assertion`` — the ``Id``/``Attrs``/``T`` API (§4.1);
+3. corrections — weak labels proposed for failing outputs (§4.2).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import OMG
+from repro.core import harvest_weak_labels
+from repro.core.types import make_stream
+
+
+def main() -> None:
+    omg = OMG()
+
+    # ------------------------------------------------------------------
+    # 1. A custom assertion: an arbitrary function over (input, outputs).
+    #    Severity 0 = abstain; anything positive flags a likely error.
+    # ------------------------------------------------------------------
+    @omg.assertion
+    def too_many_objects(frame, detections):
+        """A hallway camera should never see more than three people."""
+        return float(max(0, len(detections) - 3))
+
+    # ------------------------------------------------------------------
+    # 2. Consistency assertions from the high-level API: outputs that
+    #    share an identifier must agree on their attributes, and must not
+    #    appear/disappear for intervals shorter than T seconds.
+    # ------------------------------------------------------------------
+    omg.add_consistency_assertion(
+        id_fn=lambda person: person["id"],
+        attrs_fn=lambda person: {"badge_color": person["badge_color"]},
+        temporal_threshold=3.0,  # seconds
+        attr_keys=["badge_color"],
+        name="hallway",
+    )
+
+    # A stream of model outputs: person 7's badge color flips in the
+    # middle sample, and person 9 blips into a single frame.
+    frames = [
+        [{"id": 7, "badge_color": "blue"}],
+        [{"id": 7, "badge_color": "red"}, {"id": 9, "badge_color": "green"}],
+        [{"id": 7, "badge_color": "blue"}],
+        [{"id": 7, "badge_color": "blue"}] * 5,  # crowd: 5 detections of one id
+    ]
+    report = omg.monitor_outputs(frames)
+
+    print("Assertions:", report.assertion_names)
+    print("Fire counts:", report.fire_counts())
+    for record in report.records:
+        print(
+            f"  item {record.item_index}: {record.assertion_name} "
+            f"severity={record.severity:.0f}"
+        )
+
+    # ------------------------------------------------------------------
+    # 3. Weak labels: the consistency corrections repair the stream —
+    #    badge color back to the majority value, the blip removed.
+    # ------------------------------------------------------------------
+    items = make_stream(frames)
+    weak = harvest_weak_labels(omg, items)
+    print(f"\nWeak supervision changed {weak.n_changed} item(s):")
+    for item in weak.items:
+        print(f"  t={item.timestamp:.0f}s -> {list(item.outputs)}")
+
+    # ------------------------------------------------------------------
+    # Online monitoring: corrective actions fire as data streams in.
+    # ------------------------------------------------------------------
+    alerts = []
+    omg.on_fire(lambda record: alerts.append(record.assertion_name))
+    omg.observe(None, [{"id": 1, "badge_color": "blue"}] * 6)
+    print("\nOnline corrective actions triggered by:", alerts)
+
+
+if __name__ == "__main__":
+    main()

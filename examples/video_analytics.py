@@ -1,0 +1,78 @@
+"""Video analytics: the Figure 1 story on the night-street world.
+
+A detector bootstrapped on daytime footage is deployed on night video.
+Objects flicker in and out (Figure 1, top row); the consistency API's
+correction rule re-imputes the missing boxes by interpolating the
+surrounding frames (Figure 1, bottom row). We measure mAP before and
+after correction against the simulator's exact ground truth.
+
+Run:  python examples/video_analytics.py
+"""
+
+from repro.core import harvest_weak_labels
+from repro.domains.video import (
+    VideoPipeline,
+    bootstrap_detector,
+    make_video_task_data,
+)
+from repro.geometry.box2d import Box2D
+from repro.metrics import evaluate_detections
+
+
+def main() -> None:
+    print("Generating the night-street world and pretraining the detector ...")
+    data = make_video_task_data(seed=0, n_pool=300, n_test=100)
+    detector = bootstrap_detector(data, seed=0)
+
+    pipeline = VideoPipeline()
+    frames = data.pool
+    detections = detector.detect_frames([f.image for f in frames])
+
+    report, items = pipeline.monitor(detections)
+    print("\nRuntime monitoring over", len(items), "frames:")
+    for name, count in report.fire_counts().items():
+        print(f"  {name:<9} fired on {count} frames")
+
+    # Show one flicker in detail, Figure-1 style.
+    violations = pipeline.flicker.violations(items)
+    if violations:
+        v = violations[0]
+        print(
+            f"\nExample flicker: track {v.identifier} disappears at frame "
+            f"{v.start_pos} for {v.duration:.2f}s and reappears — the object "
+            "did not leave; the detector blinked."
+        )
+
+    # Figure 1 bottom row: the flicker correction interpolates the missing
+    # box from the surrounding frames. Apply just those "add" corrections
+    # and measure recall of previously-missed objects.
+    print("\nApplying the flicker correction rule (Figure 1, bottom row) ...")
+    from repro.core.types import apply_corrections
+
+    adds = [c for c in pipeline.flicker.corrections(items) if c.kind == "add"]
+    corrected_items = apply_corrections(items, adds)
+    print(f"  {len(adds)} boxes imputed into flicker gaps")
+
+    truths = [f.ground_truth for f in frames]
+
+    def to_boxes(stream):
+        return [
+            [
+                Box2D(o["box"].x1, o["box"].y1, o["box"].x2, o["box"].y2, o["label"], o["score"])
+                for o in item.outputs
+            ]
+            for item in stream
+        ]
+
+    before = evaluate_detections(to_boxes(items), truths).mean_ap_percent
+    after = evaluate_detections(to_boxes(corrected_items), truths).mean_ap_percent
+    print(f"\nmAP on the monitored video: {before:.1f}% -> {after:.1f}% with imputed boxes")
+
+    # The full correction set (adds + removals + class fixes) is what weak
+    # supervision retrains on (§5.5).
+    weak = harvest_weak_labels(pipeline.omg, items)
+    print(f"(full weak-label harvest touches {weak.n_changed} frames; see Table 4)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The primary build configuration lives in ``pyproject.toml``; this file
+exists so editable installs work in offline environments that lack the
+``wheel`` package (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""OMG — Model Assertions for Monitoring and Improving ML Models.
+
+This package is a from-scratch reproduction of the system described in
+
+    Kang, Raghavan, Bailis, Zaharia.
+    "Model Assertions for Monitoring and Improving ML Models." MLSys 2020.
+
+The public API mirrors the paper's library, OMG ("OMG Model Guardian"):
+
+- :class:`repro.core.OMG` — the runtime monitor. Register assertions with
+  :meth:`~repro.core.runtime.OMG.add_assertion` or the high-level
+  :meth:`~repro.core.runtime.OMG.add_consistency_assertion` API and stream
+  model inputs/outputs through it.
+- :class:`repro.core.ModelAssertion` — the assertion abstraction: an
+  arbitrary function over model inputs and outputs returning a severity
+  score (0 = abstain).
+- :class:`repro.core.BAL` — the bandit-based active-learning data-selection
+  algorithm (Algorithm 2 in the paper).
+- :func:`repro.core.harvest_weak_labels` — weak supervision from
+  consistency-assertion correction rules.
+
+Substrates used by the paper's evaluation (synthetic worlds, trainable
+detectors and classifiers, metrics) live in sibling subpackages; see
+``DESIGN.md`` for the full inventory.
+"""
+
+from repro.core import (
+    OMG,
+    BAL,
+    AssertionDatabase,
+    ConsistencySpec,
+    FunctionAssertion,
+    ModelAssertion,
+    MonitoringReport,
+    StreamItem,
+    harvest_weak_labels,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OMG",
+    "BAL",
+    "AssertionDatabase",
+    "ConsistencySpec",
+    "FunctionAssertion",
+    "ModelAssertion",
+    "MonitoringReport",
+    "StreamItem",
+    "harvest_weak_labels",
+    "__version__",
+]

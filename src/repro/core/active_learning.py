@@ -1,0 +1,208 @@
+"""Round-based active-learning harness (§3, §5.4).
+
+BAL "assumes that a set of data points has been collected and a subset
+will be labeled in bulk" over ``T`` rounds with budget ``B_t`` per round.
+The harness below runs that loop for any :class:`ActiveLearningTask`:
+
+    for each round:
+        predict on the unlabeled pool
+        compute assertion severities + uncertainty on those predictions
+        ask the strategy for ``budget`` points
+        label them (oracle) and retrain
+        evaluate on the held-out test set
+
+Domains implement the task interface; strategies come from
+:mod:`repro.core.strategies`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.strategies import SelectionContext, SelectionStrategy
+
+
+class ActiveLearningTask(abc.ABC):
+    """Domain adapter for the active-learning loop.
+
+    A task owns the unlabeled pool, the oracle labels, the model, and the
+    evaluation set. The harness only ever sees pool indices and metric
+    values, so one harness drives detection (mAP) and classification
+    (accuracy) domains alike.
+    """
+
+    @abc.abstractmethod
+    def pool_size(self) -> int:
+        """Number of unlabeled pool points."""
+
+    @abc.abstractmethod
+    def initial_model(self) -> Any:
+        """A freshly bootstrapped ("pretrained") model."""
+
+    @abc.abstractmethod
+    def train(self, model: Any, labeled_indices: np.ndarray) -> Any:
+        """Fine-tune ``model`` on the cumulative labeled set; return it."""
+
+    @abc.abstractmethod
+    def predict_pool(self, model: Any) -> Any:
+        """Model predictions over the whole pool (opaque to the harness)."""
+
+    @abc.abstractmethod
+    def severities(self, predictions: Any) -> np.ndarray:
+        """``(n, d)`` assertion severity matrix for the pool predictions."""
+
+    @abc.abstractmethod
+    def uncertainty(self, predictions: Any) -> np.ndarray:
+        """``(n,)`` least-confidence scores for the pool predictions."""
+
+    @abc.abstractmethod
+    def evaluate(self, model: Any) -> float:
+        """Test metric in percent (mAP% or accuracy%)."""
+
+
+@dataclass
+class RoundResult:
+    """Metrics recorded after one labeling round."""
+
+    round_index: int
+    metric: float
+    n_labeled: int
+    fire_counts: dict = field(default_factory=dict)
+    selected: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.intp))
+
+
+@dataclass
+class ActiveLearningResult:
+    """Full learning curve for one (task, strategy) run."""
+
+    strategy_name: str
+    rounds: list = field(default_factory=list)
+    initial_metric: float = 0.0
+
+    @property
+    def metrics(self) -> list:
+        """Per-round metric values, in round order."""
+        return [r.metric for r in self.rounds]
+
+    @property
+    def final_metric(self) -> float:
+        return self.rounds[-1].metric if self.rounds else self.initial_metric
+
+    def labels_to_reach(self, target_metric: float) -> "int | None":
+        """Labels needed to first reach ``target_metric`` (None if never).
+
+        This is the paper's labeling-cost comparison: "BAL … can achieve
+        an accuracy target (62% mAP) with 40% fewer labels" (§5.4).
+        """
+        for result in self.rounds:
+            if result.metric >= target_metric:
+                return result.n_labeled
+        return None
+
+
+def run_active_learning(
+    task: ActiveLearningTask,
+    strategy: SelectionStrategy,
+    *,
+    n_rounds: int,
+    budget_per_round: int,
+    evaluate_initial: bool = True,
+) -> ActiveLearningResult:
+    """Run the round-based loop for one strategy.
+
+    The strategy is ``reset()`` first so runs are independent; the task's
+    model starts from :meth:`ActiveLearningTask.initial_model` each call.
+    """
+    if n_rounds < 1:
+        raise ValueError(f"n_rounds must be >= 1, got {n_rounds}")
+    if budget_per_round < 1:
+        raise ValueError(f"budget_per_round must be >= 1, got {budget_per_round}")
+
+    strategy.reset()
+    model = task.initial_model()
+    n = task.pool_size()
+    labeled_mask = np.zeros(n, dtype=bool)
+    result = ActiveLearningResult(strategy_name=strategy.name)
+    if evaluate_initial:
+        result.initial_metric = task.evaluate(model)
+
+    for round_index in range(n_rounds):
+        predictions = task.predict_pool(model)
+        severities = np.asarray(task.severities(predictions), dtype=np.float64)
+        uncertainty = np.asarray(task.uncertainty(predictions), dtype=np.float64)
+        if severities.shape[0] != n:
+            raise ValueError(
+                f"severities rows {severities.shape[0]} != pool size {n}"
+            )
+        ctx = SelectionContext(
+            severities=severities,
+            uncertainty=uncertainty,
+            labeled_mask=labeled_mask.copy(),
+            round_index=round_index,
+        )
+        selected = np.asarray(strategy.select(ctx, budget_per_round), dtype=np.intp)
+        selected = selected[~labeled_mask[selected]]
+        labeled_mask[selected] = True
+
+        model = task.train(model, np.flatnonzero(labeled_mask))
+        fire_counts = {
+            f"assertion_{m}": int(np.count_nonzero(severities[:, m] > 0))
+            for m in range(severities.shape[1])
+        }
+        result.rounds.append(
+            RoundResult(
+                round_index=round_index,
+                metric=task.evaluate(model),
+                n_labeled=int(labeled_mask.sum()),
+                fire_counts=fire_counts,
+                selected=selected,
+            )
+        )
+    return result
+
+
+def compare_strategies(
+    task_factory,
+    strategies: list,
+    *,
+    n_rounds: int,
+    budget_per_round: int,
+    n_trials: int = 1,
+) -> dict:
+    """Run every strategy ``n_trials`` times on fresh tasks; average curves.
+
+    ``task_factory(trial_index)`` must return a *fresh* task per trial so
+    trials are independent (the paper averages 2–8 trials, Appendix C).
+    Returns strategy name → averaged :class:`ActiveLearningResult`.
+    """
+    results: dict = {}
+    for strategy in strategies:
+        curves = []
+        initials = []
+        for trial in range(n_trials):
+            task = task_factory(trial)
+            run = run_active_learning(
+                task,
+                strategy,
+                n_rounds=n_rounds,
+                budget_per_round=budget_per_round,
+            )
+            curves.append(run.metrics)
+            initials.append(run.initial_metric)
+        mean_curve = np.mean(np.asarray(curves, dtype=np.float64), axis=0)
+        averaged = ActiveLearningResult(strategy_name=strategy.name)
+        averaged.initial_metric = float(np.mean(initials))
+        for round_index, metric in enumerate(mean_curve):
+            averaged.rounds.append(
+                RoundResult(
+                    round_index=round_index,
+                    metric=float(metric),
+                    n_labeled=(round_index + 1) * budget_per_round,
+                )
+            )
+        results[strategy.name] = averaged
+    return results

@@ -1,0 +1,130 @@
+"""The model-assertion abstraction.
+
+A model assertion is "an arbitrary function over a model's input and output
+that returns a Boolean (0 or 1) or continuous (floating point) severity
+score to indicate when faults may be occurring" (§1). By convention 0 means
+abstain; scores need not be calibrated — downstream algorithms (BAL) use
+only their relative ordering (§2.1).
+"""
+
+from __future__ import annotations
+
+import abc
+import inspect
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.types import Correction, StreamItem
+
+
+class ModelAssertion(abc.ABC):
+    """Base class for model assertions.
+
+    Subclasses implement :meth:`evaluate_stream`, returning one severity
+    per stream item. Assertions that can repair outputs additionally
+    override :meth:`corrections` (the consistency assertions of §4 do).
+    """
+
+    #: Taxonomy class from Table 5 (e.g., "consistency", "domain knowledge").
+    taxonomy_class: str = "custom"
+
+    def __init__(self, name: str, description: str = "") -> None:
+        if not name:
+            raise ValueError("assertion name must be non-empty")
+        self.name = name
+        self.description = description
+
+    @abc.abstractmethod
+    def evaluate_stream(self, items: list) -> np.ndarray:
+        """Return per-item severity scores, shape ``(len(items),)``.
+
+        A severity of 0 is an abstention; positive values flag likely
+        errors, larger = more severe.
+        """
+
+    def corrections(self, items: list) -> list:
+        """Weak-label proposals for items where this assertion fires.
+
+        The default for arbitrary assertions is no proposals (the paper's
+        correction rules are generated only by the consistency API, though
+        users can subclass to add their own).
+        """
+        return []
+
+    def __call__(self, items: list) -> np.ndarray:
+        return self.evaluate_stream(items)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class FunctionAssertion(ModelAssertion):
+    """Wrap a plain Python function as a model assertion.
+
+    Mirrors OMG's ``AddAssertion(func)`` (§2.4). Two signatures are
+    supported, selected by ``window``:
+
+    - ``window == 1`` (default): ``func(input, outputs) -> float`` is
+      called independently per stream item.
+    - ``window > 1``: ``func(recent_inputs, recent_outputs) -> float`` is
+      called on the trailing window ending at each item — the signature of
+      the paper's ``flickering(recent_frames, recent_outputs)`` example.
+
+    The returned value is coerced to ``float``; Boolean assertions simply
+    return 0/1.
+    """
+
+    def __init__(
+        self,
+        func: Callable[..., Any],
+        name: "str | None" = None,
+        *,
+        window: int = 1,
+        description: str = "",
+        taxonomy_class: str = "custom",
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        inferred = name or getattr(func, "__name__", None)
+        if not inferred or inferred == "<lambda>":
+            inferred = name
+        if not inferred:
+            raise ValueError("anonymous functions require an explicit name")
+        super().__init__(inferred, description or (inspect.getdoc(func) or ""))
+        self.func = func
+        self.window = window
+        self.taxonomy_class = taxonomy_class
+
+    def evaluate_stream(self, items: list) -> np.ndarray:
+        severities = np.zeros(len(items), dtype=np.float64)
+        for pos, item in enumerate(items):
+            if self.window == 1:
+                value = self.func(item.input, list(item.outputs))
+            else:
+                start = max(0, pos - self.window + 1)
+                window_items = items[start : pos + 1]
+                value = self.func(
+                    [it.input for it in window_items],
+                    [list(it.outputs) for it in window_items],
+                )
+            severity = float(value)
+            if severity < 0:
+                raise ValueError(
+                    f"assertion {self.name!r} returned negative severity {severity}"
+                )
+            severities[pos] = severity
+        return severities
+
+
+def as_assertion(obj: "ModelAssertion | Callable", name: "str | None" = None, **kwargs) -> ModelAssertion:
+    """Coerce a callable into a :class:`ModelAssertion` (idempotent)."""
+    if isinstance(obj, ModelAssertion):
+        if name is not None and name != obj.name:
+            raise ValueError(
+                f"cannot rename assertion {obj.name!r} to {name!r}; construct it with the right name"
+            )
+        return obj
+    if callable(obj):
+        return FunctionAssertion(obj, name, **kwargs)
+    raise TypeError(f"expected a ModelAssertion or callable, got {type(obj).__name__}")

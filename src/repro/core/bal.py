@@ -1,0 +1,277 @@
+"""BAL: bandit-based data selection for active learning (§3, Algorithm 2).
+
+BAL casts data selection as a contextual combinatorial multi-armed bandit:
+arms are unlabeled data points, the context of a point is its vector of
+assertion severity scores, and the (unobservable) reward is the marginal
+improvement in model quality. The resource-constrained simplifications
+(§3) are:
+
+1. points with similar contexts are interchangeable;
+2. higher severity ⇒ higher expected marginal gain;
+3. reducing the number of triggered assertions increases accuracy.
+
+Concretely (Algorithm 2):
+
+- **round 0** — sample points uniformly at random from the *d* model
+  assertions (pick an assertion uniformly, then a random triggering point);
+- **round t > 0** — compute each assertion's *marginal reduction* ``r_m``
+  in fire count versus the previous round; if **all** ``r_m`` fall below a
+  threshold (1%), fall back to the baseline method (random or uncertainty
+  sampling) for the round; otherwise spend 25% of the budget sampling
+  uniformly across assertions (an ε-greedy exploration floor) and the rest
+  selecting assertions proportional to ``r_m`` and, within an assertion,
+  points proportional to severity-score *rank*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_fraction
+
+
+@dataclass
+class BALSelection:
+    """Outcome of one BAL round.
+
+    Attributes
+    ----------
+    indices:
+        Selected pool indices, length ≤ budget (deduplicated).
+    used_fallback:
+        True when the round was delegated to the baseline method.
+    reductions:
+        Per-assertion marginal reductions ``r_m`` (empty array in round 0).
+    fire_counts:
+        Per-assertion fire counts observed this round.
+    """
+
+    indices: np.ndarray
+    used_fallback: bool
+    reductions: np.ndarray
+    fire_counts: np.ndarray
+
+
+class BAL:
+    """Algorithm 2 of the paper.
+
+    Parameters
+    ----------
+    fallback:
+        ``"random"`` or ``"uncertainty"`` — the baseline used when no
+        assertion's fire count is shrinking (§3: "BAL will default to
+        random sampling or uncertainty sampling, as specified by the
+        user").
+    exploration_fraction:
+        Budget share reserved for uniform sampling across assertions
+        (the paper uses 25%).
+    reduction_threshold:
+        Relative-reduction cutoff below which an assertion is considered
+        stalled (the paper uses 1%).
+    rank_power:
+        Exponent on the severity-rank weights; 1.0 reproduces the paper's
+        linear rank weighting, 0.0 degrades to uniform-within-assertion
+        (used by the ablation bench).
+    """
+
+    def __init__(
+        self,
+        *,
+        fallback: str = "random",
+        exploration_fraction: float = 0.25,
+        reduction_threshold: float = 0.01,
+        rank_power: float = 1.0,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> None:
+        if fallback not in ("random", "uncertainty"):
+            raise ValueError(f"fallback must be 'random' or 'uncertainty', got {fallback!r}")
+        check_fraction(exploration_fraction, "exploration_fraction")
+        if rank_power < 0:
+            raise ValueError(f"rank_power must be >= 0, got {rank_power}")
+        self.fallback = fallback
+        self.exploration_fraction = exploration_fraction
+        self.reduction_threshold = reduction_threshold
+        self.rank_power = rank_power
+        self._rng = as_generator(seed)
+        self._prev_fire_counts: "np.ndarray | None" = None
+        self._round = 0
+
+    @property
+    def round_index(self) -> int:
+        """Number of completed :meth:`select` calls."""
+        return self._round
+
+    def reset(self) -> None:
+        """Forget all cross-round state (fire counts, round counter)."""
+        self._prev_fire_counts = None
+        self._round = 0
+
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        severities: np.ndarray,
+        budget: int,
+        *,
+        uncertainty: "np.ndarray | None" = None,
+        selectable: "np.ndarray | None" = None,
+    ) -> BALSelection:
+        """Choose up to ``budget`` pool indices to label this round.
+
+        Parameters
+        ----------
+        severities:
+            ``(n, d)`` matrix of assertion severity scores on the current
+            model's pool predictions (0 = abstain).
+        budget:
+            Number of points to select (``B_t``).
+        uncertainty:
+            ``(n,)`` model-uncertainty scores; required when
+            ``fallback="uncertainty"``.
+        selectable:
+            Boolean mask of pool points still eligible (e.g., not yet
+            labeled). Defaults to all.
+        """
+        sev = np.asarray(severities, dtype=np.float64)
+        if sev.ndim != 2:
+            raise ValueError(f"severities must be (n, d), got shape {sev.shape}")
+        n, d = sev.shape
+        if budget < 0:
+            raise ValueError(f"budget must be >= 0, got {budget}")
+        if selectable is None:
+            eligible = np.ones(n, dtype=bool)
+        else:
+            eligible = np.asarray(selectable, dtype=bool)
+            if eligible.shape != (n,):
+                raise ValueError(f"selectable shape {eligible.shape} != ({n},)")
+        if self.fallback == "uncertainty" and uncertainty is None:
+            raise ValueError("fallback='uncertainty' requires uncertainty scores")
+        if uncertainty is not None:
+            uncertainty = np.asarray(uncertainty, dtype=np.float64)
+            if uncertainty.shape != (n,):
+                raise ValueError(f"uncertainty shape {uncertainty.shape} != ({n},)")
+
+        # Fire counts are measured over the *whole* pool so that rounds
+        # are comparable even as points get labeled and removed.
+        fire_counts = np.count_nonzero(sev > 0, axis=0).astype(np.float64)
+
+        if self._round == 0 or self._prev_fire_counts is None:
+            reductions = np.zeros(0, dtype=np.float64)
+            chosen, fell_back = self._select_round0(sev, budget, eligible, uncertainty)
+        else:
+            prev = self._prev_fire_counts
+            if prev.shape != (d,):
+                raise ValueError(
+                    f"assertion count changed between rounds: {prev.shape[0]} -> {d}"
+                )
+            with np.errstate(divide="ignore", invalid="ignore"):
+                reductions = np.where(prev > 0, (prev - fire_counts) / prev, 0.0)
+            if np.all(reductions < self.reduction_threshold):
+                chosen = self._fallback_indices(budget, eligible, uncertainty)
+                fell_back = True
+            else:
+                chosen = self._select_guided(sev, budget, eligible, reductions, uncertainty)
+                fell_back = False
+
+        self._prev_fire_counts = fire_counts
+        self._round += 1
+        return BALSelection(
+            indices=np.asarray(chosen, dtype=np.intp),
+            used_fallback=fell_back,
+            reductions=reductions,
+            fire_counts=fire_counts,
+        )
+
+    # ------------------------------------------------------------------
+    def _select_round0(self, sev, budget, eligible, uncertainty):
+        """Uniformly random over assertions, then over triggering points."""
+        chosen = self._draw_from_assertions(
+            sev, budget, eligible, assertion_weights=None, rank_weighted=False
+        )
+        if len(chosen) < budget:  # not enough triggering points: top up
+            extra = self._fallback_indices(
+                budget - len(chosen), eligible & ~_mask(chosen, sev.shape[0]), uncertainty
+            )
+            chosen = np.concatenate([chosen, extra])
+            return chosen, True
+        return chosen, False
+
+    def _select_guided(self, sev, budget, eligible, reductions, uncertainty):
+        """25% exploration + 75% proportional to marginal reduction."""
+        explore_budget = int(np.floor(self.exploration_fraction * budget))
+        exploit_budget = budget - explore_budget
+
+        gains = np.clip(reductions, 0.0, None)
+        if gains.sum() <= 0:
+            gains = np.ones_like(gains)
+
+        explore = self._draw_from_assertions(
+            sev, explore_budget, eligible, assertion_weights=None, rank_weighted=False
+        )
+        remaining = eligible & ~_mask(explore, sev.shape[0])
+        exploit = self._draw_from_assertions(
+            sev, exploit_budget, remaining, assertion_weights=gains, rank_weighted=True
+        )
+        chosen = np.concatenate([explore, exploit])
+        if len(chosen) < budget:
+            extra = self._fallback_indices(
+                budget - len(chosen), eligible & ~_mask(chosen, sev.shape[0]), uncertainty
+            )
+            chosen = np.concatenate([chosen, extra])
+        return chosen
+
+    def _draw_from_assertions(self, sev, budget, eligible, *, assertion_weights, rank_weighted):
+        """Draw points one at a time: assertion first, then a triggering point."""
+        n, d = sev.shape
+        taken = np.zeros(n, dtype=bool)
+        chosen: list[int] = []
+        if budget <= 0 or d == 0:
+            return np.asarray(chosen, dtype=np.intp)
+
+        weights = (
+            np.ones(d, dtype=np.float64)
+            if assertion_weights is None
+            else np.asarray(assertion_weights, dtype=np.float64).copy()
+        )
+        for _ in range(budget):
+            available = eligible & ~taken
+            # Assertions that still have an unselected triggering point.
+            has_points = np.array(
+                [np.any((sev[:, m] > 0) & available) for m in range(d)], dtype=bool
+            )
+            usable = weights * has_points
+            if usable.sum() <= 0:
+                break
+            m = int(self._rng.choice(d, p=usable / usable.sum()))
+            candidates = np.flatnonzero((sev[:, m] > 0) & available)
+            if rank_weighted and self.rank_power > 0:
+                # Rank 1 = highest severity; weight ∝ (count - rank + 1)^p.
+                order = np.argsort(-sev[candidates, m], kind="stable")
+                ranked = candidates[order]
+                w = (np.arange(len(ranked), 0, -1, dtype=np.float64)) ** self.rank_power
+                pick = int(self._rng.choice(len(ranked), p=w / w.sum()))
+                point = int(ranked[pick])
+            else:
+                point = int(self._rng.choice(candidates))
+            chosen.append(point)
+            taken[point] = True
+        return np.asarray(chosen, dtype=np.intp)
+
+    def _fallback_indices(self, budget, eligible, uncertainty):
+        """Baseline selection: random or top-k by uncertainty."""
+        candidates = np.flatnonzero(eligible)
+        if budget <= 0 or candidates.size == 0:
+            return np.zeros(0, dtype=np.intp)
+        budget = min(budget, candidates.size)
+        if self.fallback == "uncertainty":
+            order = np.argsort(-uncertainty[candidates], kind="stable")
+            return candidates[order[:budget]]
+        return self._rng.choice(candidates, size=budget, replace=False)
+
+
+def _mask(indices: np.ndarray, n: int) -> np.ndarray:
+    mask = np.zeros(n, dtype=bool)
+    mask[np.asarray(indices, dtype=np.intp)] = True
+    return mask

@@ -1,0 +1,409 @@
+"""Consistency assertions (§4 of the paper).
+
+The key idea is "to specify which attributes of a model's output are
+expected to match across many invocations to the model" (§4). The
+developer provides:
+
+- ``Id(y_ij)`` — an identifier for each model output (an opaque value);
+- ``Attrs(y_ij)`` — named attributes expected to be consistent per
+  identifier (key → value pairs);
+- optionally a temporal consistency threshold ``T`` in seconds: each
+  identifier should not appear or disappear for intervals shorter than
+  ``T`` (at most one transition per ``T``-second window).
+
+From one :class:`ConsistencySpec`, OMG generates *multiple Boolean model
+assertions* — one :class:`AttributeConsistencyAssertion` per attribute key
+plus a :class:`TemporalConsistencyAssertion` when ``T`` is given — and
+*correction rules* that propose weak labels for failing outputs (§4.2):
+the most common attribute value for mismatches, removal of short-lived
+appearances, and user-``WeakLabel``-imputed outputs for short gaps.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.assertion import ModelAssertion
+from repro.core.types import Correction, StreamItem
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One (item, output) pair belonging to an identifier group."""
+
+    item_index: int
+    timestamp: float
+    output_index: int
+    output: Any
+
+
+@dataclass
+class ConsistencySpec:
+    """Declarative spec from which consistency assertions are generated.
+
+    Attributes
+    ----------
+    id_fn:
+        ``Id(output) -> hashable`` — identifier for each output. Outputs
+        whose identifier is ``None`` are ignored.
+    attrs_fn:
+        ``Attrs(output) -> dict`` — named attributes for the output.
+        ``None`` (or an empty dict) means no attribute checks.
+    temporal_threshold:
+        ``T`` in seconds; ``None`` disables the temporal assertion.
+    weak_label_fn:
+        ``WeakLabel(identifier, item, observations) -> output | None`` —
+        imputes an output for an item inside a flicker gap, given all of
+        the identifier's observations. Required for "add" corrections
+        (§4.2: "OMG requires the user to provide a WeakLabel function to
+        cover this case, since it may require domain specific logic").
+    set_attr_fn:
+        ``set_attr(output, key, value) -> output`` — build the corrected
+        output for attribute mismatches. Defaults to dict-style update for
+        mapping outputs and ``dataclasses.replace``-style for objects with
+        the attribute; provide explicitly for anything else.
+    name:
+        Base name for the generated assertions (``{name}:attr:{key}``,
+        ``{name}:temporal``).
+    """
+
+    id_fn: Callable[[Any], Any]
+    attrs_fn: "Callable[[Any], dict] | None" = None
+    temporal_threshold: "float | None" = None
+    weak_label_fn: "Callable | None" = None
+    set_attr_fn: "Callable | None" = None
+    name: str = "consistency"
+
+    def __post_init__(self) -> None:
+        if self.temporal_threshold is not None and self.temporal_threshold <= 0:
+            raise ValueError(
+                f"temporal_threshold must be > 0 seconds, got {self.temporal_threshold}"
+            )
+
+    def attributes_of(self, output: Any) -> dict:
+        if self.attrs_fn is None:
+            return {}
+        attrs = self.attrs_fn(output)
+        return dict(attrs) if attrs else {}
+
+    def set_attribute(self, output: Any, key: str, value: Any) -> Any:
+        if self.set_attr_fn is not None:
+            return self.set_attr_fn(output, key, value)
+        if isinstance(output, dict):
+            fixed = dict(output)
+            fixed[key] = value
+            return fixed
+        if hasattr(output, key):
+            import copy
+            import dataclasses
+
+            if dataclasses.is_dataclass(output):
+                return dataclasses.replace(output, **{key: value})
+            fixed = copy.copy(output)
+            setattr(fixed, key, value)
+            return fixed
+        raise TypeError(
+            f"cannot set attribute {key!r} on {type(output).__name__}; "
+            "provide set_attr_fn in the ConsistencySpec"
+        )
+
+
+def group_observations(spec: ConsistencySpec, items: list) -> dict:
+    """Group stream outputs by identifier.
+
+    Returns identifier → list of :class:`Observation` in stream order.
+    Outputs with identifier ``None`` are skipped.
+    """
+    groups: dict = {}
+    for item in items:
+        for out_idx, output in enumerate(item.outputs):
+            identifier = spec.id_fn(output)
+            if identifier is None:
+                continue
+            groups.setdefault(identifier, []).append(
+                Observation(item.index, item.timestamp, out_idx, output)
+            )
+    return groups
+
+
+def majority_value(values: list) -> Any:
+    """Most common value; ties broken by first occurrence (§4.2 default)."""
+    counts = Counter(values)
+    best_count = max(counts.values())
+    for value in values:  # first-seen among the tied maxima
+        if counts[value] == best_count:
+            return value
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+class AttributeConsistencyAssertion(ModelAssertion):
+    """Fires when outputs sharing an identifier disagree on an attribute.
+
+    Severity for item *i* is the number of its outputs whose attribute
+    value differs from the majority value among all outputs of the same
+    identifier in the evaluated window (0 when every group is unanimous).
+    The correction rule proposes the majority value — but abstains when no
+    strict majority exists, because then the rule cannot tell which
+    observation is wrong.
+    """
+
+    taxonomy_class = "consistency"
+
+    def __init__(self, spec: ConsistencySpec, attr_key: str) -> None:
+        super().__init__(
+            name=f"{spec.name}:attr:{attr_key}",
+            description=f"outputs with one identifier must agree on {attr_key!r}",
+        )
+        self.spec = spec
+        self.attr_key = attr_key
+
+    def _deviations(self, items: list):
+        """Yield (observation, majority) for outputs deviating from their group."""
+        groups = group_observations(self.spec, items)
+        for identifier, observations in groups.items():
+            values = []
+            kept = []
+            for obs in observations:
+                attrs = self.spec.attributes_of(obs.output)
+                if self.attr_key in attrs:
+                    values.append(attrs[self.attr_key])
+                    kept.append(obs)
+            if len(values) < 2:
+                continue
+            counts = Counter(values)
+            if len(counts) == 1:
+                continue
+            majority = majority_value(values)
+            strict = counts[majority] * 2 > len(values)
+            for obs, value in zip(kept, values):
+                if value != majority:
+                    yield obs, identifier, (majority if strict else None)
+
+    def evaluate_stream(self, items: list) -> np.ndarray:
+        severities = np.zeros(len(items), dtype=np.float64)
+        index_of = {item.index: pos for pos, item in enumerate(items)}
+        for obs, _identifier, _majority in self._deviations(items):
+            severities[index_of[obs.item_index]] += 1.0
+        return severities
+
+    def corrections(self, items: list) -> list:
+        proposals = []
+        for obs, identifier, majority in self._deviations(items):
+            if majority is None:
+                continue  # tie: cannot pick a correction confidently
+            fixed = self.spec.set_attribute(obs.output, self.attr_key, majority)
+            proposals.append(
+                Correction(
+                    kind="modify",
+                    item_index=obs.item_index,
+                    assertion_name=self.name,
+                    identifier=identifier,
+                    output_index=obs.output_index,
+                    proposed_output=fixed,
+                )
+            )
+        return proposals
+
+
+@dataclass(frozen=True)
+class TemporalViolation:
+    """A run/gap of an identifier's presence that is shorter than ``T``."""
+
+    kind: str  # "gap" (disappear→reappear < T) or "run" (appear→disappear < T)
+    identifier: Any
+    start_pos: int  # position in the evaluated window (inclusive)
+    end_pos: int  # position in the evaluated window (inclusive)
+    duration: float
+
+
+class TemporalConsistencyAssertion(ModelAssertion):
+    """Fires when an identifier appears or disappears for less than ``T``.
+
+    The paper's default temporal rule: "at most one transition can occur
+    within a T-second window" (§4.2). An identifier present, absent for a
+    gap shorter than ``T``, then present again violates this (two
+    transitions: the *flicker* of Figure 1); an identifier absent, present
+    for a run shorter than ``T``, then absent again also does (a spurious
+    *appearance*).
+
+    ``mode`` selects which violation kinds this instance checks, letting a
+    domain register the two as separately-named assertions (the paper's
+    ``flicker`` and ``appear``):
+
+    - ``"gap"`` — short absences only; severity lands on the gap items
+      (where the object is missing) and corrections are "add" proposals
+      via the spec's ``WeakLabel`` function.
+    - ``"run"`` — short presences only; severity lands on the run items
+      and corrections are "remove" proposals.
+    - ``"both"`` (default) — check both kinds.
+
+    Edge runs/gaps touching the window boundary are not flagged: the
+    stream may continue past what we can see.
+    """
+
+    taxonomy_class = "consistency"
+
+    def __init__(self, spec: ConsistencySpec, mode: str = "both", name: "str | None" = None) -> None:
+        if spec.temporal_threshold is None:
+            raise ValueError("spec.temporal_threshold is required for temporal assertions")
+        if mode not in ("gap", "run", "both"):
+            raise ValueError(f"mode must be 'gap', 'run', or 'both', got {mode!r}")
+        super().__init__(
+            name=name or f"{spec.name}:temporal",
+            description=(
+                f"identifiers must not appear/disappear for < {spec.temporal_threshold}s"
+            ),
+        )
+        self.spec = spec
+        self.mode = mode
+
+    # ------------------------------------------------------------------
+    # Violation detection
+    # ------------------------------------------------------------------
+    def violations(self, items: list) -> list:
+        """All :class:`TemporalViolation` s in the window, in stream order."""
+        if not items:
+            return []
+        threshold = float(self.spec.temporal_threshold)
+        timestamps = np.array([item.timestamp for item in items], dtype=np.float64)
+        n = len(items)
+
+        # presence[identifier] = sorted window positions where it appears
+        presence: dict = {}
+        for pos, item in enumerate(items):
+            seen_here = set()
+            for output in item.outputs:
+                identifier = self.spec.id_fn(output)
+                if identifier is None or identifier in seen_here:
+                    continue
+                seen_here.add(identifier)
+                presence.setdefault(identifier, []).append(pos)
+
+        found: list = []
+        for identifier, positions in presence.items():
+            pos_arr = np.asarray(positions)
+            # Split into contiguous runs of presence.
+            breaks = np.flatnonzero(np.diff(pos_arr) > 1)
+            run_starts = np.concatenate([[0], breaks + 1])
+            run_ends = np.concatenate([breaks, [len(pos_arr) - 1]])
+            runs = [(int(pos_arr[s]), int(pos_arr[e])) for s, e in zip(run_starts, run_ends)]
+
+            # Gaps between consecutive runs: disappear then reappear.
+            for (s1, e1), (s2, e2) in zip(runs[:-1], runs[1:]):
+                gap_duration = timestamps[s2] - timestamps[e1]
+                if gap_duration < threshold:
+                    found.append(
+                        TemporalViolation(
+                            kind="gap",
+                            identifier=identifier,
+                            start_pos=e1 + 1,
+                            end_pos=s2 - 1,
+                            duration=float(gap_duration),
+                        )
+                    )
+
+            # Short presence runs bounded by absence on both sides.
+            for start, end in runs:
+                run_duration = timestamps[end] - timestamps[start]
+                interior = start > 0 and end < n - 1
+                if interior and run_duration < threshold:
+                    found.append(
+                        TemporalViolation(
+                            kind="run",
+                            identifier=identifier,
+                            start_pos=start,
+                            end_pos=end,
+                            duration=float(run_duration),
+                        )
+                    )
+
+        wanted = ("gap", "run") if self.mode == "both" else (self.mode,)
+        found = [v for v in found if v.kind in wanted]
+        found.sort(key=lambda v: (v.start_pos, str(v.identifier)))
+        return found
+
+    def evaluate_stream(self, items: list) -> np.ndarray:
+        severities = np.zeros(len(items), dtype=np.float64)
+        for violation in self.violations(items):
+            span = range(violation.start_pos, violation.end_pos + 1)
+            for pos in span:
+                severities[pos] += 1.0
+        return severities
+
+    def corrections(self, items: list) -> list:
+        proposals = []
+        groups = group_observations(self.spec, items)
+        for violation in self.violations(items):
+            if violation.kind == "run":
+                # Remove every output of this identifier within the run.
+                for pos in range(violation.start_pos, violation.end_pos + 1):
+                    item = items[pos]
+                    for out_idx, output in enumerate(item.outputs):
+                        if self.spec.id_fn(output) == violation.identifier:
+                            proposals.append(
+                                Correction(
+                                    kind="remove",
+                                    item_index=item.index,
+                                    assertion_name=self.name,
+                                    identifier=violation.identifier,
+                                    output_index=out_idx,
+                                )
+                            )
+            else:  # gap: impute the missing outputs, if the user taught us how
+                if self.spec.weak_label_fn is None:
+                    continue
+                observations = groups.get(violation.identifier, [])
+                for pos in range(violation.start_pos, violation.end_pos + 1):
+                    item = items[pos]
+                    imputed = self.spec.weak_label_fn(violation.identifier, item, observations)
+                    if imputed is None:
+                        continue
+                    proposals.append(
+                        Correction(
+                            kind="add",
+                            item_index=item.index,
+                            assertion_name=self.name,
+                            identifier=violation.identifier,
+                            proposed_output=imputed,
+                        )
+                    )
+        return proposals
+
+
+def generate_assertions(
+    spec: ConsistencySpec,
+    *,
+    attr_keys: "list[str] | None" = None,
+    temporal_modes: "list[str] | None" = None,
+    sample_outputs: "list | None" = None,
+) -> list:
+    """Generate the Boolean assertions implied by a consistency spec.
+
+    One attribute assertion per key plus temporal assertions per mode.
+    ``attr_keys`` defaults to the keys found in ``sample_outputs`` (their
+    union), so callers that know outputs ahead of time need not enumerate
+    keys by hand; with neither provided, no attribute assertions are
+    generated.
+    """
+    assertions: list = []
+    if spec.attrs_fn is not None:
+        keys = attr_keys
+        if keys is None and sample_outputs:
+            seen: dict = {}
+            for output in sample_outputs:
+                for key in spec.attributes_of(output):
+                    seen.setdefault(key, None)
+            keys = list(seen)
+        for key in keys or []:
+            assertions.append(AttributeConsistencyAssertion(spec, key))
+    if spec.temporal_threshold is not None:
+        for mode in temporal_modes or ["both"]:
+            suffix = "temporal" if mode == "both" else f"temporal:{mode}"
+            assertions.append(
+                TemporalConsistencyAssertion(spec, mode=mode, name=f"{spec.name}:{suffix}")
+            )
+    return assertions

@@ -1,0 +1,95 @@
+"""The assertion database.
+
+The paper's deployment story (Figure 2) has ML developers collaboratively
+adding assertions to a shared *assertion database* that the runtime,
+active-learning, and weak-supervision components all read. This module is
+that registry: named assertions plus metadata, with the accumulated fire
+records from monitoring runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.core.assertion import ModelAssertion
+
+
+@dataclass
+class AssertionEntry:
+    """An assertion plus registration metadata."""
+
+    assertion: ModelAssertion
+    domain: str = ""
+    author: str = ""
+    tags: tuple = ()
+    enabled: bool = True
+
+
+class AssertionDatabase:
+    """Registry of named model assertions.
+
+    Names are unique; re-registering a name raises unless
+    ``replace=True``. Iteration yields enabled assertions in registration
+    order, which fixes the column order of severity matrices produced by
+    :class:`~repro.core.runtime.OMG`.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict = {}
+        self._order: list = []
+
+    def add(
+        self,
+        assertion: ModelAssertion,
+        *,
+        domain: str = "",
+        author: str = "",
+        tags: tuple = (),
+        replace: bool = False,
+    ) -> ModelAssertion:
+        """Register an assertion; returns it for chaining."""
+        name = assertion.name
+        if name in self._entries and not replace:
+            raise ValueError(f"assertion {name!r} is already registered")
+        if name not in self._entries:
+            self._order.append(name)
+        self._entries[name] = AssertionEntry(
+            assertion=assertion, domain=domain, author=author, tags=tuple(tags)
+        )
+        return assertion
+
+    def remove(self, name: str) -> None:
+        """Delete an assertion by name (KeyError if absent)."""
+        del self._entries[name]
+        self._order.remove(name)
+
+    def get(self, name: str) -> ModelAssertion:
+        """Look up an assertion by name (KeyError if absent)."""
+        return self._entries[name].assertion
+
+    def entry(self, name: str) -> AssertionEntry:
+        """Look up the full registration entry."""
+        return self._entries[name]
+
+    def enable(self, name: str, enabled: bool = True) -> None:
+        """Toggle whether an assertion participates in monitoring."""
+        self._entries[name].enabled = enabled
+
+    def names(self) -> list[str]:
+        """Enabled assertion names in registration order."""
+        return [n for n in self._order if self._entries[n].enabled]
+
+    def all_names(self) -> list[str]:
+        """All assertion names, enabled or not, in registration order."""
+        return list(self._order)
+
+    def __iter__(self) -> Iterator[ModelAssertion]:
+        for name in self.names():
+            yield self._entries[name].assertion
+
+    def __len__(self) -> int:
+        return len(self.names())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries

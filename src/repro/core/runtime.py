@@ -1,0 +1,286 @@
+"""The OMG runtime monitor.
+
+OMG "logs user-defined assertions as callbacks … Given the model's input
+and output, OMG will execute the assertions and record any errors" (§2.4).
+This module provides both deployment styles the paper describes:
+
+- **online**: call :meth:`OMG.observe` after every model invocation; OMG
+  maintains a bounded history window, evaluates every registered assertion
+  over it, records fires for the newest item, and invokes any registered
+  corrective-action callbacks (e.g., "shutting down an autopilot", §1).
+- **offline/batch**: call :meth:`OMG.monitor` on a full stream (historical
+  data, validation sets, human labels) to get a
+  :class:`MonitoringReport` whose per-item severity matrix is exactly the
+  context matrix BAL consumes for active learning (§3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.assertion import FunctionAssertion, ModelAssertion, as_assertion
+from repro.core.consistency import ConsistencySpec, generate_assertions
+from repro.core.database import AssertionDatabase
+from repro.core.types import AssertionRecord, Correction, StreamItem, make_stream
+
+
+@dataclass
+class MonitoringReport:
+    """Result of monitoring a stream with a set of assertions.
+
+    Attributes
+    ----------
+    assertion_names:
+        Column order of :attr:`severities`.
+    severities:
+        ``(n_items, n_assertions)`` severity matrix; entry > 0 means the
+        assertion fired on that item.
+    records:
+        Flat list of :class:`~repro.core.types.AssertionRecord` for every
+        positive severity.
+    n_items:
+        Number of monitored stream items.
+    """
+
+    assertion_names: list
+    severities: np.ndarray
+    records: list = field(default_factory=list)
+
+    @property
+    def n_items(self) -> int:
+        return int(self.severities.shape[0])
+
+    def column(self, assertion_name: str) -> np.ndarray:
+        """Severity vector of one assertion, shape ``(n_items,)``."""
+        try:
+            col = self.assertion_names.index(assertion_name)
+        except ValueError:
+            raise KeyError(f"no assertion named {assertion_name!r} in report") from None
+        return self.severities[:, col]
+
+    def fire_counts(self) -> dict:
+        """Assertion name → number of items with positive severity."""
+        return {
+            name: int(np.count_nonzero(self.severities[:, col] > 0))
+            for col, name in enumerate(self.assertion_names)
+        }
+
+    def flagged_indices(self, assertion_name: "str | None" = None) -> np.ndarray:
+        """Item indices where the assertion (or any assertion) fired."""
+        if assertion_name is None:
+            mask = np.any(self.severities > 0, axis=1)
+        else:
+            mask = self.column(assertion_name) > 0
+        return np.flatnonzero(mask)
+
+    def total_fires(self) -> int:
+        """Number of (item, assertion) pairs with positive severity."""
+        return int(np.count_nonzero(self.severities > 0))
+
+
+class OMG:
+    """The model-assertion runtime.
+
+    Examples
+    --------
+    >>> omg = OMG()
+    >>> @omg.assertion
+    ... def too_many_outputs(inp, outputs):
+    ...     return float(len(outputs) > 3)
+    >>> report = omg.monitor_outputs([[1], [1, 2, 3, 4]])
+    >>> report.fire_counts()
+    {'too_many_outputs': 1}
+    """
+
+    def __init__(
+        self,
+        database: "AssertionDatabase | None" = None,
+        *,
+        window_size: int = 64,
+    ) -> None:
+        if window_size < 1:
+            raise ValueError(f"window_size must be >= 1, got {window_size}")
+        self.database = database if database is not None else AssertionDatabase()
+        self.window_size = window_size
+        self._history: list = []
+        self._next_index = 0
+        self._online_records: list = []
+        self._actions: list = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add_assertion(
+        self,
+        assertion: "ModelAssertion | Callable",
+        name: "str | None" = None,
+        **register_kwargs,
+    ) -> ModelAssertion:
+        """Register an assertion (``AddAssertion(func)`` in the paper).
+
+        Accepts a :class:`ModelAssertion` or any callable of
+        ``(input, outputs) -> severity``.
+        """
+        wrapped = as_assertion(assertion, name)
+        return self.database.add(wrapped, **register_kwargs)
+
+    def assertion(self, func: Callable) -> Callable:
+        """Decorator form of :meth:`add_assertion`; returns ``func``."""
+        self.add_assertion(func)
+        return func
+
+    def add_consistency_assertion(
+        self,
+        id_fn: Callable,
+        attrs_fn: "Callable | None" = None,
+        temporal_threshold: "float | None" = None,
+        *,
+        name: str = "consistency",
+        attr_keys: "list[str] | None" = None,
+        temporal_modes: "list[str] | None" = None,
+        weak_label_fn: "Callable | None" = None,
+        set_attr_fn: "Callable | None" = None,
+        **register_kwargs,
+    ) -> list:
+        """``AddConsistencyAssertion(Id, Attrs, T)`` from §4.1.
+
+        Generates one Boolean assertion per attribute key plus temporal
+        assertions, registers them all, and returns them.
+        """
+        spec = ConsistencySpec(
+            id_fn=id_fn,
+            attrs_fn=attrs_fn,
+            temporal_threshold=temporal_threshold,
+            weak_label_fn=weak_label_fn,
+            set_attr_fn=set_attr_fn,
+            name=name,
+        )
+        generated = generate_assertions(
+            spec, attr_keys=attr_keys, temporal_modes=temporal_modes
+        )
+        if not generated:
+            raise ValueError(
+                "consistency spec generated no assertions: provide attr_keys "
+                "(with attrs_fn) and/or temporal_threshold"
+            )
+        for item in generated:
+            self.database.add(item, **register_kwargs)
+        return generated
+
+    def on_fire(self, action: Callable[[AssertionRecord], None]) -> Callable:
+        """Register a corrective-action callback for online monitoring.
+
+        Called once per fresh :class:`AssertionRecord` produced by
+        :meth:`observe` — the paper's "log unexpected behavior or
+        automatically trigger corrective actions" hook (§1).
+        """
+        self._actions.append(action)
+        return action
+
+    # ------------------------------------------------------------------
+    # Online monitoring
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        input: Any,
+        outputs,
+        *,
+        timestamp: "float | None" = None,
+    ) -> list:
+        """Ingest one model invocation; return fresh fire records.
+
+        Assertions are evaluated over the trailing history window (so
+        windowed/consistency assertions see context); only severities
+        attributed to the newest item are recorded and dispatched to
+        :meth:`on_fire` callbacks.
+        """
+        if timestamp is None:
+            timestamp = float(self._next_index)
+        item = StreamItem(
+            index=self._next_index, timestamp=timestamp, input=input, outputs=tuple(outputs)
+        )
+        self._next_index += 1
+        self._history.append(item)
+        if len(self._history) > self.window_size:
+            self._history.pop(0)
+
+        fresh: list = []
+        last = len(self._history) - 1
+        for assertion in self.database:
+            severities = assertion.evaluate_stream(self._history)
+            severity = float(severities[last])
+            if severity > 0:
+                record = AssertionRecord(
+                    assertion_name=assertion.name,
+                    item_index=item.index,
+                    severity=severity,
+                )
+                fresh.append(record)
+        self._online_records.extend(fresh)
+        for record in fresh:
+            for action in self._actions:
+                action(record)
+        return fresh
+
+    @property
+    def online_records(self) -> list:
+        """All records accumulated through :meth:`observe`."""
+        return list(self._online_records)
+
+    def reset(self) -> None:
+        """Clear online history and records (assertions stay registered)."""
+        self._history = []
+        self._next_index = 0
+        self._online_records = []
+
+    # ------------------------------------------------------------------
+    # Batch monitoring
+    # ------------------------------------------------------------------
+    def monitor(self, items: list) -> MonitoringReport:
+        """Run every enabled assertion over a full stream."""
+        names = self.database.names()
+        n = len(items)
+        severities = np.zeros((n, len(names)), dtype=np.float64)
+        records: list = []
+        for col, assertion in enumerate(self.database):
+            sev = np.asarray(assertion.evaluate_stream(items), dtype=np.float64)
+            if sev.shape != (n,):
+                raise ValueError(
+                    f"assertion {assertion.name!r} returned shape {sev.shape}, expected ({n},)"
+                )
+            if np.any(sev < 0):
+                raise ValueError(f"assertion {assertion.name!r} returned negative severity")
+            severities[:, col] = sev
+            for pos in np.flatnonzero(sev > 0):
+                records.append(
+                    AssertionRecord(
+                        assertion_name=assertion.name,
+                        item_index=items[pos].index,
+                        severity=float(sev[pos]),
+                    )
+                )
+        return MonitoringReport(assertion_names=names, severities=severities, records=records)
+
+    def monitor_outputs(
+        self,
+        outputs_per_item: list,
+        *,
+        inputs: "list | None" = None,
+        timestamps=None,
+        fps: "float | None" = None,
+    ) -> MonitoringReport:
+        """Convenience wrapper: build the stream, then :meth:`monitor`."""
+        items = make_stream(
+            outputs_per_item, inputs=inputs, timestamps=timestamps, fps=fps
+        )
+        return self.monitor(items)
+
+    def corrections(self, items: list) -> list:
+        """Collect weak-label proposals from every enabled assertion."""
+        proposals: list = []
+        for assertion in self.database:
+            proposals.extend(assertion.corrections(items))
+        return proposals

@@ -1,0 +1,179 @@
+"""Data-selection strategies for the active-learning experiments (§5.4).
+
+The paper compares four strategies: random sampling, uncertainty sampling
+with "least confident" scores (Settles, 2009), uniform sampling from data
+that triggered assertions, and BAL. Each is a :class:`SelectionStrategy`
+with the same interface so the harness in
+:mod:`repro.core.active_learning` can swap them.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bal import BAL
+from repro.utils.rng import as_generator
+
+
+@dataclass
+class SelectionContext:
+    """Everything a strategy may condition on in one round.
+
+    Attributes
+    ----------
+    severities:
+        ``(n, d)`` assertion severity matrix on the current model's pool
+        predictions.
+    uncertainty:
+        ``(n,)`` least-confidence scores (higher = less confident).
+    labeled_mask:
+        ``(n,)`` bool; True where the point has already been labeled.
+    round_index:
+        0-based round number.
+    """
+
+    severities: np.ndarray
+    uncertainty: np.ndarray
+    labeled_mask: np.ndarray
+    round_index: int
+
+    @property
+    def pool_size(self) -> int:
+        return int(self.labeled_mask.shape[0])
+
+    @property
+    def selectable(self) -> np.ndarray:
+        return ~self.labeled_mask
+
+
+class SelectionStrategy(abc.ABC):
+    """Strategy interface: pick up to ``budget`` unlabeled pool indices."""
+
+    name: str = "strategy"
+
+    @abc.abstractmethod
+    def select(self, ctx: SelectionContext, budget: int) -> np.ndarray:
+        """Return selected indices (subset of ``ctx.selectable``)."""
+
+    def reset(self) -> None:
+        """Clear any cross-round state; default is stateless."""
+
+
+class RandomStrategy(SelectionStrategy):
+    """Uniform random sampling from the unlabeled pool."""
+
+    name = "random"
+
+    def __init__(self, seed: "int | np.random.Generator | None" = None) -> None:
+        self._rng = as_generator(seed)
+
+    def select(self, ctx: SelectionContext, budget: int) -> np.ndarray:
+        candidates = np.flatnonzero(ctx.selectable)
+        k = min(budget, candidates.size)
+        if k == 0:
+            return np.zeros(0, dtype=np.intp)
+        return self._rng.choice(candidates, size=k, replace=False)
+
+
+class UncertaintyStrategy(SelectionStrategy):
+    """Least-confident sampling: label the points the model is least sure of."""
+
+    name = "uncertainty"
+
+    def select(self, ctx: SelectionContext, budget: int) -> np.ndarray:
+        candidates = np.flatnonzero(ctx.selectable)
+        if candidates.size == 0 or budget <= 0:
+            return np.zeros(0, dtype=np.intp)
+        scores = ctx.uncertainty[candidates]
+        order = np.argsort(-scores, kind="stable")
+        return candidates[order[: min(budget, candidates.size)]]
+
+
+class UniformAssertionStrategy(SelectionStrategy):
+    """Uniform sampling from assertion-flagged data ("uniform MA", §5.4).
+
+    Picks an assertion uniformly, then a uniformly random unlabeled point
+    that triggered it; falls back to random for any unmet budget.
+    """
+
+    name = "uniform_ma"
+
+    def __init__(self, seed: "int | np.random.Generator | None" = None) -> None:
+        self._rng = as_generator(seed)
+
+    def select(self, ctx: SelectionContext, budget: int) -> np.ndarray:
+        n, d = ctx.severities.shape
+        taken = np.zeros(n, dtype=bool)
+        chosen: list[int] = []
+        for _ in range(budget):
+            available = ctx.selectable & ~taken
+            triggering = [
+                np.flatnonzero((ctx.severities[:, m] > 0) & available) for m in range(d)
+            ]
+            nonempty = [m for m in range(d) if triggering[m].size > 0]
+            if not nonempty:
+                break
+            m = int(self._rng.choice(nonempty))
+            point = int(self._rng.choice(triggering[m]))
+            chosen.append(point)
+            taken[point] = True
+        if len(chosen) < budget:  # pool exhausted of flagged points
+            rest = np.flatnonzero(ctx.selectable & ~taken)
+            k = min(budget - len(chosen), rest.size)
+            if k > 0:
+                chosen.extend(self._rng.choice(rest, size=k, replace=False).tolist())
+        return np.asarray(chosen, dtype=np.intp)
+
+
+class BALStrategy(SelectionStrategy):
+    """Adapter exposing :class:`repro.core.bal.BAL` as a strategy."""
+
+    name = "bal"
+
+    def __init__(
+        self,
+        *,
+        fallback: str = "random",
+        exploration_fraction: float = 0.25,
+        reduction_threshold: float = 0.01,
+        rank_power: float = 1.0,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> None:
+        self._kwargs = dict(
+            fallback=fallback,
+            exploration_fraction=exploration_fraction,
+            reduction_threshold=reduction_threshold,
+            rank_power=rank_power,
+        )
+        self._seed = seed
+        self.bal = BAL(seed=seed, **self._kwargs)
+        self.last_selection = None
+
+    def select(self, ctx: SelectionContext, budget: int) -> np.ndarray:
+        selection = self.bal.select(
+            ctx.severities,
+            budget,
+            uncertainty=ctx.uncertainty,
+            selectable=ctx.selectable,
+        )
+        self.last_selection = selection
+        return selection.indices
+
+    def reset(self) -> None:
+        self.bal = BAL(seed=self._seed, **self._kwargs)
+        self.last_selection = None
+
+
+def default_strategies(seed: "int | None" = None) -> list:
+    """The paper's four §5.4 strategies, independently seeded."""
+    rng = as_generator(seed)
+    children = rng.spawn(3)
+    return [
+        RandomStrategy(seed=children[0]),
+        UncertaintyStrategy(),
+        UniformAssertionStrategy(seed=children[1]),
+        BALStrategy(seed=children[2]),
+    ]

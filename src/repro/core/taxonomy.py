@@ -1,0 +1,135 @@
+"""The assertion taxonomy of Appendix B / Table 5.
+
+The paper taxonomizes common classes of model assertions — consistency,
+domain knowledge, perturbation, and input validation — each with
+sub-classes and concrete examples, as guidance for "how one might look for
+assertions in other domains". This module encodes that table as data so
+the Table 5 bench can regenerate it and so registered assertions can be
+tagged with their class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TaxonomyEntry:
+    """One row of Table 5."""
+
+    assertion_class: str
+    sub_class: str
+    description: str
+    examples: tuple
+
+
+TAXONOMY: tuple = (
+    TaxonomyEntry(
+        assertion_class="consistency",
+        sub_class="multi-source",
+        description="Model outputs from multiple sources should agree",
+        examples=(
+            "verifying human labels (number of labelers that disagree)",
+            "multiple models (number of models that disagree)",
+        ),
+    ),
+    TaxonomyEntry(
+        assertion_class="consistency",
+        sub_class="multi-modal",
+        description="Model outputs from multiple modes of data should agree",
+        examples=(
+            "multiple sensors (disagreements from LIDAR and camera models)",
+            "multiple data sources (text and images)",
+        ),
+    ),
+    TaxonomyEntry(
+        assertion_class="consistency",
+        sub_class="multi-view",
+        description="Model outputs from multiple views of the same data should agree",
+        examples=(
+            "video analytics (overlapping camera views should agree)",
+            "medical imaging (different angles should agree)",
+        ),
+    ),
+    TaxonomyEntry(
+        assertion_class="domain knowledge",
+        sub_class="physical",
+        description="Physical constraints on model outputs",
+        examples=(
+            "video analytics (cars should not flicker)",
+            "earthquake detection (earthquakes appear across sensors consistently)",
+            "protein-protein interaction (number of overlapping atoms)",
+        ),
+    ),
+    TaxonomyEntry(
+        assertion_class="domain knowledge",
+        sub_class="unlikely scenario",
+        description="Scenarios that are unlikely to occur",
+        examples=(
+            "video analytics (maximum confidence of 3 vehicles that highly overlap)",
+            "text generation (two of the same word should not appear sequentially)",
+        ),
+    ),
+    TaxonomyEntry(
+        assertion_class="perturbation",
+        sub_class="insertion",
+        description="Inserting certain types of data should not modify model outputs",
+        examples=(
+            "visual analytics (synthetically added car should be detected)",
+            "LIDAR detection (similar to visual analytics)",
+        ),
+    ),
+    TaxonomyEntry(
+        assertion_class="perturbation",
+        sub_class="similar",
+        description="Replacing parts of the input with similar data should not modify model outputs",
+        examples=(
+            "sentiment analysis (classification should not change with synonyms)",
+            "object detection (painting objects different colors should not change detection)",
+        ),
+    ),
+    TaxonomyEntry(
+        assertion_class="perturbation",
+        sub_class="noise",
+        description="Adding noise should not modify model outputs",
+        examples=(
+            "image classification (small Gaussian noise should not affect classification)",
+            "time series (small Gaussian noise should not affect classification)",
+        ),
+    ),
+    TaxonomyEntry(
+        assertion_class="input validation",
+        sub_class="schema validation",
+        description="Inputs should conform to a schema",
+        examples=(
+            "Boolean features should not have inputs that are not 0 or 1",
+            "all features should be present",
+        ),
+    ),
+)
+
+#: The four top-level assertion classes, in the table's order.
+ASSERTION_CLASSES: tuple = tuple(dict.fromkeys(e.assertion_class for e in TAXONOMY))
+
+
+def entries_for_class(assertion_class: str) -> list:
+    """All taxonomy rows for a top-level class."""
+    found = [e for e in TAXONOMY if e.assertion_class == assertion_class]
+    if not found:
+        raise KeyError(
+            f"unknown assertion class {assertion_class!r}; known: {ASSERTION_CLASSES}"
+        )
+    return found
+
+
+def format_taxonomy_table() -> str:
+    """Render Table 5 as aligned plain text."""
+    lines = [f"{'Class':<18} {'Sub-class':<18} Description"]
+    lines.append("-" * 88)
+    for entry in TAXONOMY:
+        lines.append(
+            f"{entry.assertion_class:<18} {entry.sub_class:<18} {entry.description}"
+        )
+        for example in entry.examples:
+            lines.append(f"{'':<37} - {example}")
+    return "\n".join(lines)

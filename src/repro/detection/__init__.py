@@ -1,0 +1,27 @@
+"""A trainable 2-D object detector (the SSD stand-in).
+
+Pipeline: class-agnostic region proposals from background-subtracted
+connected components (:mod:`repro.detection.proposals`), hand-crafted
+per-proposal features (:mod:`repro.detection.features`), a multinomial
+logistic scorer over ``background + K`` classes, confidence thresholding,
+and per-class NMS (:mod:`repro.detection.detector`).
+
+The detector is trained on labeled frames exactly like the paper
+fine-tunes SSD: proposals matched to ground truth become positives of the
+matched class, the rest become background. More labeled frames → a better
+scorer → fewer flicker/appear/multibox errors, which is the causal chain
+the paper's active-learning and weak-supervision results rely on.
+"""
+
+from repro.detection.detector import Detector, DetectorConfig
+from repro.detection.features import N_FEATURES, proposal_features
+from repro.detection.proposals import ProposalConfig, generate_proposals
+
+__all__ = [
+    "Detector",
+    "DetectorConfig",
+    "N_FEATURES",
+    "ProposalConfig",
+    "generate_proposals",
+    "proposal_features",
+]

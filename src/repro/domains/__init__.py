@@ -1,0 +1,17 @@
+"""Per-domain assertion sets and pipelines for the paper's four workloads.
+
+- :mod:`repro.domains.video` — video analytics on ``night-street``
+  (``flicker``, ``appear``, ``multibox``);
+- :mod:`repro.domains.av` — autonomous vehicles on the AV world
+  (``agree``, ``multibox``);
+- :mod:`repro.domains.ecg` — AF classification (the 30 s ``ECG``
+  consistency assertion);
+- :mod:`repro.domains.tvnews` — TV-news analytics (the ``news``
+  consistency assertions over identity/gender/hair color).
+
+Each domain provides the assertion implementations (measured by the
+Table 2 LOC bench), an end-to-end pipeline producing
+:class:`~repro.core.runtime.MonitoringReport` s, and — where the paper had
+training access — an :class:`~repro.core.active_learning.ActiveLearningTask`
+plus a weak-supervision entry point.
+"""

@@ -1,0 +1,23 @@
+"""Autonomous-vehicle domain: LIDAR/camera agreement on the AV world."""
+
+from repro.domains.av.assertions import AgreeAssertion, sensor_agreement
+from repro.domains.av.pipeline import AVPipeline, AVPipelineConfig
+from repro.domains.av.task import (
+    AVActiveLearningTask,
+    AVTaskData,
+    bootstrap_av_models,
+    make_av_task_data,
+    run_av_weak_supervision,
+)
+
+__all__ = [
+    "AVActiveLearningTask",
+    "AVPipeline",
+    "AVPipelineConfig",
+    "AVTaskData",
+    "AgreeAssertion",
+    "bootstrap_av_models",
+    "make_av_task_data",
+    "run_av_weak_supervision",
+    "sensor_agreement",
+]

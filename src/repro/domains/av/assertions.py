@@ -1,0 +1,96 @@
+"""The ``agree`` assertion: LIDAR and camera detections must be consistent.
+
+"We implemented a model assertion that projects the 3D boxes onto the 2D
+camera plane to check for consistency. If the assertion triggers, then at
+least one of the sensors returned an incorrect answer" (§2.2). The §2.1
+code example counts LIDAR boxes with no overlapping camera box; we also
+count camera boxes with no overlapping LIDAR projection, since a camera
+false positive is equally a disagreement.
+
+Stream outputs in this domain are dicts with a ``sensor`` key:
+``{"sensor": "camera", "box": Box2D, ...}`` or
+``{"sensor": "lidar", "box3d": Box3D, "box": Box2D | None}`` where
+``box`` on LIDAR outputs is the precomputed 2-D projection (``None`` when
+the object projects outside the image).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.assertion import ModelAssertion
+from repro.geometry.iou import iou_matrix
+
+
+def sensor_agreement(lidar_boxes, camera_boxes, iou_threshold=0.1):
+    """Count cross-sensor disagreements between two 2-D box sets.
+
+    A LIDAR projection with no overlapping camera box is one failure;
+    a camera box with no overlapping LIDAR projection is one failure.
+    """
+    failures = 0
+    iou = iou_matrix(lidar_boxes, camera_boxes)
+    for i in range(len(lidar_boxes)):
+        if not np.any(iou[i] >= iou_threshold):
+            failures += 1
+    for j in range(len(camera_boxes)):
+        if not np.any(iou[:, j] >= iou_threshold):
+            failures += 1
+    return float(failures)
+
+
+class AgreeAssertion(ModelAssertion):
+    """Per-sample LIDAR/camera agreement check (multi-modal consistency)."""
+
+    taxonomy_class = "consistency"
+
+    def __init__(
+        self,
+        iou_threshold: float = 0.1,
+        min_projection_area: float = 20.0,
+        name: str = "agree",
+    ) -> None:
+        super().__init__(name, "point-cloud and image detections must agree")
+        self.iou_threshold = iou_threshold
+        self.min_projection_area = min_projection_area
+
+    def split_outputs(self, item) -> tuple[list, list]:
+        """(lidar projections, camera boxes) participating in the check.
+
+        LIDAR outputs without a usable projection (behind the camera or
+        tiny at the image border) are excluded — their absence from the
+        camera view is expected, not a disagreement.
+        """
+        lidar = [
+            o["box"]
+            for o in item.outputs
+            if o.get("sensor") == "lidar"
+            and o.get("box") is not None
+            and o["box"].area >= self.min_projection_area
+        ]
+        camera = [o["box"] for o in item.outputs if o.get("sensor") == "camera"]
+        return lidar, camera
+
+    def evaluate_stream(self, items: list) -> np.ndarray:
+        severities = np.zeros(len(items), dtype=np.float64)
+        for pos, item in enumerate(items):
+            lidar, camera = self.split_outputs(item)
+            severities[pos] = sensor_agreement(lidar, camera, self.iou_threshold)
+        return severities
+
+    def disagreeing_outputs(self, item) -> list:
+        """Output indices (into ``item.outputs``) that disagree."""
+        lidar, camera = self.split_outputs(item)
+        iou = iou_matrix(lidar, camera)
+        bad_lidar = {id(b) for i, b in enumerate(lidar) if not np.any(iou[i] >= self.iou_threshold)}
+        bad_camera = {id(b) for j, b in enumerate(camera) if not np.any(iou[:, j] >= self.iou_threshold)}
+        flagged = []
+        for idx, output in enumerate(item.outputs):
+            box = output.get("box")
+            if box is None:
+                continue
+            if output.get("sensor") == "lidar" and id(box) in bad_lidar:
+                flagged.append(idx)
+            elif output.get("sensor") == "camera" and id(box) in bad_camera:
+                flagged.append(idx)
+        return flagged

@@ -1,0 +1,24 @@
+"""ECG domain: atrial-fibrillation classification on the ECG world."""
+
+from repro.domains.ecg.assertions import ecg_consistency_spec, make_ecg_assertion
+from repro.domains.ecg.model import ECGClassifier
+from repro.domains.ecg.task import (
+    ECGActiveLearningTask,
+    ECGTaskData,
+    bootstrap_ecg_classifier,
+    make_ecg_task_data,
+    record_severities,
+    run_ecg_weak_supervision,
+)
+
+__all__ = [
+    "ECGActiveLearningTask",
+    "ECGClassifier",
+    "ECGTaskData",
+    "bootstrap_ecg_classifier",
+    "ecg_consistency_spec",
+    "make_ecg_assertion",
+    "make_ecg_task_data",
+    "record_severities",
+    "run_ecg_weak_supervision",
+]

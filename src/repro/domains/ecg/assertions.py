@@ -1,0 +1,34 @@
+"""The ECG assertion: rhythm predictions must be stable over 30 seconds.
+
+"The European Society of Cardiology guidelines for detecting AF require
+at least 30 seconds of signal before calling a detection. Thus,
+predictions should not rapidly switch between two states" (§2.2). Via
+the consistency API: "We used the detected class as our identifier and
+set T to 30 seconds" (§4.1) — a predicted class appearing for less than
+30 s (A→B→A) is a run violation; a class vanishing and returning within
+30 s is a gap violation. Both are oscillations of the same event.
+
+Stream items are the windows of one record; each window's single output
+is ``{"class": k, "probs": …}``.
+"""
+
+from __future__ import annotations
+
+from repro.core.consistency import ConsistencySpec, TemporalConsistencyAssertion
+
+
+def ecg_consistency_spec(temporal_threshold: float = 30.0) -> ConsistencySpec:
+    """Consistency spec: identifier = predicted class, ``T`` = 30 s."""
+    return ConsistencySpec(
+        id_fn=lambda o: o["class"],
+        attrs_fn=None,
+        temporal_threshold=temporal_threshold,
+        name="ecg",
+    )
+
+
+def make_ecg_assertion(temporal_threshold: float = 30.0) -> TemporalConsistencyAssertion:
+    """The deployed ECG assertion (named ``ECG`` as in Tables 2/3)."""
+    return TemporalConsistencyAssertion(
+        ecg_consistency_spec(temporal_threshold), mode="both", name="ECG"
+    )

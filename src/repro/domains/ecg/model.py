@@ -1,0 +1,134 @@
+"""The ECG window classifier (stand-in for Rajpurkar et al., 2019)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.mlp import MLPClassifier
+from repro.ml.preprocess import Standardizer
+from repro.utils.rng import as_generator
+from repro.worlds.ecg import ECG_CLASSES, N_ECG_FEATURES
+
+
+class ECGClassifier:
+    """MLP over per-window features with record-level aggregation.
+
+    The paper's network emits a rhythm class per short window; record
+    accuracy is computed from the window predictions (we use majority
+    vote). :meth:`fit` trains from scratch; :meth:`fine_tune` continues
+    from current weights, as the paper's active-learning/weak-supervision
+    rounds do.
+    """
+
+    def __init__(
+        self,
+        *,
+        hidden: tuple = (16,),
+        learning_rate: float = 5e-3,
+        l2: float = 1e-4,
+        epochs: int = 80,
+        fine_tune_epochs: int = 20,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> None:
+        self._rng = as_generator(seed)
+        self.epochs = epochs
+        self.fine_tune_epochs = fine_tune_epochs
+        self.standardizer = Standardizer()
+        self.mlp = MLPClassifier(
+            n_features=N_ECG_FEATURES,
+            hidden=hidden,
+            n_classes=len(ECG_CLASSES),
+            learning_rate=learning_rate,
+            l2=l2,
+            seed=self._rng.spawn(1)[0],
+        )
+        self.is_fitted = False
+
+    def clone(self) -> "ECGClassifier":
+        """Deep copy of the classifier."""
+        other = ECGClassifier(seed=self._rng.spawn(1)[0])
+        other.epochs = self.epochs
+        other.fine_tune_epochs = self.fine_tune_epochs
+        other.mlp = self.mlp.clone()
+        other.standardizer.mean_ = (
+            None if self.standardizer.mean_ is None else self.standardizer.mean_.copy()
+        )
+        other.standardizer.scale_ = (
+            None if self.standardizer.scale_ is None else self.standardizer.scale_.copy()
+        )
+        other.is_fitted = self.is_fitted
+        return other
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _stack_windows(records: list, labels: "list | None" = None):
+        features = np.concatenate([r.features for r in records])
+        if labels is None:
+            window_labels = np.concatenate(
+                [np.full(r.n_windows, r.label, dtype=np.intp) for r in records]
+            )
+        else:
+            window_labels = np.concatenate(
+                [np.full(r.n_windows, int(l), dtype=np.intp) for r, l in zip(records, labels)]
+            )
+        return features, window_labels
+
+    def fit(self, records: list, labels: "list | None" = None) -> "ECGClassifier":
+        """Train from scratch on records (labels default to record truth)."""
+        features, window_labels = self._stack_windows(records, labels)
+        x = self.standardizer.fit(features).transform(features)
+        self.mlp.fit(x, window_labels, epochs=self.epochs, reset=True)
+        self.is_fitted = True
+        return self
+
+    def fine_tune(
+        self,
+        records: list,
+        labels: "list | None" = None,
+        *,
+        window_targets: "np.ndarray | None" = None,
+        epochs: "int | None" = None,
+    ) -> "ECGClassifier":
+        """Continue training on records or explicit per-window targets.
+
+        ``window_targets`` (when given) must align with the concatenated
+        windows of ``records`` and may be soft ``(n, k)`` — the form weak
+        supervision produces.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("fine_tune requires a fitted classifier; call fit first")
+        if window_targets is None:
+            features, targets = self._stack_windows(records, labels)
+        else:
+            features = np.concatenate([r.features for r in records])
+            targets = window_targets
+        x = self.standardizer.transform(features)
+        self.mlp.fit(
+            x, targets, epochs=epochs if epochs is not None else self.fine_tune_epochs
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    def predict_windows(self, record) -> tuple[np.ndarray, np.ndarray]:
+        """(per-window class indices, per-window probability matrix)."""
+        if not self.is_fitted:
+            raise RuntimeError("classifier is not fitted; call fit first")
+        probs = self.mlp.predict_proba(self.standardizer.transform(record.features))
+        return np.argmax(probs, axis=1), probs
+
+    def predict_record(self, record) -> int:
+        """Record-level prediction: majority vote over windows."""
+        classes, _ = self.predict_windows(record)
+        return int(np.bincount(classes, minlength=len(ECG_CLASSES)).argmax())
+
+    def record_confidence(self, record) -> float:
+        """Mean max-probability over windows (for least-confident sampling)."""
+        _, probs = self.predict_windows(record)
+        return float(probs.max(axis=1).mean())
+
+    def accuracy(self, records: list) -> float:
+        """Record-level accuracy in percent."""
+        if not records:
+            return 0.0
+        correct = sum(self.predict_record(r) == r.label for r in records)
+        return 100.0 * correct / len(records)

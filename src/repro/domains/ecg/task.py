@@ -1,0 +1,182 @@
+"""ECG-domain experiment plumbing: data splits, AL task, weak supervision.
+
+Mirrors §5.1: "CINC17 contains 8,528 data points that we split into
+train, validation, unlabeled, and test splits", with five rounds of 100
+records per round (Appendix C) and a single deployed assertion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.active_learning import ActiveLearningTask
+from repro.core.types import StreamItem
+from repro.core.weak_supervision import WeakSupervisionResult
+from repro.domains.ecg.assertions import make_ecg_assertion
+from repro.domains.ecg.model import ECGClassifier
+from repro.ml.losses import one_hot
+from repro.utils.rng import as_generator
+from repro.worlds.ecg import ECG_CLASSES, ECGWorld, ECGWorldConfig
+
+
+@dataclass
+class ECGTaskData:
+    """Pre-generated record splits for one experiment instance."""
+
+    train: list  # bootstrap training records (labeled)
+    pool: list  # unlabeled pool
+    test: list
+
+
+def make_ecg_task_data(
+    seed: int,
+    *,
+    n_train: int = 120,
+    n_pool: int = 2000,
+    n_test: int = 500,
+    world_config: "ECGWorldConfig | None" = None,
+) -> ECGTaskData:
+    """Generate the train/pool/test record splits."""
+    cfg = world_config if world_config is not None else ECGWorldConfig()
+    world = ECGWorld(cfg, seed=seed)
+    records = world.generate_records(n_train + n_pool + n_test)
+    return ECGTaskData(
+        train=records[:n_train],
+        pool=records[n_train : n_train + n_pool],
+        test=records[n_train + n_pool :],
+    )
+
+
+def bootstrap_ecg_classifier(
+    data: ECGTaskData, *, seed: "int | np.random.Generator | None" = 0, **kwargs
+) -> ECGClassifier:
+    """Train the "pretrained" classifier on the bootstrap training split."""
+    model = ECGClassifier(seed=seed, **kwargs)
+    model.fit(data.train)
+    return model
+
+
+def record_stream(record, predicted_classes: np.ndarray) -> list:
+    """Stream items for one record's window predictions."""
+    return [
+        StreamItem(
+            index=i,
+            timestamp=float(record.window_times[i]),
+            outputs=({"class": int(predicted_classes[i])},),
+        )
+        for i in range(record.n_windows)
+    ]
+
+
+def record_severities(
+    model: ECGClassifier, records: list, *, temporal_threshold: float = 30.0
+) -> np.ndarray:
+    """``(n_records, 1)`` oscillation severities under the ECG assertion."""
+    assertion = make_ecg_assertion(temporal_threshold)
+    severities = np.zeros((len(records), 1), dtype=np.float64)
+    for i, record in enumerate(records):
+        classes, _ = model.predict_windows(record)
+        items = record_stream(record, classes)
+        severities[i, 0] = float(assertion.evaluate_stream(items).sum())
+    return severities
+
+
+class ECGActiveLearningTask(ActiveLearningTask):
+    """§5.4 ECG task: single assertion, 100 records per round."""
+
+    def __init__(
+        self,
+        data: ECGTaskData,
+        *,
+        temporal_threshold: float = 30.0,
+        fine_tune_epochs: int = 20,
+        seed: "int | np.random.Generator | None" = 0,
+    ) -> None:
+        self.data = data
+        self.temporal_threshold = temporal_threshold
+        self.fine_tune_epochs = fine_tune_epochs
+        self._seed = as_generator(seed)
+
+    def pool_size(self) -> int:
+        return len(self.data.pool)
+
+    def initial_model(self) -> ECGClassifier:
+        return bootstrap_ecg_classifier(self.data, seed=self._seed.spawn(1)[0])
+
+    def train(self, model: ECGClassifier, labeled_indices: np.ndarray) -> ECGClassifier:
+        records = [self.data.pool[i] for i in labeled_indices]
+        model.fine_tune(records, epochs=self.fine_tune_epochs)
+        return model
+
+    def predict_pool(self, model: ECGClassifier):
+        # Predictions and the model are both needed downstream; return both.
+        return model, [model.predict_windows(r) for r in self.data.pool]
+
+    def severities(self, predictions) -> np.ndarray:
+        _, window_preds = predictions
+        assertion = make_ecg_assertion(self.temporal_threshold)
+        severities = np.zeros((len(self.data.pool), 1), dtype=np.float64)
+        for i, (record, (classes, _probs)) in enumerate(zip(self.data.pool, window_preds)):
+            items = record_stream(record, classes)
+            severities[i, 0] = float(assertion.evaluate_stream(items).sum())
+        return severities
+
+    def uncertainty(self, predictions) -> np.ndarray:
+        _, window_preds = predictions
+        return np.array(
+            [1.0 - float(probs.max(axis=1).mean()) for _classes, probs in window_preds]
+        )
+
+    def evaluate(self, model: ECGClassifier) -> float:
+        return model.accuracy(self.data.test)
+
+
+def run_ecg_weak_supervision(
+    data: ECGTaskData,
+    *,
+    model: "ECGClassifier | None" = None,
+    n_weak: int = 1000,
+    temporal_threshold: float = 30.0,
+    fine_tune_epochs: int = 15,
+    seed: "int | np.random.Generator | None" = 0,
+) -> WeakSupervisionResult:
+    """§5.5 for ECG: 1,000 weak labels from the oscillation correction.
+
+    For each flagged record the correction rule is the consistency
+    default — replace minority oscillating windows with the record's
+    majority *predicted* class — requiring no human labels.
+    """
+    rng = as_generator(seed)
+    pretrained = model if model is not None else bootstrap_ecg_classifier(data, seed=rng.spawn(1)[0])
+
+    severities = record_severities(
+        pretrained, data.pool, temporal_threshold=temporal_threshold
+    )[:, 0]
+    flagged = np.flatnonzero(severities > 0)
+    rng.shuffle(flagged)
+    # Only records the assertion actually flagged get weak labels — weak
+    # supervision repairs inconsistent outputs; plain self-training on
+    # unflagged records would just reinforce the model's current beliefs.
+    chosen = flagged[:n_weak].tolist()
+
+    weak_records = [data.pool[i] for i in chosen]
+    n_classes = len(ECG_CLASSES)
+    targets = []
+    for record in weak_records:
+        classes, _ = pretrained.predict_windows(record)
+        majority = int(np.bincount(classes, minlength=n_classes).argmax())
+        targets.append(one_hot(np.full(record.n_windows, majority, dtype=np.intp), n_classes))
+    window_targets = np.concatenate(targets)
+
+    tuned = pretrained.clone()
+    tuned.fine_tune(weak_records, window_targets=window_targets, epochs=fine_tune_epochs)
+
+    return WeakSupervisionResult(
+        domain="ECG",
+        pretrained_metric=pretrained.accuracy(data.test),
+        weakly_supervised_metric=tuned.accuracy(data.test),
+        n_weak_labels=len(chosen),
+        metric_name="accuracy",
+    )

@@ -1,0 +1,9 @@
+"""TV-news domain: identity/gender/hair consistency over news footage."""
+
+from repro.domains.tvnews.pipeline import (
+    TVNewsPipeline,
+    TVNewsPipelineConfig,
+    news_consistency_spec,
+)
+
+__all__ = ["TVNewsPipeline", "TVNewsPipelineConfig", "news_consistency_spec"]

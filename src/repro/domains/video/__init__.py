@@ -1,0 +1,31 @@
+"""Video-analytics domain: vehicle detection on the ``night-street`` world."""
+
+from repro.domains.video.assertions import (
+    MultiboxAssertion,
+    interpolate_box,
+    make_appear_assertion,
+    make_flicker_assertion,
+    video_consistency_spec,
+)
+from repro.domains.video.pipeline import VideoPipeline, VideoPipelineConfig
+from repro.domains.video.task import (
+    VideoActiveLearningTask,
+    VideoTaskData,
+    bootstrap_detector,
+    make_video_task_data,
+    run_video_weak_supervision,
+)
+
+__all__ = [
+    "MultiboxAssertion",
+    "VideoActiveLearningTask",
+    "VideoPipeline",
+    "VideoPipelineConfig",
+    "VideoTaskData",
+    "bootstrap_detector",
+    "interpolate_box",
+    "make_appear_assertion",
+    "make_flicker_assertion",
+    "make_video_task_data",
+    "run_video_weak_supervision",
+]

@@ -1,0 +1,213 @@
+"""Video-domain experiment plumbing: data splits, AL task, weak supervision.
+
+Mirrors the paper's §5.1 setup for ``night-street``: "We used a separate
+day of video for training and testing" — here, independent simulator
+seeds. The detector is bootstrapped ("pretrained") on a small set of
+frames dominated by a *different* street in daylight plus a couple of
+night frames, standing in for MS-COCO pretraining: partial transfer with
+systematic night errors left to fix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.active_learning import ActiveLearningTask
+from repro.core.weak_supervision import WeakSupervisionResult, harvest_weak_labels
+from repro.detection.detector import Detector, DetectorConfig
+from repro.domains.video.pipeline import VideoPipeline, VideoPipelineConfig
+from repro.geometry.box2d import Box2D
+from repro.metrics.detection import evaluate_detections
+from repro.utils.rng import as_generator
+from repro.worlds.traffic import TrafficWorld, TrafficWorldConfig
+
+
+@dataclass
+class VideoTaskData:
+    """Pre-generated frames for one experiment instance."""
+
+    bootstrap: list
+    pool: list
+    test: list
+
+
+def make_video_task_data(
+    seed: int,
+    *,
+    n_bootstrap_day: int = 45,
+    n_bootstrap_night: int = 3,
+    n_pool: int = 600,
+    n_test: int = 200,
+) -> VideoTaskData:
+    """Generate the bootstrap/pool/test splits.
+
+    Bootstrap frames come from a *different* street (other lane layout) so
+    the pretrained detector transfers only partially — the role MS-COCO
+    plays for SSD in the paper.
+    """
+    rng = as_generator(seed)
+    seeds = rng.integers(0, 2**31 - 1, size=4)
+    # The bootstrap street is car-dominated (like COCO's vehicle mix);
+    # night-street traffic is truck/bus-heavy. Split-prone wide vehicles
+    # are therefore rare at pretraining time, so duplicate rejection stays
+    # unlearned until night labels arrive — the multibox error mode.
+    boot_mix = (0.85, 0.15)
+    night_mix = (0.70, 0.30)
+    day_cfg = TrafficWorldConfig(
+        profile="day", lanes=(30, 44, 60, 74), class_probabilities=boot_mix
+    )
+    other_night_cfg = TrafficWorldConfig(
+        profile="night", lanes=(30, 44, 60, 74), class_probabilities=boot_mix
+    )
+    night_cfg = TrafficWorldConfig(profile="night", class_probabilities=night_mix)
+    bootstrap = TrafficWorld(day_cfg, seed=int(seeds[0])).generate(n_bootstrap_day)
+    bootstrap += TrafficWorld(other_night_cfg, seed=int(seeds[1])).generate(n_bootstrap_night)
+    pool = TrafficWorld(night_cfg, seed=int(seeds[2])).generate(n_pool)
+    test = TrafficWorld(night_cfg, seed=int(seeds[3])).generate(n_test)
+    return VideoTaskData(bootstrap=bootstrap, pool=pool, test=test)
+
+
+def bootstrap_detector(
+    data: VideoTaskData,
+    *,
+    detector_config: "DetectorConfig | None" = None,
+    seed: "int | np.random.Generator | None" = 0,
+) -> Detector:
+    """Train the "pretrained" detector on the bootstrap split."""
+    detector = Detector(detector_config, seed=seed)
+    detector.fit(
+        [f.image for f in data.bootstrap], [f.ground_truth for f in data.bootstrap]
+    )
+    return detector
+
+
+class VideoActiveLearningTask(ActiveLearningTask):
+    """§5.4 night-street task: fine-tune the detector on labeled frames.
+
+    Severities come from the three video assertions run over the pool as
+    one continuous stream; uncertainty is per-frame least confidence
+    (1 − mean detection score; frames with no detections get a moderate
+    0.5 — the model is silent, not certain).
+    """
+
+    def __init__(
+        self,
+        data: VideoTaskData,
+        *,
+        detector_config: "DetectorConfig | None" = None,
+        pipeline_config: "VideoPipelineConfig | None" = None,
+        fine_tune_epochs: int = 10,
+        seed: "int | np.random.Generator | None" = 0,
+    ) -> None:
+        self.data = data
+        self.detector_config = detector_config
+        self.pipeline = VideoPipeline(pipeline_config)
+        self.fine_tune_epochs = fine_tune_epochs
+        self._seed = as_generator(seed)
+        self._pool_images = [f.image for f in data.pool]
+        self._pool_truths = [f.ground_truth for f in data.pool]
+        self._test_images = [f.image for f in data.test]
+        self._test_truths = [f.ground_truth for f in data.test]
+
+    def pool_size(self) -> int:
+        return len(self.data.pool)
+
+    def initial_model(self) -> Detector:
+        return bootstrap_detector(
+            self.data, detector_config=self.detector_config, seed=self._seed.spawn(1)[0]
+        )
+
+    def train(self, model: Detector, labeled_indices: np.ndarray) -> Detector:
+        images = [self._pool_images[i] for i in labeled_indices]
+        truths = [self._pool_truths[i] for i in labeled_indices]
+        model.fine_tune(images, truths, epochs=self.fine_tune_epochs)
+        return model
+
+    def predict_pool(self, model: Detector) -> list:
+        return model.detect_frames(self._pool_images)
+
+    def severities(self, predictions: list) -> np.ndarray:
+        return self.pipeline.severity_matrix(predictions)
+
+    def uncertainty(self, predictions: list) -> np.ndarray:
+        return frame_uncertainty(predictions)
+
+    def evaluate(self, model: Detector) -> float:
+        preds = model.detect_frames(self._test_images)
+        return evaluate_detections(preds, self._test_truths).mean_ap_percent
+
+
+def frame_uncertainty(detections_per_frame: list) -> np.ndarray:
+    """Least-confidence score per frame (higher = less confident).
+
+    The standard "least confident" aggregation for detection: a frame is
+    as uncertain as its weakest detection (Settles, 2009). Frames with no
+    detections get a moderate 0.5 — the model is silent there, not
+    certain.
+    """
+    scores = np.full(len(detections_per_frame), 0.5, dtype=np.float64)
+    for i, dets in enumerate(detections_per_frame):
+        if dets:
+            scores[i] = 1.0 - min(d.score for d in dets)
+    return scores
+
+
+def run_video_weak_supervision(
+    data: VideoTaskData,
+    *,
+    detector: "Detector | None" = None,
+    pipeline_config: "VideoPipelineConfig | None" = None,
+    n_flagged: int = 750,
+    n_random: int = 250,
+    fine_tune_epochs: int = 30,
+    seed: "int | np.random.Generator | None" = 0,
+) -> WeakSupervisionResult:
+    """§5.5 for night-street: retrain on assertion-corrected outputs.
+
+    The paper uses 1,000 additional frames — 750 that triggered
+    ``flicker`` and 250 random — and trains on the weak labels produced
+    by the consistency corrections (interpolated boxes for flicker gaps,
+    removals for spurious appearances, majority-class fixes).
+    """
+    rng = as_generator(seed)
+    pretrained = detector if detector is not None else bootstrap_detector(data, seed=rng.spawn(1)[0])
+    pipeline = VideoPipeline(pipeline_config)
+
+    pool_images = [f.image for f in data.pool]
+    predictions = pretrained.detect_frames(pool_images)
+    report, items = pipeline.monitor(predictions)
+    weak = harvest_weak_labels(pipeline.omg, items)
+
+    flagged = report.flagged_indices("flicker").tolist()
+    rng.shuffle(flagged)
+    chosen = flagged[:n_flagged]
+    others = np.setdiff1d(np.arange(len(items)), np.asarray(chosen, dtype=np.intp))
+    if others.size:
+        chosen += rng.choice(others, size=min(n_random, others.size), replace=False).tolist()
+
+    weak_truths = []
+    for idx in chosen:
+        boxes = [
+            Box2D(o["box"].x1, o["box"].y1, o["box"].x2, o["box"].y2, label=o["label"])
+            for o in weak.items[idx].outputs
+        ]
+        weak_truths.append(boxes)
+
+    tuned = pretrained.clone()
+    tuned.fine_tune(
+        [pool_images[i] for i in chosen], weak_truths, epochs=fine_tune_epochs
+    )
+
+    test_images = [f.image for f in data.test]
+    test_truths = [f.ground_truth for f in data.test]
+    before = evaluate_detections(pretrained.detect_frames(test_images), test_truths)
+    after = evaluate_detections(tuned.detect_frames(test_images), test_truths)
+    return WeakSupervisionResult(
+        domain="video analytics",
+        pretrained_metric=before.mean_ap_percent,
+        weakly_supervised_metric=after.mean_ap_percent,
+        n_weak_labels=len(chosen),
+        metric_name="mAP",
+    )

@@ -1,0 +1,127 @@
+"""Figure 3: model assertions find high-confidence errors.
+
+"We collected the 10 data points with highest confidence error for each
+of the model assertions deployed for video analytics. We then plotted the
+percentile of the confidence among all the boxes for each error" (§5.3).
+Flicker errors have no box of their own, so their confidence is "the
+average of the surrounding boxes" — exactly what the flicker correction
+rule's imputed box carries.
+
+The point of the figure: these percentiles are high (up to the 94th in
+the paper), so confidence/uncertainty-based monitoring would never
+surface these errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.reporting import format_table
+from repro.experiments.table3 import _box_is_error, _detected_at, _gt_vehicle_at
+from repro.geometry.iou import iou_matrix
+
+
+@dataclass
+class Fig3Result:
+    """Percentiles of the top-10 highest-confidence errors per assertion.
+
+    ``percentiles[assertion]`` is a list of up to 10 confidence
+    percentiles (rank 1 = most confident error first).
+    """
+
+    percentiles: dict = field(default_factory=dict)
+    n_boxes: int = 0
+
+    def top_percentile(self, assertion: str) -> float:
+        values = self.percentiles.get(assertion, [])
+        return max(values) if values else 0.0
+
+    def format_table(self) -> str:
+        ranks = list(range(1, 11))
+        rows = []
+        for rank in ranks:
+            row = [rank]
+            for name in ("appear", "multibox", "flicker"):
+                values = self.percentiles.get(name, [])
+                row.append(f"{values[rank - 1]:.0f}" if rank <= len(values) else "-")
+            rows.append(row)
+        return format_table(
+            ["Rank", "Appear pct", "Multibox pct", "Flicker pct"],
+            rows,
+            title=f"Figure 3: confidence percentile of top-10 errors (of {self.n_boxes} boxes)",
+        )
+
+
+def run_fig3(
+    seed: int = 0,
+    *,
+    n_pool: int = 800,
+    top_k: int = 10,
+) -> Fig3Result:
+    """Collect assertion-flagged *true* errors and rank them by confidence."""
+    from repro.core.consistency import group_observations
+    from repro.domains.video import VideoPipeline, bootstrap_detector, make_video_task_data
+    from repro.utils.rng import as_generator
+
+    rng = as_generator(seed)
+    data = make_video_task_data(int(rng.integers(2**31 - 1)), n_pool=n_pool, n_test=50)
+    detector = bootstrap_detector(data, seed=rng.spawn(1)[0])
+    pipeline = VideoPipeline()
+    detections = detector.detect_frames([f.image for f in data.pool])
+    _, items = pipeline.monitor(detections)
+    frames = data.pool
+
+    all_scores = np.array([o["score"] for item in items for o in item.outputs])
+    if all_scores.size == 0:
+        return Fig3Result(percentiles={}, n_boxes=0)
+
+    def percentile_of(score: float) -> float:
+        return 100.0 * float(np.mean(all_scores <= score))
+
+    errors: dict = {"multibox": [], "appear": [], "flicker": []}
+
+    # multibox: flagged boxes failing one-to-one matching, conf = box score.
+    for pos, item in enumerate(items):
+        flagged = pipeline.multibox.flagged_output_indices(item)
+        if not flagged:
+            continue
+        gt = frames[pos].ground_truth
+        claimed: set = set()
+        for out_idx in sorted(
+            range(len(item.outputs)), key=lambda i: -item.outputs[i]["score"]
+        ):
+            is_error = _box_is_error(item.outputs[out_idx]["box"], gt, claimed)
+            if out_idx in flagged and is_error:
+                errors["multibox"].append(item.outputs[out_idx]["score"])
+
+    # appear: spurious short-run boxes, conf = box score.
+    for violation in pipeline.appear.violations(items):
+        for pos in range(violation.start_pos, violation.end_pos + 1):
+            for output in items[pos].outputs:
+                if output.get("track_id") != violation.identifier:
+                    continue
+                if _gt_vehicle_at(frames, pos, output["box"], iou_threshold=0.5) is None:
+                    errors["appear"].append(output["score"])
+
+    # flicker: missed boxes in gaps, conf = mean of surrounding boxes
+    # (carried by the imputed weak label).
+    groups = group_observations(pipeline.spec, items)
+    for violation in pipeline.flicker.violations(items):
+        observations = groups.get(violation.identifier, [])
+        mid = (violation.start_pos + violation.end_pos) // 2
+        imputed = pipeline.spec.weak_label_fn(violation.identifier, items[mid], observations)
+        if imputed is None:
+            continue
+        gt_vehicle = _gt_vehicle_at(frames, mid, imputed["box"])
+        if gt_vehicle is not None and not _detected_at(
+            items, mid, gt_vehicle.box, exclude_track=violation.identifier
+        ):
+            errors["flicker"].append(imputed["score"])
+
+    percentiles = {
+        name: [percentile_of(s) for s in sorted(scores, reverse=True)[:top_k]]
+        for name, scores in errors.items()
+    }
+    return Fig3Result(percentiles=percentiles, n_boxes=int(all_scores.size))

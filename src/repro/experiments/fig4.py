@@ -1,0 +1,157 @@
+"""Figures 4 and 9: active learning on night-street and the AV world.
+
+Compares the paper's four §5.4 strategies — random, uncertainty (least
+confident), uniform sampling from assertion-triggered data, and BAL —
+over five rounds of bulk labeling. Figure 4 shows rounds 2–5; Figure 9
+(appendix) shows all rounds; this harness records every round, so one run
+regenerates both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.active_learning import compare_strategies
+from repro.core.strategies import (
+    BALStrategy,
+    RandomStrategy,
+    UncertaintyStrategy,
+    UniformAssertionStrategy,
+)
+from repro.experiments.reporting import format_float, format_table
+from repro.utils.rng import as_generator
+
+#: Strategy display order, as in the paper's legends.
+STRATEGY_ORDER = ("random", "uncertainty", "uniform_ma", "bal")
+
+
+@dataclass
+class Fig4Result:
+    """Averaged learning curves per strategy for one domain."""
+
+    domain: str
+    curves: dict = field(default_factory=dict)  # name -> list of per-round metrics
+    initial_metric: float = 0.0
+    budget_per_round: int = 0
+    metric_name: str = "mAP"
+
+    def final(self, strategy: str) -> float:
+        return self.curves[strategy][-1]
+
+    def labels_to_reach(self, strategy: str, target: float) -> "int | None":
+        """Cumulative labels needed for a strategy to reach ``target``."""
+        for round_index, metric in enumerate(self.curves[strategy]):
+            if metric >= target:
+                return (round_index + 1) * self.budget_per_round
+        return None
+
+    def format_table(self) -> str:
+        n_rounds = len(next(iter(self.curves.values())))
+        rows = []
+        for round_index in range(n_rounds):
+            rows.append(
+                [round_index + 1]
+                + [format_float(self.curves[s][round_index]) for s in STRATEGY_ORDER if s in self.curves]
+            )
+        headers = ["Round"] + [s for s in STRATEGY_ORDER if s in self.curves]
+        title = (
+            f"Figure 4/9 ({self.domain}): {self.metric_name} per round "
+            f"(pretrained = {format_float(self.initial_metric)}, "
+            f"{self.budget_per_round} labels/round)"
+        )
+        return format_table(headers, rows, title=title)
+
+
+def _strategies(seed, fallback: str = "random") -> list:
+    rng = as_generator(seed)
+    children = rng.spawn(3)
+    return [
+        RandomStrategy(seed=children[0]),
+        UncertaintyStrategy(),
+        UniformAssertionStrategy(seed=children[1]),
+        BALStrategy(seed=children[2], fallback=fallback),
+    ]
+
+
+def run_fig4_video(
+    seed: int = 0,
+    *,
+    n_rounds: int = 5,
+    budget_per_round: int = 25,
+    n_pool: int = 500,
+    n_test: int = 150,
+    n_trials: int = 2,
+    fine_tune_epochs: int = 8,
+) -> Fig4Result:
+    """Figure 4(a)/9(a): night-street. The paper ran 2 trials (App. C)."""
+    from repro.domains.video import VideoActiveLearningTask, make_video_task_data
+
+    rng = as_generator(seed)
+    trial_seeds = rng.integers(0, 2**31 - 1, size=n_trials)
+
+    def task_factory(trial: int):
+        data = make_video_task_data(int(trial_seeds[trial]), n_pool=n_pool, n_test=n_test)
+        return VideoActiveLearningTask(
+            data, fine_tune_epochs=fine_tune_epochs, seed=int(trial_seeds[trial])
+        )
+
+    results = compare_strategies(
+        task_factory,
+        _strategies(rng.spawn(1)[0]),
+        n_rounds=n_rounds,
+        budget_per_round=budget_per_round,
+        n_trials=n_trials,
+    )
+    return Fig4Result(
+        domain="night-street",
+        curves={name: result.metrics for name, result in results.items()},
+        initial_metric=float(np.mean([r.initial_metric for r in results.values()])),
+        budget_per_round=budget_per_round,
+        metric_name="mAP%",
+    )
+
+
+def run_fig4_av(
+    seed: int = 0,
+    *,
+    n_rounds: int = 5,
+    budget_per_round: int = 25,
+    n_bootstrap_scenes: int = 10,
+    n_pool_scenes: int = 20,
+    n_test_scenes: int = 6,
+    n_trials: int = 2,
+    fine_tune_epochs: int = 8,
+) -> Fig4Result:
+    """Figure 4(b)/9(b): the AV world (NuScenes stand-in)."""
+    from repro.domains.av import AVActiveLearningTask, make_av_task_data
+
+    rng = as_generator(seed)
+    trial_seeds = rng.integers(0, 2**31 - 1, size=n_trials)
+
+    def task_factory(trial: int):
+        data = make_av_task_data(
+            int(trial_seeds[trial]),
+            n_bootstrap_scenes=n_bootstrap_scenes,
+            n_pool_scenes=n_pool_scenes,
+            n_test_scenes=n_test_scenes,
+        )
+        return AVActiveLearningTask(
+            data, fine_tune_epochs=fine_tune_epochs, seed=int(trial_seeds[trial])
+        )
+
+    results = compare_strategies(
+        task_factory,
+        _strategies(rng.spawn(1)[0]),
+        n_rounds=n_rounds,
+        budget_per_round=budget_per_round,
+        n_trials=n_trials,
+    )
+    return Fig4Result(
+        domain="nuscenes",
+        curves={name: result.metrics for name, result in results.items()},
+        initial_metric=float(np.mean([r.initial_metric for r in results.values()])),
+        budget_per_round=budget_per_round,
+        metric_name="mAP%",
+    )

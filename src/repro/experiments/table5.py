@@ -1,0 +1,29 @@
+"""Table 5: the assertion-class taxonomy (Appendix B)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.taxonomy import ASSERTION_CLASSES, TAXONOMY, format_taxonomy_table
+
+
+@dataclass
+class Table5Result:
+    entries: tuple = TAXONOMY
+    classes: tuple = ASSERTION_CLASSES
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.classes)
+
+    @property
+    def n_subclasses(self) -> int:
+        return len(self.entries)
+
+    def format_table(self) -> str:
+        return format_taxonomy_table()
+
+
+def run_table5() -> Table5Result:
+    """Return the taxonomy table (pure data; included for bench symmetry)."""
+    return Table5Result()

@@ -1,0 +1,112 @@
+"""Axis-aligned 2-D bounding boxes.
+
+Boxes follow the ``(x1, y1, x2, y2)`` corner convention with ``x2 > x1``
+and ``y2 > y1``; arrays of boxes have shape ``(n, 4)``. Image coordinates
+put the origin at the top-left, x rightward, y downward, matching the
+rendering convention in :mod:`repro.worlds`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Box2D:
+    """A single 2-D box with optional class label and confidence score.
+
+    Attributes
+    ----------
+    x1, y1, x2, y2:
+        Corner coordinates, ``x1 < x2`` and ``y1 < y2``.
+    label:
+        Class name (e.g., ``"car"``). Empty string when class-agnostic.
+    score:
+        Model confidence in ``[0, 1]``; ground-truth boxes use 1.0.
+    """
+
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+    label: str = ""
+    score: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (self.x2 > self.x1 and self.y2 > self.y1):
+            raise ValueError(
+                f"degenerate box: ({self.x1}, {self.y1}, {self.x2}, {self.y2})"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.x2 - self.x1
+
+    @property
+    def height(self) -> float:
+        return self.y2 - self.y1
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.x1 + self.x2) / 2.0, (self.y1 + self.y2) / 2.0)
+
+    def as_array(self) -> np.ndarray:
+        """Return the corner coordinates as a ``(4,)`` float array."""
+        return np.array([self.x1, self.y1, self.x2, self.y2], dtype=np.float64)
+
+    def with_label(self, label: str) -> "Box2D":
+        """Return a copy of this box with a different class label."""
+        return Box2D(self.x1, self.y1, self.x2, self.y2, label, self.score)
+
+    def with_score(self, score: float) -> "Box2D":
+        """Return a copy of this box with a different confidence score."""
+        return Box2D(self.x1, self.y1, self.x2, self.y2, self.label, score)
+
+    def shifted(self, dx: float, dy: float) -> "Box2D":
+        """Return a copy translated by ``(dx, dy)``."""
+        return Box2D(
+            self.x1 + dx, self.y1 + dy, self.x2 + dx, self.y2 + dy, self.label, self.score
+        )
+
+
+def make_box(cx: float, cy: float, width: float, height: float, label: str = "", score: float = 1.0) -> Box2D:
+    """Build a :class:`Box2D` from center coordinates and size."""
+    return Box2D(
+        cx - width / 2.0, cy - height / 2.0, cx + width / 2.0, cy + height / 2.0, label, score
+    )
+
+
+def boxes_to_array(boxes: "list[Box2D] | np.ndarray") -> np.ndarray:
+    """Stack boxes into an ``(n, 4)`` float array (empty → ``(0, 4)``)."""
+    if isinstance(boxes, np.ndarray):
+        arr = np.asarray(boxes, dtype=np.float64)
+        if arr.size == 0:
+            return arr.reshape(0, 4)
+        if arr.ndim == 1:
+            arr = arr.reshape(1, 4)
+        if arr.shape[1] != 4:
+            raise ValueError(f"box array must have 4 columns, got shape {arr.shape}")
+        return arr
+    if len(boxes) == 0:
+        return np.zeros((0, 4), dtype=np.float64)
+    return np.stack([b.as_array() for b in boxes])
+
+
+def box_area(boxes: np.ndarray) -> np.ndarray:
+    """Vectorized area of an ``(n, 4)`` box array."""
+    boxes = boxes_to_array(boxes)
+    return (boxes[:, 2] - boxes[:, 0]) * (boxes[:, 3] - boxes[:, 1])
+
+
+def clip_boxes(boxes: np.ndarray, width: float, height: float) -> np.ndarray:
+    """Clip an ``(n, 4)`` box array to the image bounds ``[0, width] × [0, height]``."""
+    boxes = boxes_to_array(boxes).copy()
+    boxes[:, [0, 2]] = np.clip(boxes[:, [0, 2]], 0.0, float(width))
+    boxes[:, [1, 3]] = np.clip(boxes[:, [1, 3]], 0.0, float(height))
+    return boxes

@@ -1,0 +1,116 @@
+"""Axis-yaw 3-D bounding boxes for the autonomous-vehicle domain.
+
+The coordinate frame follows the ego vehicle: x forward, y left, z up,
+origin at the LIDAR sensor. A box is parameterized by its center, size,
+and yaw (rotation about z).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Box3D:
+    """A 3-D box with class label and confidence.
+
+    Attributes
+    ----------
+    cx, cy, cz:
+        Center in ego coordinates (meters).
+    length, width, height:
+        Extent along the box's local x (heading), y, z axes.
+    yaw:
+        Heading angle in radians about the z axis (0 = facing +x).
+    label:
+        Class name; empty when class-agnostic.
+    score:
+        Confidence in ``[0, 1]``; 1.0 for ground truth.
+    """
+
+    cx: float
+    cy: float
+    cz: float
+    length: float
+    width: float
+    height: float
+    yaw: float = 0.0
+    label: str = ""
+    score: float = 1.0
+
+    def __post_init__(self) -> None:
+        if min(self.length, self.width, self.height) <= 0:
+            raise ValueError(
+                f"degenerate 3-D box size ({self.length}, {self.width}, {self.height})"
+            )
+
+    @property
+    def center(self) -> np.ndarray:
+        return np.array([self.cx, self.cy, self.cz], dtype=np.float64)
+
+    @property
+    def volume(self) -> float:
+        return self.length * self.width * self.height
+
+    def with_score(self, score: float) -> "Box3D":
+        """Return a copy with a different confidence score."""
+        return Box3D(
+            self.cx, self.cy, self.cz, self.length, self.width, self.height,
+            self.yaw, self.label, score,
+        )
+
+
+def box3d_corners(box: Box3D) -> np.ndarray:
+    """Return the 8 corners of a :class:`Box3D` as an ``(8, 3)`` array.
+
+    Corner order: the four bottom corners counter-clockwise (viewed from
+    above) followed by the four top corners in the same order.
+    """
+    dx, dy, dz = box.length / 2.0, box.width / 2.0, box.height / 2.0
+    local = np.array(
+        [
+            [+dx, +dy, -dz],
+            [-dx, +dy, -dz],
+            [-dx, -dy, -dz],
+            [+dx, -dy, -dz],
+            [+dx, +dy, +dz],
+            [-dx, +dy, +dz],
+            [-dx, -dy, +dz],
+            [+dx, -dy, +dz],
+        ],
+        dtype=np.float64,
+    )
+    c, s = np.cos(box.yaw), np.sin(box.yaw)
+    rot = np.array([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+    return local @ rot.T + box.center
+
+
+def bev_iou_axis_aligned(a: Box3D, b: Box3D) -> float:
+    """Approximate bird's-eye-view IoU using axis-aligned footprints.
+
+    Footprints are the axis-aligned bounds of the rotated corners — a
+    standard cheap approximation that is exact for yaw ∈ {0, π/2, π, …}.
+    """
+    fa = _footprint(a)
+    fb = _footprint(b)
+    x1 = max(fa[0], fb[0])
+    y1 = max(fa[1], fb[1])
+    x2 = min(fa[2], fb[2])
+    y2 = min(fa[3], fb[3])
+    inter = max(0.0, x2 - x1) * max(0.0, y2 - y1)
+    area_a = (fa[2] - fa[0]) * (fa[3] - fa[1])
+    area_b = (fb[2] - fb[0]) * (fb[3] - fb[1])
+    union = area_a + area_b - inter
+    return inter / union if union > 0 else 0.0
+
+
+def _footprint(box: Box3D) -> tuple[float, float, float, float]:
+    corners = box3d_corners(box)[:4, :2]
+    return (
+        float(corners[:, 0].min()),
+        float(corners[:, 1].min()),
+        float(corners[:, 0].max()),
+        float(corners[:, 1].max()),
+    )

@@ -1,0 +1,91 @@
+"""Pinhole camera model and 3-D → 2-D box projection.
+
+The ``agree`` assertion from the paper (§2.2, §5.1) "projects the 3D boxes
+onto the 2D camera plane to check for consistency" with the camera model's
+2-D detections. This module implements that projection for real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.box2d import Box2D
+from repro.geometry.box3d import Box3D, box3d_corners
+
+
+@dataclass(frozen=True)
+class PinholeCamera:
+    """A forward-facing pinhole camera in the ego frame.
+
+    The ego frame is x forward, y left, z up; the image frame is u
+    rightward, v downward with the origin at the top-left. ``focal`` is
+    expressed in pixels.
+
+    Attributes
+    ----------
+    width, height:
+        Image size in pixels.
+    focal:
+        Focal length in pixels (same for u and v).
+    cz:
+        Camera height above the LIDAR origin, in meters.
+    """
+
+    width: int = 160
+    height: int = 96
+    focal: float = 110.0
+    cz: float = 0.0
+
+    @property
+    def cu(self) -> float:
+        """Principal point u (image center)."""
+        return self.width / 2.0
+
+    @property
+    def cv(self) -> float:
+        """Principal point v (image center)."""
+        return self.height / 2.0
+
+    def project_points(self, points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Project ``(n, 3)`` ego-frame points into the image.
+
+        Returns
+        -------
+        (uv, in_front):
+            ``uv`` is ``(n, 2)`` pixel coordinates (undefined rows where
+            ``in_front`` is False); ``in_front`` marks points with positive
+            depth (x > epsilon).
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 3:
+            raise ValueError(f"points must be (n, 3), got {pts.shape}")
+        depth = pts[:, 0]
+        in_front = depth > 1e-6
+        safe_depth = np.where(in_front, depth, 1.0)
+        # Ego y (left) maps to -u; ego z (up) maps to -v.
+        u = self.cu - self.focal * pts[:, 1] / safe_depth
+        v = self.cv - self.focal * (pts[:, 2] - self.cz) / safe_depth
+        return np.stack([u, v], axis=1), in_front
+
+
+def project_box3d_to_2d(box: Box3D, camera: PinholeCamera) -> "Box2D | None":
+    """Project a 3-D box to its axis-aligned 2-D image-plane bound.
+
+    Returns ``None`` when the box is entirely behind the camera or its
+    projection falls completely outside the image.
+    """
+    corners = box3d_corners(box)
+    uv, in_front = camera.project_points(corners)
+    if not np.any(in_front):
+        return None
+    uv = uv[in_front]
+    x1, y1 = uv.min(axis=0)
+    x2, y2 = uv.max(axis=0)
+    # Clip to the image; reject projections with no visible extent.
+    x1c, x2c = max(x1, 0.0), min(x2, float(camera.width))
+    y1c, y2c = max(y1, 0.0), min(y2, float(camera.height))
+    if x2c - x1c < 1e-6 or y2c - y1c < 1e-6:
+        return None
+    return Box2D(x1c, y1c, x2c, y2c, label=box.label, score=box.score)

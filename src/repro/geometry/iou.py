@@ -1,0 +1,87 @@
+"""Vectorized intersection-over-union and greedy box matching."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.box2d import boxes_to_array
+
+
+def iou_matrix(boxes_a, boxes_b) -> np.ndarray:
+    """Pairwise IoU between two box sets.
+
+    Parameters
+    ----------
+    boxes_a, boxes_b:
+        ``(n, 4)`` / ``(m, 4)`` arrays (or lists of :class:`Box2D`).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n, m)`` matrix of IoU values in ``[0, 1]``.
+    """
+    a = boxes_to_array(boxes_a)
+    b = boxes_to_array(boxes_b)
+    if a.shape[0] == 0 or b.shape[0] == 0:
+        return np.zeros((a.shape[0], b.shape[0]), dtype=np.float64)
+
+    # Broadcast to (n, m) intersection rectangles.
+    x1 = np.maximum(a[:, None, 0], b[None, :, 0])
+    y1 = np.maximum(a[:, None, 1], b[None, :, 1])
+    x2 = np.minimum(a[:, None, 2], b[None, :, 2])
+    y2 = np.minimum(a[:, None, 3], b[None, :, 3])
+
+    inter = np.clip(x2 - x1, 0.0, None) * np.clip(y2 - y1, 0.0, None)
+    area_a = (a[:, 2] - a[:, 0]) * (a[:, 3] - a[:, 1])
+    area_b = (b[:, 2] - b[:, 0]) * (b[:, 3] - b[:, 1])
+    union = area_a[:, None] + area_b[None, :] - inter
+    with np.errstate(divide="ignore", invalid="ignore"):
+        iou = np.where(union > 0, inter / union, 0.0)
+    return iou
+
+
+def iou_pairwise(boxes_a, boxes_b) -> np.ndarray:
+    """Element-wise IoU of two equal-length box sets → ``(n,)`` array."""
+    a = boxes_to_array(boxes_a)
+    b = boxes_to_array(boxes_b)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.shape[0] == 0:
+        return np.zeros(0, dtype=np.float64)
+    x1 = np.maximum(a[:, 0], b[:, 0])
+    y1 = np.maximum(a[:, 1], b[:, 1])
+    x2 = np.minimum(a[:, 2], b[:, 2])
+    y2 = np.minimum(a[:, 3], b[:, 3])
+    inter = np.clip(x2 - x1, 0.0, None) * np.clip(y2 - y1, 0.0, None)
+    area_a = (a[:, 2] - a[:, 0]) * (a[:, 3] - a[:, 1])
+    area_b = (b[:, 2] - b[:, 0]) * (b[:, 3] - b[:, 1])
+    union = area_a + area_b - inter
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(union > 0, inter / union, 0.0)
+
+
+def match_boxes(boxes_a, boxes_b, iou_threshold: float = 0.5) -> list[tuple[int, int, float]]:
+    """Greedy one-to-one matching between two box sets by descending IoU.
+
+    Standard evaluation-style matcher: repeatedly take the highest-IoU
+    unmatched pair above ``iou_threshold``.
+
+    Returns
+    -------
+    list of ``(index_a, index_b, iou)`` triples.
+    """
+    iou = iou_matrix(boxes_a, boxes_b)
+    matches: list[tuple[int, int, float]] = []
+    if iou.size == 0:
+        return matches
+    iou = iou.copy()
+    while True:
+        flat = int(np.argmax(iou))
+        i, j = np.unravel_index(flat, iou.shape)
+        best = iou[i, j]
+        if best < iou_threshold or best <= 0:
+            break
+        matches.append((int(i), int(j), float(best)))
+        iou[i, :] = -1.0
+        iou[:, j] = -1.0
+    return matches

@@ -1,0 +1,63 @@
+"""Greedy non-maximum suppression over scored boxes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.box2d import boxes_to_array
+from repro.geometry.iou import iou_matrix
+
+
+def non_max_suppression(
+    boxes,
+    scores: np.ndarray,
+    iou_threshold: float = 0.45,
+    *,
+    class_ids: "np.ndarray | None" = None,
+) -> np.ndarray:
+    """Return indices of boxes kept by greedy NMS, sorted by score.
+
+    Parameters
+    ----------
+    boxes:
+        ``(n, 4)`` array or list of :class:`~repro.geometry.box2d.Box2D`.
+    scores:
+        ``(n,)`` confidence scores.
+    iou_threshold:
+        Boxes overlapping a kept box above this IoU are suppressed.
+    class_ids:
+        Optional ``(n,)`` integer class ids. When given, suppression is
+        applied per class (boxes of different classes never suppress each
+        other) — the convention used by most detection pipelines.
+    """
+    arr = boxes_to_array(boxes)
+    scores = np.asarray(scores, dtype=np.float64)
+    if arr.shape[0] != scores.shape[0]:
+        raise ValueError(f"{arr.shape[0]} boxes but {scores.shape[0]} scores")
+    n = arr.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.intp)
+
+    if class_ids is not None:
+        class_ids = np.asarray(class_ids)
+        if class_ids.shape[0] != n:
+            raise ValueError(f"{n} boxes but {class_ids.shape[0]} class ids")
+        keep: list[int] = []
+        for cls in np.unique(class_ids):
+            idx = np.flatnonzero(class_ids == cls)
+            kept = non_max_suppression(arr[idx], scores[idx], iou_threshold)
+            keep.extend(idx[kept].tolist())
+        keep_arr = np.array(keep, dtype=np.intp)
+        return keep_arr[np.argsort(-scores[keep_arr], kind="stable")]
+
+    order = np.argsort(-scores, kind="stable")
+    iou = iou_matrix(arr, arr)
+    suppressed = np.zeros(n, dtype=bool)
+    keep = []
+    for i in order:
+        if suppressed[i]:
+            continue
+        keep.append(int(i))
+        suppressed |= iou[i] > iou_threshold
+        suppressed[i] = True  # a box does not suppress itself from `keep`
+    return np.array(keep, dtype=np.intp)

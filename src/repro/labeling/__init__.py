@@ -1,0 +1,11 @@
+"""Label providers: the perfect oracle and a noisy human labeling service.
+
+The oracle backs active learning (the paper labels selected data through a
+labeling service and treats the result as ground truth); the noisy
+:class:`HumanLabeler` backs Appendix E / Table 6, where model assertions
+catch classification errors in Scale-annotated frames.
+"""
+
+from repro.labeling.human import HumanLabel, HumanLabeler, OracleLabeler
+
+__all__ = ["HumanLabel", "HumanLabeler", "OracleLabeler"]

@@ -1,0 +1,100 @@
+"""Simulated labeling services over traffic-world frames."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.box2d import Box2D
+from repro.utils.rng import as_generator
+from repro.worlds.traffic import VEHICLE_CLASSES
+
+
+@dataclass(frozen=True)
+class HumanLabel:
+    """One human-annotated box.
+
+    Attributes
+    ----------
+    frame_index:
+        Index of the labeled frame within the *sampled* frame list.
+    object_id:
+        Ground-truth object identity (used by the evaluation only — the
+        assertion never sees it unless the tracker recovers it).
+    box:
+        The annotated box with the (possibly wrong) class label.
+    true_label:
+        The ground-truth class.
+    """
+
+    frame_index: int
+    object_id: int
+    box: Box2D
+    true_label: str
+
+    @property
+    def is_error(self) -> bool:
+        return self.box.label != self.true_label
+
+
+class OracleLabeler:
+    """Perfect labels: returns the world's ground truth unchanged."""
+
+    def label_frames(self, frames: list) -> list:
+        """Per-frame lists of ground-truth boxes."""
+        return [frame.ground_truth for frame in frames]
+
+
+class HumanLabeler:
+    """A Scale-like service with rare classification errors.
+
+    The paper's audit of 469 Scale-returned boxes found "no localization
+    errors, but there were 32 classification errors" (~6.8%); this
+    labeler reproduces that profile: boxes are exact, class labels are
+    wrong at ``class_error_rate``, confused with the geometrically
+    nearest other class (car↔truck more often than car↔bus).
+    """
+
+    #: Confusion preferences: class → candidate mistaken classes, nearer first.
+    _CONFUSIONS = {
+        "car": ("truck", "car"),
+        "truck": ("car", "truck"),
+    }
+
+    def __init__(
+        self,
+        class_error_rate: float = 0.068,
+        *,
+        near_confusion_probability: float = 0.8,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> None:
+        if not 0.0 <= class_error_rate <= 1.0:
+            raise ValueError(f"class_error_rate must be in [0, 1], got {class_error_rate}")
+        self.class_error_rate = class_error_rate
+        self.near_confusion_probability = near_confusion_probability
+        self._rng = as_generator(seed)
+
+    def _mistaken_label(self, true_label: str) -> str:
+        near, _far = self._CONFUSIONS[true_label]
+        return near
+
+    def label_frames(self, frames: list) -> list:
+        """Annotate frames → per-frame lists of :class:`HumanLabel`."""
+        labeled = []
+        for frame_index, frame in enumerate(frames):
+            rows = []
+            for vehicle in frame.vehicles:
+                label = vehicle.label
+                if self._rng.random() < self.class_error_rate:
+                    label = self._mistaken_label(vehicle.label)
+                rows.append(
+                    HumanLabel(
+                        frame_index=frame_index,
+                        object_id=vehicle.object_id,
+                        box=vehicle.box.with_label(label),
+                        true_label=vehicle.label,
+                    )
+                )
+            labeled.append(rows)
+        return labeled

@@ -1,0 +1,21 @@
+"""A trainable bird's-eye-view LIDAR detector (the PointPillars stand-in).
+
+Pipeline: drop ground returns, rasterize the remaining points into a BEV
+occupancy grid, extract clusters via connected components
+(:mod:`repro.lidar.clustering`), score each cluster with a learned
+logistic classifier over cluster shape features, and emit 3-D boxes
+(:mod:`repro.lidar.detector`). Like the paper's Second/PointPillars model
+it is bootstrapped once on labeled scenes and then held fixed while the
+camera model is improved (§5.1).
+"""
+
+from repro.lidar.clustering import BEVGrid, Cluster, cluster_points
+from repro.lidar.detector import LidarDetector, LidarDetectorConfig
+
+__all__ = [
+    "BEVGrid",
+    "Cluster",
+    "LidarDetector",
+    "LidarDetectorConfig",
+    "cluster_points",
+]

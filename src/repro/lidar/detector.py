@@ -1,0 +1,160 @@
+"""Cluster-scoring LIDAR detector emitting 3-D boxes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.box3d import Box3D
+from repro.lidar.clustering import BEVGrid, Cluster, cluster_points
+from repro.ml.linear import LogisticRegression
+from repro.ml.preprocess import Standardizer
+from repro.utils.rng import as_generator
+
+#: Number of features per cluster.
+N_CLUSTER_FEATURES = 8
+
+CLUSTER_FEATURE_NAMES = (
+    "n_points_log",
+    "extent_x",
+    "extent_y",
+    "extent_z",
+    "bev_area",
+    "density",
+    "distance",
+    "height_max",
+)
+
+
+def cluster_features(cluster: Cluster) -> np.ndarray:
+    """Shape/density statistics of one cluster."""
+    extent = cluster.extent
+    centroid = cluster.centroid
+    bev_area = max(extent[0] * extent[1], 1e-3)
+    return np.array(
+        [
+            np.log1p(cluster.n_points),
+            extent[0],
+            extent[1],
+            extent[2],
+            bev_area,
+            cluster.n_points / bev_area,
+            float(np.hypot(centroid[0], centroid[1])),
+            float(cluster.points[:, 2].max()),
+        ],
+        dtype=np.float64,
+    )
+
+
+@dataclass(frozen=True)
+class LidarDetectorConfig:
+    """LIDAR detector hyperparameters."""
+
+    grid: BEVGrid = field(default_factory=BEVGrid)
+    score_threshold: float = 0.5
+    match_distance: float = 2.0  # BEV centroid distance for GT matching (m)
+    min_points: int = 4
+    default_height: float = 1.6  # emitted box height when points underestimate
+    learning_rate: float = 0.08
+    l2: float = 1e-3
+    epochs: int = 150
+
+
+class LidarDetector:
+    """Binary (vehicle vs clutter) cluster classifier → 3-D boxes.
+
+    Trained on scenes with ground-truth 3-D boxes: clusters whose BEV
+    centroid lies within ``match_distance`` of a ground-truth box center
+    are positives. The emitted box takes the cluster's BEV bounds (LIDAR
+    sees only visible faces, so boxes systematically under/over-shoot —
+    one reason the camera and LIDAR disagree).
+    """
+
+    def __init__(
+        self,
+        config: "LidarDetectorConfig | None" = None,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> None:
+        self.config = config if config is not None else LidarDetectorConfig()
+        self._rng = as_generator(seed)
+        self.standardizer = Standardizer()
+        self.scorer = LogisticRegression(
+            n_classes=2,
+            n_features=N_CLUSTER_FEATURES,
+            learning_rate=self.config.learning_rate,
+            l2=self.config.l2,
+            seed=self._rng.spawn(1)[0],
+        )
+        self.is_fitted = False
+
+    # ------------------------------------------------------------------
+    def _candidate_clusters(self, point_cloud: np.ndarray) -> list:
+        clusters = cluster_points(point_cloud, self.config.grid)
+        return [c for c in clusters if c.n_points >= self.config.min_points]
+
+    def fit(self, point_clouds: list, ground_truths: list) -> "LidarDetector":
+        """Train the cluster classifier on labeled samples.
+
+        ``ground_truths`` is a parallel list of per-sample
+        :class:`~repro.geometry.box3d.Box3D` lists.
+        """
+        features = []
+        labels = []
+        for cloud, gt_boxes in zip(point_clouds, ground_truths):
+            centers = np.array([[b.cx, b.cy] for b in gt_boxes]) if gt_boxes else None
+            for cluster in self._candidate_clusters(cloud):
+                features.append(cluster_features(cluster))
+                centroid = cluster.centroid[:2]
+                if centers is not None and centers.size:
+                    dist = np.min(np.linalg.norm(centers - centroid, axis=1))
+                    labels.append(1 if dist <= self.config.match_distance else 0)
+                else:
+                    labels.append(0)
+        if not features:
+            raise ValueError("no clusters found in the training samples")
+        x = self.standardizer.fit(np.asarray(features)).transform(np.asarray(features))
+        y = np.asarray(labels, dtype=np.intp)
+        counts = np.bincount(y, minlength=2).astype(np.float64)
+        weights = np.sqrt(len(y) / np.maximum(counts, 1.0))[y]
+        self.scorer.fit(x, y, epochs=self.config.epochs, sample_weight=weights, reset=True)
+        self.is_fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    def detect(self, point_cloud: np.ndarray) -> list:
+        """Detect vehicles in one point cloud → scored :class:`Box3D` s."""
+        if not self.is_fitted:
+            raise RuntimeError("LidarDetector is not fitted; call fit first")
+        clusters = self._candidate_clusters(point_cloud)
+        if not clusters:
+            return []
+        feats = np.stack([cluster_features(c) for c in clusters])
+        probs = self.scorer.predict_proba(self.standardizer.transform(feats))[:, 1]
+        boxes = []
+        for cluster, score in zip(clusters, probs):
+            if score < self.config.score_threshold:
+                continue
+            (x1, y1), (x2, y2) = cluster.bounds
+            length = max(x2 - x1, 0.8)
+            width = max(y2 - y1, 0.8)
+            height = max(float(cluster.points[:, 2].max()), self.config.default_height)
+            boxes.append(
+                Box3D(
+                    cx=(x1 + x2) / 2.0,
+                    cy=(y1 + y2) / 2.0,
+                    cz=height / 2.0,
+                    length=length,
+                    width=width,
+                    height=height,
+                    yaw=0.0,
+                    label="vehicle",
+                    score=float(score),
+                )
+            )
+        boxes.sort(key=lambda b: -b.score)
+        return boxes
+
+    def detect_samples(self, point_clouds: list) -> list:
+        """Run :meth:`detect` over many point clouds."""
+        return [self.detect(cloud) for cloud in point_clouds]

@@ -1,0 +1,30 @@
+"""Evaluation metrics: VOC-style detection mAP and classification metrics.
+
+The paper reports mAP for the video-analytics and AV domains (Figures 4/9,
+Table 4) and accuracy for ECG (Figure 5, Table 4); both are implemented
+here from scratch.
+"""
+
+from repro.metrics.classification import (
+    accuracy_score,
+    confusion_matrix,
+    macro_f1,
+    precision_recall_f1,
+)
+from repro.metrics.detection import (
+    DetectionEvaluation,
+    average_precision,
+    evaluate_detections,
+    mean_average_precision,
+)
+
+__all__ = [
+    "DetectionEvaluation",
+    "accuracy_score",
+    "average_precision",
+    "confusion_matrix",
+    "evaluate_detections",
+    "macro_f1",
+    "mean_average_precision",
+    "precision_recall_f1",
+]

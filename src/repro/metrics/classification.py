@@ -1,0 +1,58 @@
+"""Classification metrics for the ECG and TV-news domains."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_pair(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    t = np.asarray(y_true)
+    p = np.asarray(y_pred)
+    if t.shape != p.shape or t.ndim != 1:
+        raise ValueError(f"y_true {t.shape} and y_pred {p.shape} must be equal 1-D shapes")
+    return t, p
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact matches; 0.0 on empty input."""
+    t, p = _check_pair(y_true, y_pred)
+    if t.size == 0:
+        return 0.0
+    return float(np.mean(t == p))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int) -> np.ndarray:
+    """Dense ``(k, k)`` confusion matrix; rows = truth, columns = prediction."""
+    t, p = _check_pair(y_true, y_pred)
+    t = t.astype(np.intp)
+    p = p.astype(np.intp)
+    if t.size and (t.min() < 0 or t.max() >= n_classes or p.min() < 0 or p.max() >= n_classes):
+        raise ValueError(f"labels out of range [0, {n_classes})")
+    mat = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(mat, (t, p), 1)
+    return mat
+
+
+def precision_recall_f1(
+    y_true: np.ndarray, y_pred: np.ndarray, positive_class: int = 1
+) -> tuple[float, float, float]:
+    """Binary precision/recall/F1 treating ``positive_class`` as positive.
+
+    Degenerate denominators yield 0.0 rather than NaN.
+    """
+    t, p = _check_pair(y_true, y_pred)
+    tp = float(np.sum((p == positive_class) & (t == positive_class)))
+    fp = float(np.sum((p == positive_class) & (t != positive_class)))
+    fn = float(np.sum((p != positive_class) & (t == positive_class)))
+    precision = tp / (tp + fp) if tp + fp > 0 else 0.0
+    recall = tp / (tp + fn) if tp + fn > 0 else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall > 0 else 0.0
+    return precision, recall, f1
+
+
+def macro_f1(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    scores = [
+        precision_recall_f1(y_true, y_pred, positive_class=c)[2] for c in range(n_classes)
+    ]
+    return float(np.mean(scores)) if scores else 0.0

@@ -1,0 +1,164 @@
+"""VOC-style object-detection evaluation (per-class AP, mAP).
+
+Implements the standard protocol used by the paper's mAP numbers
+(Lin et al., 2014; Everingham et al., 2010): detections are sorted by
+confidence across the whole evaluation set; each detection greedily claims
+the highest-IoU unmatched ground-truth box of its class in its frame
+(IoU ≥ 0.5 by default); AP is the area under the interpolated
+precision-recall curve; mAP averages AP over classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.box2d import Box2D
+from repro.geometry.iou import iou_matrix
+
+
+@dataclass
+class DetectionEvaluation:
+    """Result of evaluating detections against ground truth.
+
+    Attributes
+    ----------
+    ap_per_class:
+        Class name → average precision in ``[0, 1]`` (NaN when the class
+        has no ground-truth instances).
+    mean_ap:
+        Mean AP over classes that have ground truth, in ``[0, 1]``.
+    n_ground_truth:
+        Class name → number of ground-truth boxes.
+    n_detections:
+        Class name → number of detections considered.
+    """
+
+    ap_per_class: dict = field(default_factory=dict)
+    mean_ap: float = 0.0
+    n_ground_truth: dict = field(default_factory=dict)
+    n_detections: dict = field(default_factory=dict)
+
+    @property
+    def mean_ap_percent(self) -> float:
+        """mAP expressed in percent, the unit the paper plots."""
+        return 100.0 * self.mean_ap
+
+
+def average_precision(recall: np.ndarray, precision: np.ndarray) -> float:
+    """Area under the interpolated PR curve (continuous VOC2010+ style)."""
+    recall = np.asarray(recall, dtype=np.float64)
+    precision = np.asarray(precision, dtype=np.float64)
+    if recall.shape != precision.shape:
+        raise ValueError(f"shape mismatch: {recall.shape} vs {precision.shape}")
+    if recall.size == 0:
+        return 0.0
+    # Envelope: precision at recall r is the max precision at recall >= r.
+    mrec = np.concatenate([[0.0], recall, [1.0]])
+    mpre = np.concatenate([[0.0], precision, [0.0]])
+    mpre = np.maximum.accumulate(mpre[::-1])[::-1]
+    changed = np.flatnonzero(mrec[1:] != mrec[:-1])
+    return float(np.sum((mrec[changed + 1] - mrec[changed]) * mpre[changed + 1]))
+
+
+def _ap_for_class(
+    detections: list[tuple[int, Box2D]],
+    truths_by_frame: dict,
+    n_truth: int,
+    iou_threshold: float,
+) -> float:
+    """AP for one class given (frame, box) detections and GT per frame."""
+    if n_truth == 0:
+        return float("nan")
+    if not detections:
+        return 0.0
+    scores = np.array([d.score for _, d in detections])
+    order = np.argsort(-scores, kind="stable")
+    claimed: dict = {frame: np.zeros(len(boxes), dtype=bool) for frame, boxes in truths_by_frame.items()}
+    tp = np.zeros(len(detections))
+    fp = np.zeros(len(detections))
+    for rank, det_idx in enumerate(order):
+        frame, det = detections[det_idx]
+        gt_boxes = truths_by_frame.get(frame, [])
+        if not gt_boxes:
+            fp[rank] = 1.0
+            continue
+        ious = iou_matrix([det], gt_boxes)[0]
+        best = int(np.argmax(ious))
+        if ious[best] >= iou_threshold and not claimed[frame][best]:
+            claimed[frame][best] = True
+            tp[rank] = 1.0
+        else:
+            fp[rank] = 1.0
+    tp_cum = np.cumsum(tp)
+    fp_cum = np.cumsum(fp)
+    recall = tp_cum / n_truth
+    precision = tp_cum / np.maximum(tp_cum + fp_cum, 1e-12)
+    return average_precision(recall, precision)
+
+
+def evaluate_detections(
+    predictions: list,
+    ground_truths: list,
+    *,
+    iou_threshold: float = 0.5,
+    classes: "list[str] | None" = None,
+) -> DetectionEvaluation:
+    """Evaluate per-frame detections against per-frame ground truth.
+
+    Parameters
+    ----------
+    predictions, ground_truths:
+        Parallel lists over frames; each element is a list of
+        :class:`~repro.geometry.box2d.Box2D` (predictions carry scores).
+    iou_threshold:
+        Minimum IoU for a detection to match a ground-truth box.
+    classes:
+        Restrict evaluation to these class names; default is the union of
+        classes appearing in the ground truth.
+    """
+    if len(predictions) != len(ground_truths):
+        raise ValueError(
+            f"{len(predictions)} prediction frames vs {len(ground_truths)} ground-truth frames"
+        )
+    if classes is None:
+        classes = sorted({b.label for frame in ground_truths for b in frame})
+
+    result = DetectionEvaluation()
+    aps = []
+    for cls in classes:
+        dets = [
+            (frame_idx, box)
+            for frame_idx, frame in enumerate(predictions)
+            for box in frame
+            if box.label == cls
+        ]
+        truths_by_frame = {}
+        n_truth = 0
+        for frame_idx, frame in enumerate(ground_truths):
+            boxes = [b for b in frame if b.label == cls]
+            if boxes:
+                truths_by_frame[frame_idx] = boxes
+                n_truth += len(boxes)
+        ap = _ap_for_class(dets, truths_by_frame, n_truth, iou_threshold)
+        result.ap_per_class[cls] = ap
+        result.n_ground_truth[cls] = n_truth
+        result.n_detections[cls] = len(dets)
+        if not np.isnan(ap):
+            aps.append(ap)
+    result.mean_ap = float(np.mean(aps)) if aps else 0.0
+    return result
+
+
+def mean_average_precision(
+    predictions: list,
+    ground_truths: list,
+    *,
+    iou_threshold: float = 0.5,
+    classes: "list[str] | None" = None,
+) -> float:
+    """Convenience wrapper returning only the mAP in ``[0, 1]``."""
+    return evaluate_detections(
+        predictions, ground_truths, iou_threshold=iou_threshold, classes=classes
+    ).mean_ap

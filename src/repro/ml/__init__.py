@@ -1,0 +1,26 @@
+"""A small, dependency-free ML stack used by the trainable substrates.
+
+The paper's experiments fine-tune deep detectors (SSD, PointPillars) and an
+ECG network. Offline, we replace those with feature-based models trained by
+this stack: multinomial logistic regression and a small MLP optimized with
+Adam. Both expose ``fit`` / ``predict_proba`` and accept sample weights so
+the active-learning and weak-supervision harnesses can retrain them exactly
+the way the paper retrains its networks (§5.4–§5.5).
+"""
+
+from repro.ml.linear import LogisticRegression
+from repro.ml.losses import cross_entropy, cross_entropy_grad, one_hot
+from repro.ml.mlp import MLPClassifier
+from repro.ml.optim import Adam, SGD
+from repro.ml.preprocess import Standardizer
+
+__all__ = [
+    "Adam",
+    "SGD",
+    "LogisticRegression",
+    "MLPClassifier",
+    "Standardizer",
+    "cross_entropy",
+    "cross_entropy_grad",
+    "one_hot",
+]

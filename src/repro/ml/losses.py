@@ -1,0 +1,73 @@
+"""Classification losses and label encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Encode integer labels ``(n,)`` as a one-hot matrix ``(n, k)``."""
+    labels = np.asarray(labels, dtype=np.intp)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= n_classes):
+        raise ValueError(
+            f"labels out of range [0, {n_classes}): min={labels.min()}, max={labels.max()}"
+        )
+    out = np.zeros((labels.shape[0], n_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with the max-subtraction stability trick."""
+    z = np.asarray(logits, dtype=np.float64)
+    z = z - z.max(axis=-1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def cross_entropy(
+    probs: np.ndarray,
+    labels: np.ndarray,
+    sample_weight: "np.ndarray | None" = None,
+) -> float:
+    """Mean (optionally weighted) cross-entropy of predicted probabilities.
+
+    ``labels`` may be integer class indices ``(n,)`` or soft targets
+    ``(n, k)`` — soft targets are what weak supervision produces when a
+    correction rule is uncertain.
+    """
+    p = np.clip(np.asarray(probs, dtype=np.float64), 1e-12, 1.0)
+    labels = np.asarray(labels)
+    if labels.ndim == 1:
+        nll = -np.log(p[np.arange(p.shape[0]), labels.astype(np.intp)])
+    else:
+        nll = -(labels * np.log(p)).sum(axis=1)
+    if sample_weight is None:
+        return float(nll.mean())
+    w = np.asarray(sample_weight, dtype=np.float64)
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("sample_weight sums to zero")
+    return float((nll * w).sum() / total)
+
+
+def cross_entropy_grad(
+    probs: np.ndarray,
+    targets: np.ndarray,
+    sample_weight: "np.ndarray | None" = None,
+) -> np.ndarray:
+    """Gradient of mean cross-entropy w.r.t. the logits: ``(p - y) / n``.
+
+    ``targets`` must already be one-hot or soft ``(n, k)``.
+    """
+    p = np.asarray(probs, dtype=np.float64)
+    y = np.asarray(targets, dtype=np.float64)
+    if p.shape != y.shape:
+        raise ValueError(f"shape mismatch: probs {p.shape} vs targets {y.shape}")
+    grad = p - y
+    if sample_weight is not None:
+        w = np.asarray(sample_weight, dtype=np.float64)
+        grad = grad * (w / w.sum())[:, None] * p.shape[0]
+    return grad / p.shape[0]

@@ -1,0 +1,163 @@
+"""A small fully-connected classifier with one or more hidden layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.losses import cross_entropy, cross_entropy_grad, one_hot, softmax
+from repro.ml.optim import Adam
+from repro.utils.rng import as_generator
+
+
+class MLPClassifier:
+    """ReLU MLP trained with mini-batch Adam.
+
+    Stands in for the convolutional ECG network of Rajpurkar et al. (2019):
+    the paper fine-tunes that network during active learning and weak
+    supervision; we fine-tune this MLP over engineered window features
+    (:mod:`repro.domains.ecg`), preserving the training dynamics the
+    experiments measure.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        hidden: tuple = (32,),
+        n_classes: int = 2,
+        *,
+        learning_rate: float = 1e-2,
+        l2: float = 1e-4,
+        batch_size: int = 128,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> None:
+        if n_features < 1:
+            raise ValueError(f"n_features must be >= 1, got {n_features}")
+        if n_classes < 2:
+            raise ValueError(f"n_classes must be >= 2, got {n_classes}")
+        if not hidden or any(h < 1 for h in hidden):
+            raise ValueError(f"hidden sizes must be positive, got {hidden!r}")
+        self.n_features = n_features
+        self.hidden = tuple(int(h) for h in hidden)
+        self.n_classes = n_classes
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.batch_size = batch_size
+        self._rng = as_generator(seed)
+        self._optimizer = Adam(learning_rate=learning_rate)
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        self._init_params()
+
+    def _init_params(self) -> None:
+        sizes = (self.n_features, *self.hidden, self.n_classes)
+        self.weights = []
+        self.biases = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            # He initialization, appropriate for ReLU activations.
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(self._rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out, dtype=np.float64))
+        self._optimizer.reset()
+
+    def clone(self) -> "MLPClassifier":
+        """Deep copy with identical parameters and fresh optimizer state."""
+        other = MLPClassifier(
+            self.n_features,
+            self.hidden,
+            self.n_classes,
+            learning_rate=self.learning_rate,
+            l2=self.l2,
+            batch_size=self.batch_size,
+            seed=self._rng.spawn(1)[0],
+        )
+        other.weights = [w.copy() for w in self.weights]
+        other.biases = [b.copy() for b in self.biases]
+        return other
+
+    def _forward(self, x: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Return (logits, activations); activations[i] is layer i's input."""
+        activations = [x]
+        h = x
+        for w, b in zip(self.weights[:-1], self.biases[:-1]):
+            h = np.maximum(h @ w + b, 0.0)
+            activations.append(h)
+        logits = h @ self.weights[-1] + self.biases[-1]
+        return logits, activations
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class probabilities ``(n, k)``."""
+        x = self._check_features(features)
+        logits, _ = self._forward(x)
+        return softmax(logits)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Argmax class indices ``(n,)``."""
+        return np.argmax(self.predict_proba(features), axis=1)
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        *,
+        epochs: int = 50,
+        sample_weight: "np.ndarray | None" = None,
+        reset: bool = False,
+        learning_rate: "float | None" = None,
+    ) -> "MLPClassifier":
+        """Train on integer labels ``(n,)`` or soft targets ``(n, k)``.
+
+        ``reset=False`` (default) continues from the current parameters —
+        fine-tuning, which is what the paper's retraining experiments do.
+        ``learning_rate`` optionally overrides the step size for this call
+        only (fine-tuning uses a smaller step than from-scratch training).
+        """
+        x = self._check_features(features)
+        n = x.shape[0]
+        if n == 0:
+            raise ValueError("cannot fit on zero samples")
+        labels = np.asarray(labels)
+        targets = labels if labels.ndim == 2 else one_hot(labels, self.n_classes)
+        if targets.shape != (n, self.n_classes):
+            raise ValueError(f"targets shape {targets.shape} != ({n}, {self.n_classes})")
+        weight = None
+        if sample_weight is not None:
+            weight = np.asarray(sample_weight, dtype=np.float64)
+            if weight.shape != (n,):
+                raise ValueError(f"sample_weight shape {weight.shape} != ({n},)")
+        if reset:
+            self._init_params()
+        previous_lr = self._optimizer.learning_rate
+        if learning_rate is not None:
+            self._optimizer.learning_rate = learning_rate
+
+        batch = min(self.batch_size, n)
+        for _ in range(epochs):
+            order = self._rng.permutation(n)
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                self._step(x[idx], targets[idx], weight[idx] if weight is not None else None)
+        self._optimizer.learning_rate = previous_lr
+        return self
+
+    def _step(self, xb: np.ndarray, yb: np.ndarray, wb: "np.ndarray | None") -> None:
+        logits, activations = self._forward(xb)
+        probs = softmax(logits)
+        delta = cross_entropy_grad(probs, yb, wb)
+        grads_w: list[np.ndarray] = [np.zeros_like(w) for w in self.weights]
+        grads_b: list[np.ndarray] = [np.zeros_like(b) for b in self.biases]
+        for layer in range(len(self.weights) - 1, -1, -1):
+            grads_w[layer] = activations[layer].T @ delta + self.l2 * self.weights[layer]
+            grads_b[layer] = delta.sum(axis=0)
+            if layer > 0:
+                delta = (delta @ self.weights[layer].T) * (activations[layer] > 0)
+        self._optimizer.step(self.weights + self.biases, grads_w + grads_b)
+
+    def loss(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Mean cross-entropy on the given data."""
+        return cross_entropy(self.predict_proba(features), labels)
+
+    def _check_features(self, features: np.ndarray) -> np.ndarray:
+        x = np.asarray(features, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.n_features:
+            raise ValueError(f"expected (n, {self.n_features}) features, got {x.shape}")
+        return x

@@ -1,0 +1,51 @@
+"""Feature standardization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Standardizer:
+    """Zero-mean, unit-variance feature scaling with frozen statistics.
+
+    Statistics are estimated once on the fitting set and reused for all
+    later transforms, so a model retrained mid-experiment keeps a stable
+    input space (the convention deep-learning pipelines get from frozen
+    input normalization).
+    """
+
+    def __init__(self) -> None:
+        self.mean_: "np.ndarray | None" = None
+        self.scale_: "np.ndarray | None" = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.mean_ is not None
+
+    def fit(self, features: np.ndarray) -> "Standardizer":
+        """Estimate per-feature mean and scale from ``(n, d)`` features."""
+        arr = np.asarray(features, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {arr.shape}")
+        if arr.shape[0] == 0:
+            raise ValueError("cannot fit a Standardizer on zero samples")
+        self.mean_ = arr.mean(axis=0)
+        std = arr.std(axis=0)
+        # Constant features would otherwise divide by zero; map them to 1
+        # so they standardize to exactly 0.
+        self.scale_ = np.where(std > 1e-12, std, 1.0)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Apply the fitted scaling to ``(n, d)`` features."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("Standardizer.transform called before fit")
+        arr = np.asarray(features, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"expected (n, {self.mean_.shape[0]}) features, got shape {arr.shape}"
+            )
+        return (arr - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)

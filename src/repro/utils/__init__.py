@@ -1,0 +1,18 @@
+"""Shared utilities: seeding, validation, and small numeric helpers."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import (
+    check_finite,
+    check_fraction,
+    check_positive,
+    check_shape,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "check_finite",
+    "check_fraction",
+    "check_positive",
+    "check_shape",
+]

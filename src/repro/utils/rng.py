@@ -1,0 +1,39 @@
+"""Deterministic random-number handling.
+
+Every stochastic component in the library accepts either an integer seed or
+a :class:`numpy.random.Generator`. Centralizing the coercion here keeps the
+convention uniform and makes experiments exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | None"
+
+
+def as_generator(seed: "int | np.random.Generator | None") -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh OS entropy), an integer seed, or an existing
+        generator (returned unchanged, so callers can share a stream).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed: "int | np.random.Generator | None", n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent generators from one seed.
+
+    Uses :meth:`numpy.random.Generator.spawn` so the child streams are
+    statistically independent regardless of how many draws each consumes —
+    important when experiments run strategies side by side and must not let
+    one strategy's sampling perturb another's.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return list(as_generator(seed).spawn(n))

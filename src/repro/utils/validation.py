@@ -1,0 +1,47 @@
+"""Lightweight argument validation helpers.
+
+These raise early, with messages that name the offending argument, instead
+of letting bad values propagate into NumPy broadcasting errors deep inside
+an experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive(value: float, name: str, *, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (or non-negative if not strict)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_shape(array: np.ndarray, shape: tuple, name: str) -> np.ndarray:
+    """Validate array dimensionality/shape; ``None`` entries are wildcards."""
+    arr = np.asarray(array)
+    if arr.ndim != len(shape):
+        raise ValueError(f"{name} must have {len(shape)} dimensions, got shape {arr.shape}")
+    for axis, (actual, expected) in enumerate(zip(arr.shape, shape)):
+        if expected is not None and actual != expected:
+            raise ValueError(
+                f"{name} has size {actual} on axis {axis}, expected {expected} (shape {arr.shape})"
+            )
+    return arr
+
+
+def check_finite(array: np.ndarray, name: str) -> np.ndarray:
+    """Validate that all entries are finite."""
+    arr = np.asarray(array)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return arr

@@ -1,0 +1,49 @@
+"""Synthetic worlds standing in for the paper's datasets.
+
+Each world is a seeded, deterministic simulator that produces both sensor
+data and exact ground truth:
+
+- :mod:`repro.worlds.traffic` — the ``night-street`` video (street-camera
+  vehicle detection);
+- :mod:`repro.worlds.av` — NuScenes-like scenes with time-aligned LIDAR
+  point clouds and camera frames at 2 Hz;
+- :mod:`repro.worlds.ecg` — CINC17-like ECG records with per-window
+  rhythm features;
+- :mod:`repro.worlds.tvnews` — TV-news footage with per-scene face
+  detections carrying identity/gender/hair-color predictions.
+
+See DESIGN.md §2 for why each substitution preserves the behaviour the
+paper's experiments measure.
+"""
+
+from repro.worlds.av import AVSample, AVScene, AVWorld, AVWorldConfig
+from repro.worlds.ecg import ECGRecord, ECGWorld, ECGWorldConfig, ECG_CLASSES
+from repro.worlds.traffic import (
+    TrafficFrame,
+    TrafficWorld,
+    TrafficWorldConfig,
+    VehicleState,
+)
+from repro.worlds.tvnews import (
+    FaceObservation,
+    TVNewsWorld,
+    TVNewsWorldConfig,
+)
+
+__all__ = [
+    "AVSample",
+    "AVScene",
+    "AVWorld",
+    "AVWorldConfig",
+    "ECGRecord",
+    "ECGWorld",
+    "ECGWorldConfig",
+    "ECG_CLASSES",
+    "FaceObservation",
+    "TVNewsWorld",
+    "TVNewsWorldConfig",
+    "TrafficFrame",
+    "TrafficWorld",
+    "TrafficWorldConfig",
+    "VehicleState",
+]

@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import StreamItem
+
+
+@pytest.fixture
+def rng():
+    """A fresh, fixed-seed generator per test."""
+    return np.random.default_rng(12345)
+
+
+def make_items(outputs_per_item, timestamps=None):
+    """Build StreamItems from raw output lists (helper used across tests)."""
+    n = len(outputs_per_item)
+    ts = timestamps if timestamps is not None else list(range(n))
+    return [
+        StreamItem(index=i, timestamp=float(ts[i]), outputs=tuple(outputs_per_item[i]))
+        for i in range(n)
+    ]

@@ -1,0 +1,121 @@
+"""Tests for the active-learning harness on a controlled toy task."""
+
+import numpy as np
+import pytest
+
+from repro.core.active_learning import (
+    ActiveLearningResult,
+    ActiveLearningTask,
+    RoundResult,
+    compare_strategies,
+    run_active_learning,
+)
+from repro.core.strategies import RandomStrategy, UncertaintyStrategy
+
+
+class ToyTask(ActiveLearningTask):
+    """Metric = fraction of pool labeled (monotone in labels)."""
+
+    def __init__(self, n=50):
+        self.n = n
+        self.labeled = np.zeros(n, dtype=bool)
+        self.trained_on = []
+
+    def pool_size(self):
+        return self.n
+
+    def initial_model(self):
+        self.labeled = np.zeros(self.n, dtype=bool)
+        return {"labels": 0}
+
+    def train(self, model, labeled_indices):
+        self.trained_on.append(np.array(labeled_indices))
+        model["labels"] = len(labeled_indices)
+        return model
+
+    def predict_pool(self, model):
+        return model
+
+    def severities(self, predictions):
+        sev = np.zeros((self.n, 1))
+        sev[: self.n // 2, 0] = 1.0
+        return sev
+
+    def uncertainty(self, predictions):
+        return np.linspace(0, 1, self.n)
+
+    def evaluate(self, model):
+        return 100.0 * model["labels"] / self.n
+
+
+class TestRunActiveLearning:
+    def test_labels_accumulate(self):
+        task = ToyTask()
+        result = run_active_learning(
+            task, RandomStrategy(seed=0), n_rounds=3, budget_per_round=5
+        )
+        assert [r.n_labeled for r in result.rounds] == [5, 10, 15]
+        assert result.metrics == [10.0, 20.0, 30.0]
+
+    def test_initial_metric_recorded(self):
+        result = run_active_learning(
+            ToyTask(), RandomStrategy(seed=0), n_rounds=1, budget_per_round=5
+        )
+        assert result.initial_metric == 0.0
+
+    def test_cumulative_training_set(self):
+        task = ToyTask()
+        run_active_learning(task, RandomStrategy(seed=0), n_rounds=2, budget_per_round=4)
+        assert len(task.trained_on[0]) == 4
+        assert len(task.trained_on[1]) == 8
+        assert set(task.trained_on[0]).issubset(set(task.trained_on[1]))
+
+    def test_no_relabeling(self):
+        task = ToyTask(n=10)
+        result = run_active_learning(
+            task, UncertaintyStrategy(), n_rounds=3, budget_per_round=4
+        )
+        # 10 points, 12 requested: the last round gets only the remainder.
+        assert result.rounds[-1].n_labeled == 10
+
+    def test_fire_counts_recorded(self):
+        result = run_active_learning(
+            ToyTask(), RandomStrategy(seed=0), n_rounds=1, budget_per_round=2
+        )
+        assert result.rounds[0].fire_counts == {"assertion_0": 25}
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            run_active_learning(ToyTask(), RandomStrategy(), n_rounds=0, budget_per_round=1)
+        with pytest.raises(ValueError):
+            run_active_learning(ToyTask(), RandomStrategy(), n_rounds=1, budget_per_round=0)
+
+
+class TestResultHelpers:
+    def test_labels_to_reach(self):
+        result = ActiveLearningResult(strategy_name="x")
+        for i, metric in enumerate([10.0, 30.0, 60.0]):
+            result.rounds.append(RoundResult(i, metric, (i + 1) * 5))
+        assert result.labels_to_reach(25.0) == 10
+        assert result.labels_to_reach(60.0) == 15
+        assert result.labels_to_reach(99.0) is None
+
+    def test_final_metric(self):
+        result = ActiveLearningResult(strategy_name="x", initial_metric=5.0)
+        assert result.final_metric == 5.0
+        result.rounds.append(RoundResult(0, 42.0, 5))
+        assert result.final_metric == 42.0
+
+
+class TestCompareStrategies:
+    def test_averages_over_trials(self):
+        results = compare_strategies(
+            lambda trial: ToyTask(),
+            [RandomStrategy(seed=0), UncertaintyStrategy()],
+            n_rounds=2,
+            budget_per_round=5,
+            n_trials=3,
+        )
+        assert set(results) == {"random", "uncertainty"}
+        # deterministic toy metric: averaging changes nothing
+        assert results["random"].metrics == [10.0, 20.0]

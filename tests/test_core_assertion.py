@@ -1,0 +1,108 @@
+"""Tests for repro.core.assertion and repro.core.database."""
+
+import numpy as np
+import pytest
+
+from repro.core.assertion import FunctionAssertion, ModelAssertion, as_assertion
+from repro.core.database import AssertionDatabase
+from repro.core.types import make_stream
+
+
+class TestFunctionAssertion:
+    def test_per_item_signature(self):
+        assertion = FunctionAssertion(lambda inp, outs: float(len(outs)), "count")
+        sev = assertion.evaluate_stream(make_stream([[1], [1, 2], []]))
+        assert sev.tolist() == [1.0, 2.0, 0.0]
+
+    def test_windowed_signature(self):
+        def delta(recent_inputs, recent_outputs):
+            return float(len(recent_outputs[-1]) - len(recent_outputs[0]))
+
+        assertion = FunctionAssertion(delta, "delta", window=2)
+        sev = assertion.evaluate_stream(make_stream([[1], [1, 2], [1, 2, 3]]))
+        assert sev.tolist() == [0.0, 1.0, 1.0]
+
+    def test_name_inferred_from_function(self):
+        def my_check(inp, outs):
+            return 0.0
+
+        assert FunctionAssertion(my_check).name == "my_check"
+
+    def test_lambda_requires_name(self):
+        with pytest.raises(ValueError):
+            FunctionAssertion(lambda i, o: 0.0)
+
+    def test_negative_severity_rejected(self):
+        assertion = FunctionAssertion(lambda i, o: -1.0, "bad")
+        with pytest.raises(ValueError, match="negative"):
+            assertion.evaluate_stream(make_stream([[1]]))
+
+    def test_boolean_severity_coerced(self):
+        assertion = FunctionAssertion(lambda i, o: len(o) > 1, "boolean")
+        sev = assertion.evaluate_stream(make_stream([[1], [1, 2]]))
+        assert sev.tolist() == [0.0, 1.0]
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            FunctionAssertion(lambda i, o: 0.0, "w", window=0)
+
+    def test_default_corrections_empty(self):
+        assertion = FunctionAssertion(lambda i, o: 1.0, "x")
+        assert assertion.corrections(make_stream([[1]])) == []
+
+
+class TestAsAssertion:
+    def test_idempotent(self):
+        assertion = FunctionAssertion(lambda i, o: 0.0, "a")
+        assert as_assertion(assertion) is assertion
+
+    def test_rename_existing_raises(self):
+        assertion = FunctionAssertion(lambda i, o: 0.0, "a")
+        with pytest.raises(ValueError):
+            as_assertion(assertion, name="b")
+
+    def test_non_callable_raises(self):
+        with pytest.raises(TypeError):
+            as_assertion(42)
+
+
+class TestAssertionDatabase:
+    def make(self, name):
+        return FunctionAssertion(lambda i, o: 0.0, name)
+
+    def test_registration_order_preserved(self):
+        db = AssertionDatabase()
+        for name in ("c", "a", "b"):
+            db.add(self.make(name))
+        assert db.names() == ["c", "a", "b"]
+
+    def test_duplicate_rejected_unless_replace(self):
+        db = AssertionDatabase()
+        db.add(self.make("x"))
+        with pytest.raises(ValueError):
+            db.add(self.make("x"))
+        db.add(self.make("x"), replace=True)
+        assert len(db) == 1
+
+    def test_disable_hides_from_iteration(self):
+        db = AssertionDatabase()
+        db.add(self.make("x"))
+        db.add(self.make("y"))
+        db.enable("x", False)
+        assert db.names() == ["y"]
+        assert [a.name for a in db] == ["y"]
+        assert db.all_names() == ["x", "y"]
+
+    def test_remove(self):
+        db = AssertionDatabase()
+        db.add(self.make("x"))
+        db.remove("x")
+        assert "x" not in db
+        with pytest.raises(KeyError):
+            db.get("x")
+
+    def test_metadata_stored(self):
+        db = AssertionDatabase()
+        db.add(self.make("x"), domain="video", author="dev", tags=("t1",))
+        entry = db.entry("x")
+        assert entry.domain == "video" and entry.author == "dev" and entry.tags == ("t1",)

@@ -1,0 +1,194 @@
+"""Tests for BAL (Algorithm 2) and CC-MAB (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bal import BAL
+from repro.core.ccmab import CCMAB
+
+
+def severity_matrix(n=40, d=3, seed=0):
+    rng = np.random.default_rng(seed)
+    sev = np.zeros((n, d))
+    for m in range(d):
+        idx = rng.choice(n, size=10, replace=False)
+        sev[idx, m] = rng.uniform(0.5, 5.0, size=10)
+    return sev
+
+
+class TestBALRound0:
+    def test_selects_only_triggering_points(self):
+        sev = severity_matrix()
+        bal = BAL(seed=0)
+        selection = bal.select(sev, 8)
+        assert not selection.used_fallback
+        assert np.all(sev[selection.indices].sum(axis=1) > 0)
+
+    def test_budget_respected_and_unique(self):
+        sev = severity_matrix()
+        selection = BAL(seed=0).select(sev, 8)
+        assert len(selection.indices) == 8
+        assert len(set(selection.indices.tolist())) == 8
+
+    def test_no_fires_falls_back_to_random(self):
+        bal = BAL(seed=0)
+        selection = bal.select(np.zeros((20, 2)), 5)
+        assert selection.used_fallback
+        assert len(selection.indices) == 5
+
+    def test_selectable_mask_respected(self):
+        sev = severity_matrix()
+        mask = np.zeros(sev.shape[0], dtype=bool)
+        mask[:10] = True
+        selection = BAL(seed=0).select(sev, 5, selectable=mask)
+        assert np.all(selection.indices < 10)
+
+
+class TestBALGuidedRounds:
+    def test_reductions_computed(self):
+        sev = severity_matrix()
+        bal = BAL(seed=0)
+        bal.select(sev, 5)
+        sev2 = sev.copy()
+        sev2[sev2[:, 0] > 0, 0] = 0.0  # assertion 0 fully fixed
+        selection = bal.select(sev2, 5)
+        assert selection.reductions[0] == pytest.approx(1.0)
+
+    def test_all_stalled_triggers_fallback(self):
+        sev = severity_matrix()
+        bal = BAL(seed=0, fallback="random")
+        bal.select(sev, 5)
+        selection = bal.select(sev, 5)  # identical fires: zero reduction
+        assert selection.used_fallback
+
+    def test_improving_assertion_attracts_budget(self):
+        rng = np.random.default_rng(1)
+        n = 200
+        sev = np.zeros((n, 2))
+        sev[:80, 0] = 1.0
+        sev[80:160, 1] = 1.0
+        bal = BAL(seed=0, exploration_fraction=0.0)
+        bal.select(sev, 10)
+        sev2 = sev.copy()
+        sev2[:40, 0] = 0.0  # assertion 0 halved; assertion 1 unchanged
+        selection = bal.select(sev2, 40)
+        from_a0 = int((sev2[selection.indices, 0] > 0).sum())
+        from_a1 = int((sev2[selection.indices, 1] > 0).sum())
+        assert not selection.used_fallback
+        assert from_a0 > from_a1
+
+    def test_uncertainty_fallback_requires_scores(self):
+        bal = BAL(seed=0, fallback="uncertainty")
+        with pytest.raises(ValueError):
+            bal.select(np.zeros((10, 1)), 3)
+
+    def test_uncertainty_fallback_picks_top(self):
+        bal = BAL(seed=0, fallback="uncertainty")
+        unc = np.linspace(0, 1, 10)
+        selection = bal.select(np.zeros((10, 1)), 3, uncertainty=unc)
+        assert sorted(selection.indices.tolist()) == [7, 8, 9]
+
+    def test_assertion_count_change_raises(self):
+        bal = BAL(seed=0)
+        bal.select(np.zeros((10, 2)), 2)
+        with pytest.raises(ValueError):
+            bal.select(np.zeros((10, 3)), 2)
+
+    def test_reset(self):
+        bal = BAL(seed=0)
+        bal.select(severity_matrix(), 5)
+        bal.reset()
+        assert bal.round_index == 0
+        selection = bal.select(severity_matrix(), 5)
+        assert selection.reductions.size == 0  # treated as round 0 again
+
+
+class TestBALProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        budget=st.integers(min_value=1, max_value=15),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_indices_always_valid_and_unique(self, budget, seed):
+        sev = severity_matrix(seed=seed)
+        selection = BAL(seed=seed).select(sev, budget)
+        idx = selection.indices
+        assert len(set(idx.tolist())) == len(idx)
+        assert np.all((idx >= 0) & (idx < sev.shape[0]))
+        assert len(idx) <= budget
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BAL(fallback="bogus")
+        with pytest.raises(ValueError):
+            BAL(exploration_fraction=1.5)
+        with pytest.raises(ValueError):
+            BAL(rank_power=-1)
+        with pytest.raises(ValueError):
+            BAL().select(np.zeros(5), 1)
+        with pytest.raises(ValueError):
+            BAL().select(np.zeros((5, 1)), -1)
+
+    def test_rank_weighting_prefers_high_severity(self):
+        # One assertion, strongly skewed severities: with rank weighting the
+        # top-severity points should be picked far more often.
+        n = 50
+        sev = np.zeros((n, 1))
+        sev[:, 0] = np.arange(n, dtype=float) + 1.0
+        counts = np.zeros(n)
+        for seed in range(40):
+            bal = BAL(seed=seed, exploration_fraction=0.0, rank_power=2.0)
+            bal.select(sev, 1)  # round 0 (uniform)
+            sev2 = sev.copy()
+            sev2[0, 0] = 0.0  # tiny reduction so round 1 is guided
+            selection = bal.select(sev2, 5)
+            counts[selection.indices] += 1
+        top_half = counts[n // 2 :].sum()
+        bottom_half = counts[: n // 2].sum()
+        assert top_half > bottom_half
+
+
+class TestCCMAB:
+    def test_cube_indexing(self):
+        bandit = CCMAB(n_dims=2, horizon=100)
+        assert bandit.cube_of(np.array([0.0, 0.0])) == (0, 0)
+        top = bandit.cube_of(np.array([1.0, 1.0]))
+        assert all(b == bandit.n_bins - 1 for b in top)
+
+    def test_explores_then_exploits(self):
+        rng = np.random.default_rng(0)
+        bandit = CCMAB(n_dims=1, horizon=200, seed=0)
+
+        def reward(ctx):
+            return float(ctx[0])  # higher context = higher reward
+
+        chosen_late = []
+        for t in range(200):
+            contexts = rng.uniform(0, 1, size=(8, 1))
+            picks = bandit.select(contexts, 2)
+            rewards = np.array([reward(contexts[i]) for i in picks])
+            bandit.update(contexts, picks, rewards)
+            if t >= 150:
+                chosen_late.extend(contexts[picks, 0].tolist())
+        # After exploration, CC-MAB should prefer high-context arms.
+        assert np.mean(chosen_late) > 0.55
+
+    def test_budget_bounds(self):
+        bandit = CCMAB(n_dims=1, horizon=10, seed=0)
+        picks = bandit.select(np.zeros((3, 1)), 10)
+        assert len(picks) == 3
+        assert bandit.select(np.zeros((3, 1)), 0).shape == (0,)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CCMAB(n_dims=0, horizon=10)
+        with pytest.raises(ValueError):
+            CCMAB(n_dims=1, horizon=0)
+        with pytest.raises(ValueError):
+            CCMAB(n_dims=1, horizon=10, alpha=0)
+
+    def test_update_shape_mismatch(self):
+        bandit = CCMAB(n_dims=1, horizon=10)
+        with pytest.raises(ValueError):
+            bandit.update(np.zeros((3, 1)), np.array([0, 1]), np.array([1.0]))

@@ -1,0 +1,195 @@
+"""Tests for the consistency-assertion API (§4 of the paper)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.consistency import (
+    AttributeConsistencyAssertion,
+    ConsistencySpec,
+    TemporalConsistencyAssertion,
+    generate_assertions,
+    majority_value,
+)
+from repro.core.types import apply_corrections, make_stream
+
+
+def spec(temporal=None, weak_label=None):
+    return ConsistencySpec(
+        id_fn=lambda o: o.get("id"),
+        attrs_fn=lambda o: {"cls": o["cls"]} if "cls" in o else {},
+        temporal_threshold=temporal,
+        weak_label_fn=weak_label,
+        name="test",
+    )
+
+
+def out(identifier, cls="car"):
+    return {"id": identifier, "cls": cls}
+
+
+class TestMajorityValue:
+    def test_majority(self):
+        assert majority_value(["a", "b", "a"]) == "a"
+
+    def test_tie_first_seen(self):
+        assert majority_value(["b", "a"]) == "b"
+
+
+class TestAttributeConsistency:
+    def test_unanimous_group_abstains(self):
+        assertion = AttributeConsistencyAssertion(spec(), "cls")
+        items = make_stream([[out(1)], [out(1)], [out(1)]])
+        assert assertion.evaluate_stream(items).sum() == 0
+
+    def test_deviation_fires_on_minority_item(self):
+        assertion = AttributeConsistencyAssertion(spec(), "cls")
+        items = make_stream([[out(1, "car")], [out(1, "truck")], [out(1, "car")]])
+        sev = assertion.evaluate_stream(items)
+        assert sev.tolist() == [0.0, 1.0, 0.0]
+
+    def test_singleton_identifier_ignored(self):
+        assertion = AttributeConsistencyAssertion(spec(), "cls")
+        items = make_stream([[out(1, "car")], [out(2, "truck")]])
+        assert assertion.evaluate_stream(items).sum() == 0
+
+    def test_correction_proposes_majority(self):
+        assertion = AttributeConsistencyAssertion(spec(), "cls")
+        items = make_stream([[out(1, "car")], [out(1, "truck")], [out(1, "car")]])
+        corrections = assertion.corrections(items)
+        assert len(corrections) == 1
+        assert corrections[0].kind == "modify"
+        assert corrections[0].proposed_output["cls"] == "car"
+        fixed = apply_corrections(items, corrections)
+        assert assertion.evaluate_stream(fixed).sum() == 0
+
+    def test_tie_fires_but_does_not_correct(self):
+        assertion = AttributeConsistencyAssertion(spec(), "cls")
+        items = make_stream([[out(1, "car")], [out(1, "truck")]])
+        assert assertion.evaluate_stream(items).sum() > 0
+        assert assertion.corrections(items) == []
+
+    def test_none_identifier_skipped(self):
+        assertion = AttributeConsistencyAssertion(spec(), "cls")
+        items = make_stream([[{"id": None, "cls": "car"}], [out(1, "car")]])
+        assert assertion.evaluate_stream(items).sum() == 0
+
+    def test_dataclass_outputs_supported(self):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Out:
+            id: int
+            cls: str
+
+        s = ConsistencySpec(
+            id_fn=lambda o: o.id, attrs_fn=lambda o: {"cls": o.cls}, name="dc"
+        )
+        assertion = AttributeConsistencyAssertion(s, "cls")
+        items = make_stream([[Out(1, "a")], [Out(1, "b")], [Out(1, "a")]])
+        corrections = assertion.corrections(items)
+        assert corrections[0].proposed_output.cls == "a"
+
+
+class TestTemporalConsistency:
+    def test_requires_threshold(self):
+        with pytest.raises(ValueError):
+            TemporalConsistencyAssertion(spec(temporal=None))
+
+    def test_gap_violation_detected(self):
+        assertion = TemporalConsistencyAssertion(spec(temporal=3.0), mode="gap")
+        items = make_stream([[out(1)], [out(1)], [], [out(1)]])
+        violations = assertion.violations(items)
+        assert len(violations) == 1
+        assert violations[0].kind == "gap"
+        assert (violations[0].start_pos, violations[0].end_pos) == (2, 2)
+        sev = assertion.evaluate_stream(items)
+        assert sev.tolist() == [0.0, 0.0, 1.0, 0.0]
+
+    def test_long_gap_not_flagged(self):
+        assertion = TemporalConsistencyAssertion(spec(temporal=2.0), mode="gap")
+        items = make_stream([[out(1)], [], [], [out(1)]])  # gap of 3s ≥ T=2
+        assert assertion.violations(items) == []
+
+    def test_run_violation_detected(self):
+        assertion = TemporalConsistencyAssertion(spec(temporal=3.0), mode="run")
+        items = make_stream([[], [out(7)], [out(7)], []])
+        violations = assertion.violations(items)
+        assert len(violations) == 1
+        assert violations[0].kind == "run"
+        sev = assertion.evaluate_stream(items)
+        assert sev.tolist() == [0.0, 1.0, 1.0, 0.0]
+
+    def test_boundary_runs_not_flagged(self):
+        # A short run touching the window edge may continue outside it.
+        assertion = TemporalConsistencyAssertion(spec(temporal=5.0), mode="run")
+        items = make_stream([[out(1)], [], [], []])
+        assert assertion.violations(items) == []
+        items = make_stream([[], [], [], [out(1)]])
+        assert assertion.violations(items) == []
+
+    def test_mode_both_sees_gap_and_run(self):
+        assertion = TemporalConsistencyAssertion(spec(temporal=3.0), mode="both")
+        items = make_stream([[out(1)], [], [out(1), out(2)], []])
+        kinds = {v.kind for v in assertion.violations(items)}
+        assert kinds == {"gap", "run"}
+
+    def test_run_correction_removes(self):
+        assertion = TemporalConsistencyAssertion(spec(temporal=3.0), mode="run")
+        items = make_stream([[], [out(7)], []])
+        corrections = assertion.corrections(items)
+        assert [c.kind for c in corrections] == ["remove"]
+        fixed = apply_corrections(items, corrections)
+        assert fixed[1].outputs == ()
+
+    def test_gap_correction_requires_weak_label_fn(self):
+        assertion = TemporalConsistencyAssertion(spec(temporal=3.0), mode="gap")
+        items = make_stream([[out(1)], [], [out(1)]])
+        assert assertion.corrections(items) == []  # no WeakLabel provided
+
+    def test_gap_correction_adds_imputed_output(self):
+        def weak_label(identifier, item, observations):
+            return {"id": identifier, "cls": "car", "imputed": True}
+
+        assertion = TemporalConsistencyAssertion(
+            spec(temporal=3.0, weak_label=weak_label), mode="gap"
+        )
+        items = make_stream([[out(1)], [], [out(1)]])
+        corrections = assertion.corrections(items)
+        assert [c.kind for c in corrections] == ["add"]
+        fixed = apply_corrections(items, corrections)
+        assert any(o.get("imputed") for o in fixed[1].outputs)
+        # After correction the gap is healed: no more violations.
+        assert assertion.violations(fixed) == []
+
+    def test_timestamps_not_indices_drive_duration(self):
+        # Same positions, stretched timestamps: the gap is now ≥ T.
+        assertion = TemporalConsistencyAssertion(spec(temporal=3.0), mode="gap")
+        items = make_stream([[out(1)], [], [out(1)]], timestamps=[0.0, 5.0, 10.0])
+        assert assertion.violations(items) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=12))
+    def test_always_present_identifier_never_fires(self, n):
+        assertion = TemporalConsistencyAssertion(spec(temporal=4.0), mode="both")
+        items = make_stream([[out(1)] for _ in range(n)])
+        assert assertion.evaluate_stream(items).sum() == 0
+
+
+class TestGenerateAssertions:
+    def test_attr_keys_explicit(self):
+        generated = generate_assertions(spec(temporal=2.0), attr_keys=["cls"])
+        names = [a.name for a in generated]
+        assert names == ["test:attr:cls", "test:temporal"]
+
+    def test_attr_keys_from_samples(self):
+        generated = generate_assertions(spec(), sample_outputs=[out(1)])
+        assert [a.name for a in generated] == ["test:attr:cls"]
+
+    def test_temporal_modes(self):
+        generated = generate_assertions(spec(temporal=1.0), temporal_modes=["gap", "run"])
+        assert [a.name for a in generated] == ["test:temporal:gap", "test:temporal:run"]
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ConsistencySpec(id_fn=lambda o: o, temporal_threshold=0.0)

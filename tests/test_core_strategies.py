@@ -1,0 +1,107 @@
+"""Tests for the data-selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import (
+    BALStrategy,
+    RandomStrategy,
+    SelectionContext,
+    UncertaintyStrategy,
+    UniformAssertionStrategy,
+    default_strategies,
+)
+
+
+def make_ctx(n=30, d=2, seed=0, labeled=None):
+    rng = np.random.default_rng(seed)
+    sev = np.zeros((n, d))
+    sev[: n // 3, 0] = rng.uniform(1, 5, n // 3)
+    sev[n // 3 : n // 2, 1] = rng.uniform(1, 5, n // 2 - n // 3)
+    labeled_mask = np.zeros(n, dtype=bool)
+    if labeled is not None:
+        labeled_mask[labeled] = True
+    return SelectionContext(
+        severities=sev,
+        uncertainty=rng.uniform(0, 1, n),
+        labeled_mask=labeled_mask,
+        round_index=0,
+    )
+
+
+@pytest.mark.parametrize(
+    "strategy_factory",
+    [
+        lambda: RandomStrategy(seed=0),
+        lambda: UncertaintyStrategy(),
+        lambda: UniformAssertionStrategy(seed=0),
+        lambda: BALStrategy(seed=0),
+    ],
+)
+class TestStrategyContract:
+    def test_respects_budget(self, strategy_factory):
+        ctx = make_ctx()
+        idx = strategy_factory().select(ctx, 7)
+        assert len(idx) <= 7
+        assert len(set(idx.tolist())) == len(idx)
+
+    def test_never_selects_labeled(self, strategy_factory):
+        labeled = list(range(0, 30, 2))
+        ctx = make_ctx(labeled=labeled)
+        idx = strategy_factory().select(ctx, 10)
+        assert not set(idx.tolist()) & set(labeled)
+
+    def test_exhausted_pool(self, strategy_factory):
+        ctx = make_ctx(n=4, labeled=[0, 1, 2, 3])
+        idx = strategy_factory().select(ctx, 3)
+        assert len(idx) == 0
+
+
+class TestUncertaintyStrategy:
+    def test_picks_most_uncertain(self):
+        ctx = make_ctx()
+        idx = UncertaintyStrategy().select(ctx, 3)
+        top3 = np.argsort(-ctx.uncertainty)[:3]
+        assert sorted(idx.tolist()) == sorted(top3.tolist())
+
+
+class TestUniformAssertionStrategy:
+    def test_prefers_flagged_points(self):
+        ctx = make_ctx()
+        idx = UniformAssertionStrategy(seed=0).select(ctx, 5)
+        assert np.all(ctx.severities[idx].sum(axis=1) > 0)
+
+    def test_tops_up_with_random_when_flagged_exhausted(self):
+        n = 10
+        sev = np.zeros((n, 1))
+        sev[0, 0] = 1.0
+        ctx = SelectionContext(
+            severities=sev,
+            uncertainty=np.zeros(n),
+            labeled_mask=np.zeros(n, dtype=bool),
+            round_index=0,
+        )
+        idx = UniformAssertionStrategy(seed=0).select(ctx, 4)
+        assert len(idx) == 4
+        assert 0 in idx.tolist()
+
+
+class TestBALStrategy:
+    def test_reset_restores_round0(self):
+        strategy = BALStrategy(seed=0)
+        ctx = make_ctx()
+        strategy.select(ctx, 5)
+        assert strategy.bal.round_index == 1
+        strategy.reset()
+        assert strategy.bal.round_index == 0
+
+    def test_records_last_selection(self):
+        strategy = BALStrategy(seed=0)
+        strategy.select(make_ctx(), 5)
+        assert strategy.last_selection is not None
+
+
+class TestDefaultStrategies:
+    def test_four_strategies_in_paper_order(self):
+        names = [s.name for s in default_strategies(seed=0)]
+        assert names == ["random", "uncertainty", "uniform_ma", "bal"]

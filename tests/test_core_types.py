@@ -1,0 +1,111 @@
+"""Tests for repro.core.types: stream items and correction application."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import Correction, StreamItem, apply_corrections, make_stream
+
+
+class TestStreamItem:
+    def test_outputs_normalized_to_tuple(self):
+        item = StreamItem(0, 0.0, outputs=[1, 2])
+        assert item.outputs == (1, 2)
+
+    def test_with_outputs(self):
+        item = StreamItem(3, 1.5, input="x", outputs=(1,))
+        new = item.with_outputs([7, 8])
+        assert new.outputs == (7, 8)
+        assert new.index == 3 and new.timestamp == 1.5 and new.input == "x"
+
+
+class TestMakeStream:
+    def test_default_timestamps_are_indices(self):
+        items = make_stream([[1], [2], [3]])
+        assert [i.timestamp for i in items] == [0.0, 1.0, 2.0]
+
+    def test_fps(self):
+        items = make_stream([[1], [2]], fps=10.0)
+        assert items[1].timestamp == pytest.approx(0.1)
+
+    def test_explicit_timestamps(self):
+        items = make_stream([[1], [2]], timestamps=[0.0, 5.0])
+        assert items[1].timestamp == 5.0
+
+    def test_decreasing_timestamps_raise(self):
+        with pytest.raises(ValueError):
+            make_stream([[1], [2]], timestamps=[1.0, 0.0])
+
+    def test_both_fps_and_timestamps_raise(self):
+        with pytest.raises(ValueError):
+            make_stream([[1]], timestamps=[0.0], fps=1.0)
+
+    def test_inputs_length_checked(self):
+        with pytest.raises(ValueError):
+            make_stream([[1], [2]], inputs=["a"])
+
+
+class TestCorrection:
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            Correction(kind="bogus", item_index=0, assertion_name="a")
+
+    def test_modify_requires_fields(self):
+        with pytest.raises(ValueError):
+            Correction(kind="modify", item_index=0, assertion_name="a", output_index=0)
+        with pytest.raises(ValueError):
+            Correction(kind="modify", item_index=0, assertion_name="a", proposed_output=1)
+
+    def test_add_requires_proposed(self):
+        with pytest.raises(ValueError):
+            Correction(kind="add", item_index=0, assertion_name="a")
+
+
+class TestApplyCorrections:
+    def items(self):
+        return make_stream([["a", "b"], ["c"]])
+
+    def test_modify(self):
+        fixed = apply_corrections(
+            self.items(),
+            [Correction("modify", 0, "x", output_index=1, proposed_output="B")],
+        )
+        assert fixed[0].outputs == ("a", "B")
+        assert fixed[1].outputs == ("c",)
+
+    def test_remove(self):
+        fixed = apply_corrections(
+            self.items(), [Correction("remove", 0, "x", output_index=0)]
+        )
+        assert fixed[0].outputs == ("b",)
+
+    def test_add(self):
+        fixed = apply_corrections(
+            self.items(), [Correction("add", 1, "x", proposed_output="d")]
+        )
+        assert fixed[1].outputs == ("c", "d")
+
+    def test_remove_beats_modify(self):
+        fixed = apply_corrections(
+            self.items(),
+            [
+                Correction("modify", 0, "x", output_index=0, proposed_output="A"),
+                Correction("remove", 0, "y", output_index=0),
+            ],
+        )
+        assert fixed[0].outputs == ("b",)
+
+    def test_untouched_items_identical(self):
+        items = self.items()
+        fixed = apply_corrections(items, [])
+        assert [f.outputs for f in fixed] == [i.outputs for i in items]
+
+    def test_indices_resolved_against_original(self):
+        # Removing output 0 must not shift the index of a modify on output 1.
+        fixed = apply_corrections(
+            self.items(),
+            [
+                Correction("remove", 0, "x", output_index=0),
+                Correction("modify", 0, "y", output_index=1, proposed_output="B"),
+            ],
+        )
+        assert fixed[0].outputs == ("B",)

@@ -1,0 +1,112 @@
+"""Tests for weak-label harvesting and the taxonomy registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.consistency import ConsistencySpec, TemporalConsistencyAssertion
+from repro.core.runtime import OMG
+from repro.core.taxonomy import (
+    ASSERTION_CLASSES,
+    TAXONOMY,
+    entries_for_class,
+    format_taxonomy_table,
+)
+from repro.core.types import Correction, make_stream
+from repro.core.weak_supervision import (
+    WeakSupervisionResult,
+    harvest_weak_labels,
+)
+
+
+def out(identifier, cls="car"):
+    return {"id": identifier, "cls": cls}
+
+
+def build_omg():
+    omg = OMG()
+    omg.add_consistency_assertion(
+        id_fn=lambda o: o.get("id"),
+        attrs_fn=lambda o: {"cls": o["cls"]},
+        temporal_threshold=3.0,
+        attr_keys=["cls"],
+        name="ws",
+    )
+    return omg
+
+
+class TestHarvestWeakLabels:
+    def test_attribute_corrections_applied(self):
+        omg = build_omg()
+        items = make_stream([[out(1, "car")], [out(1, "truck")], [out(1, "car")]])
+        weak = harvest_weak_labels(omg, items)
+        assert weak.n_changed == 1
+        assert weak.items[1].outputs[0]["cls"] == "car"
+        assert weak.changed_indices.tolist() == [1]
+
+    def test_clean_stream_untouched(self):
+        omg = build_omg()
+        items = make_stream([[out(1)], [out(1)], [out(1)]])
+        weak = harvest_weak_labels(omg, items)
+        assert weak.n_changed == 0
+        assert weak.corrections == []
+
+    def test_extra_rules_merged(self):
+        omg = build_omg()
+        items = make_stream([[out(1)], [out(1)], [out(1)]])
+
+        def rule(stream_items):
+            return [
+                Correction(
+                    "add", 0, "custom", proposed_output={"id": 99, "cls": "car"}
+                )
+            ]
+
+        weak = harvest_weak_labels(omg, items, extra_rules=[rule])
+        assert weak.n_changed == 1
+        assert len(weak.items[0].outputs) == 2
+
+    def test_corrected_outputs_parallel_to_items(self):
+        omg = build_omg()
+        items = make_stream([[out(1)], [out(1, "truck")], [out(1)]])
+        weak = harvest_weak_labels(omg, items)
+        assert len(weak.corrected_outputs()) == len(items)
+
+
+class TestWeakSupervisionResult:
+    def test_relative_improvement(self):
+        result = WeakSupervisionResult("video", 34.4, 49.9)
+        assert result.relative_improvement == pytest.approx(0.4506, abs=1e-3)
+        assert result.absolute_improvement == pytest.approx(15.5)
+
+    def test_zero_baseline(self):
+        assert WeakSupervisionResult("x", 0.0, 1.0).relative_improvement == float("inf")
+        assert WeakSupervisionResult("x", 0.0, 0.0).relative_improvement == 0.0
+
+
+class TestTaxonomy:
+    def test_four_classes(self):
+        assert ASSERTION_CLASSES == (
+            "consistency",
+            "domain knowledge",
+            "perturbation",
+            "input validation",
+        )
+
+    def test_nine_subclasses(self):
+        assert len(TAXONOMY) == 9
+
+    def test_entries_for_class(self):
+        subs = [e.sub_class for e in entries_for_class("consistency")]
+        assert subs == ["multi-source", "multi-modal", "multi-view"]
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(KeyError):
+            entries_for_class("bogus")
+
+    def test_format_contains_all_rows(self):
+        text = format_taxonomy_table()
+        for entry in TAXONOMY:
+            assert entry.sub_class in text
+
+    def test_every_entry_has_examples(self):
+        assert all(len(e.examples) >= 1 for e in TAXONOMY)

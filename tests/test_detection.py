@@ -1,0 +1,168 @@
+"""Tests for the trainable 2-D detector substrate."""
+
+import numpy as np
+import pytest
+
+from repro.detection.detector import Detector, DetectorConfig
+from repro.detection.features import FEATURE_NAMES, N_FEATURES, proposal_features
+from repro.detection.proposals import (
+    ProposalConfig,
+    generate_proposals,
+    generate_proposals_flagged,
+)
+from repro.geometry.box2d import Box2D
+from repro.geometry.iou import iou_matrix
+from repro.worlds.traffic import TrafficWorld, day_config, night_config
+
+
+@pytest.fixture(scope="module")
+def day_frames():
+    return TrafficWorld(day_config(), seed=1).generate(25)
+
+
+@pytest.fixture(scope="module")
+def night_frames():
+    return TrafficWorld(night_config(), seed=2).generate(40)
+
+
+class TestProposals:
+    def test_covers_most_ground_truth(self, day_frames):
+        covered = total = 0
+        for frame in day_frames:
+            props = generate_proposals(frame.image)
+            for box in frame.ground_truth:
+                total += 1
+                if props and iou_matrix([box], props).max() >= 0.5:
+                    covered += 1
+        assert total > 0
+        assert covered / total > 0.6
+
+    def test_blank_image_no_proposals(self):
+        assert generate_proposals(np.zeros((96, 160))) == []
+
+    def test_splits_flagged(self):
+        image = np.zeros((96, 160))
+        image[40:52, 30:70] = 0.8  # wide bright block (aspect 40/12 > 2.2)
+        boxes, is_split = generate_proposals_flagged(image)
+        assert is_split.sum() == 2
+        assert not is_split[0]
+        base = boxes[0]
+        for split in (boxes[1], boxes[2]):
+            assert split.width < base.width
+            assert iou_matrix([base], [split])[0, 0] > 0.5
+
+    def test_bad_image_shape(self):
+        with pytest.raises(ValueError):
+            generate_proposals(np.zeros((4, 4, 3)))
+
+    def test_max_proposals_cap(self, night_frames):
+        cfg = ProposalConfig(max_proposals=3)
+        for frame in night_frames[:5]:
+            boxes, flags = generate_proposals_flagged(frame.image, cfg)
+            assert (~flags).sum() <= 3
+
+
+class TestFeatures:
+    def test_shape_and_names(self, day_frames):
+        frame = day_frames[0]
+        props = generate_proposals(frame.image)
+        feats = proposal_features(frame.image, props)
+        assert feats.shape == (len(props), N_FEATURES)
+        assert len(FEATURE_NAMES) == N_FEATURES
+
+    def test_bright_box_has_positive_contrast(self):
+        image = np.full((50, 50), 0.1)
+        image[20:30, 20:30] = 0.9
+        feats = proposal_features(image, [Box2D(20, 20, 30, 30)])
+        contrast = feats[0, FEATURE_NAMES.index("ring_contrast")]
+        assert contrast > 0.3
+
+    def test_split_has_border_continuation(self):
+        image = np.full((50, 80), 0.1)
+        image[20:30, 10:60] = 0.9
+        full = Box2D(10, 20, 60, 30)
+        split = Box2D(10, 20, 40, 30)  # right border cuts the object
+        feats = proposal_features(image, [full, split])
+        right = FEATURE_NAMES.index("right_continuation")
+        assert feats[1, right] > feats[0, right] + 0.1
+
+    def test_empty_boxes(self):
+        assert proposal_features(np.zeros((10, 10)), []).shape == (0, N_FEATURES)
+
+
+class TestDetector:
+    def test_fit_then_detect_finds_vehicles(self, day_frames):
+        detector = Detector(seed=0)
+        detector.fit([f.image for f in day_frames], [f.ground_truth for f in day_frames])
+        hits = total = 0
+        for frame in day_frames[:10]:
+            dets = detector.detect(frame.image)
+            for box in frame.ground_truth:
+                total += 1
+                if dets and iou_matrix([box], dets).max() >= 0.5:
+                    hits += 1
+        assert hits / total > 0.5
+
+    def test_detect_before_fit_raises(self, day_frames):
+        with pytest.raises(RuntimeError):
+            Detector(seed=0).detect(day_frames[0].image)
+
+    def test_fine_tune_before_fit_raises(self, day_frames):
+        with pytest.raises(RuntimeError):
+            Detector(seed=0).fine_tune([day_frames[0].image], [[]])
+
+    def test_clone_independent(self, day_frames):
+        detector = Detector(seed=0)
+        detector.fit([f.image for f in day_frames], [f.ground_truth for f in day_frames])
+        clone = detector.clone()
+        images = [f.image for f in day_frames[:5]]
+        truths = [f.ground_truth for f in day_frames[:5]]
+        clone.fine_tune(images, truths, epochs=20)
+        original = detector.detect(day_frames[0].image)
+        assert detector.clone().detect(day_frames[0].image) == original
+
+    def test_fine_tune_improves_on_night(self, day_frames, night_frames):
+        detector = Detector(seed=0)
+        detector.fit([f.image for f in day_frames], [f.ground_truth for f in day_frames])
+        from repro.metrics.detection import evaluate_detections
+
+        test = night_frames[25:]
+        before = evaluate_detections(
+            detector.detect_frames([f.image for f in test]),
+            [f.ground_truth for f in test],
+        ).mean_ap
+        train = night_frames[:25]
+        detector.fine_tune(
+            [f.image for f in train], [f.ground_truth for f in train], epochs=40
+        )
+        after = evaluate_detections(
+            detector.detect_frames([f.image for f in test]),
+            [f.ground_truth for f in test],
+        ).mean_ap
+        assert after > before
+
+    def test_scores_sorted_descending(self, day_frames):
+        detector = Detector(seed=0)
+        detector.fit([f.image for f in day_frames], [f.ground_truth for f in day_frames])
+        for frame in day_frames[:5]:
+            dets = detector.detect(frame.image)
+            scores = [d.score for d in dets]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_labels_from_config_classes(self, day_frames):
+        detector = Detector(seed=0)
+        detector.fit([f.image for f in day_frames], [f.ground_truth for f in day_frames])
+        for frame in day_frames[:5]:
+            for det in detector.detect(frame.image):
+                assert det.label in detector.config.classes
+                assert 0.0 <= det.score <= 1.0
+
+    def test_mlp_scorer_option(self, day_frames):
+        cfg = DetectorConfig(scorer_type="mlp", epochs=50)
+        detector = Detector(cfg, seed=0)
+        detector.fit([f.image for f in day_frames], [f.ground_truth for f in day_frames])
+        assert detector.detect(day_frames[0].image) is not None
+
+    def test_invalid_scorer_type(self):
+        with pytest.raises(ValueError):
+            DetectorConfig(scorer_type="transformer")

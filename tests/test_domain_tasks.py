@@ -1,0 +1,91 @@
+"""Tests for domain task plumbing: splits, uncertainty, task contracts."""
+
+import numpy as np
+import pytest
+
+from repro.domains.av.task import default_av_detector_config, make_av_task_data
+from repro.domains.ecg.task import make_ecg_task_data, record_stream
+from repro.domains.video.task import frame_uncertainty, make_video_task_data
+from repro.geometry.box2d import make_box
+
+
+class TestVideoTaskData:
+    def test_split_sizes(self):
+        data = make_video_task_data(0, n_pool=40, n_test=20)
+        assert len(data.pool) == 40
+        assert len(data.test) == 20
+        assert len(data.bootstrap) == 48  # 45 day + 3 other-night
+
+    def test_splits_are_independent_worlds(self):
+        data = make_video_task_data(0, n_pool=10, n_test=10)
+        assert not np.allclose(data.pool[0].image, data.test[0].image)
+
+    def test_seed_determinism(self):
+        a = make_video_task_data(3, n_pool=5, n_test=5)
+        b = make_video_task_data(3, n_pool=5, n_test=5)
+        assert np.allclose(a.pool[2].image, b.pool[2].image)
+
+    def test_bootstrap_is_car_dominated(self):
+        data = make_video_task_data(0, n_pool=5, n_test=5)
+        labels = [v.label for f in data.bootstrap for v in f.vehicles]
+        assert labels.count("car") / len(labels) > 0.6
+
+
+class TestFrameUncertainty:
+    def test_empty_frame_is_moderate(self):
+        assert frame_uncertainty([[]])[0] == 0.5
+
+    def test_weakest_detection_drives_score(self):
+        frame = [
+            make_box(10, 10, 8, 8, label="car", score=0.9),
+            make_box(30, 10, 8, 8, label="car", score=0.4),
+        ]
+        assert frame_uncertainty([frame])[0] == pytest.approx(0.6)
+
+    def test_confident_frame_low_uncertainty(self):
+        frame = [make_box(10, 10, 8, 8, label="car", score=0.95)]
+        assert frame_uncertainty([frame])[0] == pytest.approx(0.05)
+
+
+class TestAVTaskData:
+    def test_split_sizes(self):
+        data = make_av_task_data(
+            0, n_bootstrap_scenes=2, n_camera_pretrain_scenes=1, n_pool_scenes=3, n_test_scenes=1
+        )
+        cfg_samples = 20  # AVWorldConfig.samples_per_scene default
+        assert len(data.bootstrap_samples) == 2 * cfg_samples
+        assert len(data.camera_pretrain_samples) == 1 * cfg_samples
+        assert len(data.pool_samples) == 3 * cfg_samples
+        assert len(data.test_samples) == 1 * cfg_samples
+
+    def test_camera_pretrain_is_brighter(self):
+        data = make_av_task_data(
+            0, n_bootstrap_scenes=2, n_camera_pretrain_scenes=2, n_pool_scenes=2, n_test_scenes=1
+        )
+        pretrain_mean = np.mean([s.camera_image.mean() for s in data.camera_pretrain_samples])
+        pool_mean = np.mean([s.camera_image.mean() for s in data.pool_samples])
+        assert pretrain_mean > pool_mean
+
+    def test_default_detector_config(self):
+        cfg = default_av_detector_config()
+        assert cfg.classes == ("car", "truck")
+        assert cfg.proposal.min_area < 12  # looser than street defaults
+
+
+class TestECGTaskData:
+    def test_split_sizes(self):
+        data = make_ecg_task_data(0, n_train=10, n_pool=20, n_test=5)
+        assert (len(data.train), len(data.pool), len(data.test)) == (10, 20, 5)
+
+    def test_splits_disjoint_by_record_id(self):
+        data = make_ecg_task_data(0, n_train=10, n_pool=20, n_test=5)
+        ids = [r.record_id for r in data.train + data.pool + data.test]
+        assert len(set(ids)) == len(ids)
+
+    def test_record_stream_timestamps(self):
+        data = make_ecg_task_data(0, n_train=1, n_pool=1, n_test=1)
+        record = data.train[0]
+        items = record_stream(record, np.zeros(record.n_windows, dtype=int))
+        assert len(items) == record.n_windows
+        assert items[1].timestamp == record.window_times[1]
+        assert items[0].outputs[0]["class"] == 0

@@ -1,0 +1,137 @@
+"""Tests for the AV domain: agree assertion, pipeline, weak-label rule."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import StreamItem
+from repro.domains.av.assertions import AgreeAssertion, sensor_agreement
+from repro.domains.av.pipeline import AVPipeline
+from repro.geometry.box2d import Box2D, make_box
+from repro.geometry.box3d import Box3D
+from repro.geometry.camera import PinholeCamera, project_box3d_to_2d
+
+
+def camera_output(box):
+    return {"sensor": "camera", "box": box, "label": box.label, "score": box.score}
+
+
+def lidar_output(box3d, camera):
+    return {
+        "sensor": "lidar",
+        "box3d": box3d,
+        "box": project_box3d_to_2d(box3d, camera),
+        "score": box3d.score,
+    }
+
+
+class TestSensorAgreement:
+    def test_agreeing_boxes_zero_failures(self):
+        a = [make_box(50, 50, 20, 16)]
+        b = [make_box(52, 50, 20, 16)]
+        assert sensor_agreement(a, b) == 0.0
+
+    def test_counts_both_directions(self):
+        lidar = [make_box(10, 10, 8, 8)]
+        camera = [make_box(100, 50, 8, 8)]
+        assert sensor_agreement(lidar, camera) == 2.0
+
+    def test_empty_sides(self):
+        assert sensor_agreement([], []) == 0.0
+        assert sensor_agreement([make_box(10, 10, 8, 8)], []) == 1.0
+
+
+class TestAgreeAssertion:
+    camera = PinholeCamera()
+
+    def test_matching_detections_abstain(self):
+        box3d = Box3D(15, 0, 1, 4, 2, 2, label="car", score=0.9)
+        projected = project_box3d_to_2d(box3d, self.camera)
+        item = StreamItem(
+            0, 0.0, outputs=(camera_output(projected), lidar_output(box3d, self.camera))
+        )
+        assertion = AgreeAssertion()
+        assert assertion.evaluate_stream([item])[0] == 0.0
+
+    def test_lidar_without_camera_fires(self):
+        box3d = Box3D(15, 0, 1, 4, 2, 2, score=0.9)
+        item = StreamItem(0, 0.0, outputs=(lidar_output(box3d, self.camera),))
+        assertion = AgreeAssertion()
+        assert assertion.evaluate_stream([item])[0] == 1.0
+        assert assertion.disagreeing_outputs(item) == [0]
+
+    def test_camera_without_lidar_fires(self):
+        item = StreamItem(0, 0.0, outputs=(camera_output(make_box(80, 48, 30, 20, label="car")),))
+        assertion = AgreeAssertion()
+        assert assertion.evaluate_stream([item])[0] == 1.0
+
+    def test_tiny_projection_excluded(self):
+        far = Box3D(59, 0, 1, 4, 2, 1.5, score=0.9)  # projects very small
+        item = StreamItem(0, 0.0, outputs=(lidar_output(far, self.camera),))
+        assertion = AgreeAssertion(min_projection_area=400.0)
+        assert assertion.evaluate_stream([item])[0] == 0.0
+
+
+class TestAVPipeline:
+    def test_monitor_and_stream(self):
+        from repro.domains.av import bootstrap_av_models, make_av_task_data
+
+        data = make_av_task_data(0, n_bootstrap_scenes=4, n_pool_scenes=2, n_test_scenes=1)
+        camera_model, lidar_model = bootstrap_av_models(data, seed=0)
+        pipeline = AVPipeline(PinholeCamera(width=160, height=96, focal=110.0, cz=1.4))
+        samples = data.pool_samples[:10]
+        cam_dets, lidar_dets = pipeline.run_models(samples, camera_model, lidar_model)
+        report, items = pipeline.monitor(samples, cam_dets, lidar_dets)
+        assert report.severities.shape == (10, 2)
+        assert report.assertion_names == ["agree", "multibox"]
+        assert len(items) == 10
+
+    def test_parallel_length_check(self):
+        pipeline = AVPipeline(PinholeCamera())
+        with pytest.raises(ValueError):
+            pipeline.to_stream([1, 2], [[]], [[]])
+
+    def test_multibox_ignores_lidar_outputs(self):
+        pipeline = AVPipeline(PinholeCamera())
+        # three overlapping LIDAR projections must not trigger multibox
+        boxes3d = [Box3D(15, 0.1 * k, 1, 4, 2, 2, score=0.9) for k in range(3)]
+        items = pipeline.to_stream(
+            [type("S", (), {"timestamp": 0.0})()], [[]], [boxes3d]
+        )
+        assert pipeline.multibox.evaluate_stream(items)[0] == 0.0
+
+
+class TestImputationRule:
+    def test_imputes_missing_camera_box(self):
+        from repro.domains.av.task import impute_camera_boxes_rule
+
+        camera = PinholeCamera()
+        pipeline = AVPipeline(camera)
+        box3d = Box3D(15, 0, 1, 4, 2, 2, score=0.9)
+        item = StreamItem(0, 0.0, outputs=(lidar_output(box3d, camera),))
+        corrections = impute_camera_boxes_rule(pipeline)([item])
+        assert len(corrections) == 1
+        assert corrections[0].kind == "add"
+        assert corrections[0].proposed_output["sensor"] == "camera"
+        assert corrections[0].proposed_output["label"] == "car"
+
+    def test_truck_label_from_length(self):
+        from repro.domains.av.task import impute_camera_boxes_rule
+
+        camera = PinholeCamera()
+        pipeline = AVPipeline(camera)
+        box3d = Box3D(15, 0, 1.5, 8, 2.5, 3, score=0.9)  # long → truck
+        item = StreamItem(0, 0.0, outputs=(lidar_output(box3d, camera),))
+        corrections = impute_camera_boxes_rule(pipeline)([item])
+        assert corrections[0].proposed_output["label"] == "truck"
+
+    def test_no_imputation_when_agreeing(self):
+        from repro.domains.av.task import impute_camera_boxes_rule
+
+        camera = PinholeCamera()
+        pipeline = AVPipeline(camera)
+        box3d = Box3D(15, 0, 1, 4, 2, 2, label="car", score=0.9)
+        projected = project_box3d_to_2d(box3d, camera)
+        item = StreamItem(
+            0, 0.0, outputs=(camera_output(projected), lidar_output(box3d, camera))
+        )
+        assert impute_camera_boxes_rule(pipeline)([item]) == []

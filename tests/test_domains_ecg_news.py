@@ -1,0 +1,159 @@
+"""Tests for the ECG and TV-news domains."""
+
+import numpy as np
+import pytest
+
+from repro.domains.ecg import (
+    ECGClassifier,
+    bootstrap_ecg_classifier,
+    make_ecg_assertion,
+    make_ecg_task_data,
+    record_severities,
+    run_ecg_weak_supervision,
+)
+from repro.domains.ecg.task import record_stream
+from repro.domains.tvnews import TVNewsPipeline
+from repro.worlds.ecg import ECG_CLASSES
+from repro.worlds.tvnews import TVNewsWorld, TVNewsWorldConfig
+
+
+@pytest.fixture(scope="module")
+def ecg_data():
+    return make_ecg_task_data(0, n_train=120, n_pool=300, n_test=300)
+
+
+@pytest.fixture(scope="module")
+def ecg_model(ecg_data):
+    return bootstrap_ecg_classifier(ecg_data, seed=1)
+
+
+class TestECGClassifier:
+    def test_beats_chance(self, ecg_data, ecg_model):
+        assert ecg_model.accuracy(ecg_data.test) > 50.0  # chance = 50% (majority)
+
+    def test_predict_windows_shape(self, ecg_data, ecg_model):
+        record = ecg_data.test[0]
+        classes, probs = ecg_model.predict_windows(record)
+        assert classes.shape == (record.n_windows,)
+        assert probs.shape == (record.n_windows, len(ECG_CLASSES))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_record_prediction_is_majority(self, ecg_data, ecg_model):
+        record = ecg_data.test[0]
+        classes, _ = ecg_model.predict_windows(record)
+        majority = np.bincount(classes, minlength=4).argmax()
+        assert ecg_model.predict_record(record) == majority
+
+    def test_confidence_in_unit_interval(self, ecg_data, ecg_model):
+        assert 0.0 < ecg_model.record_confidence(ecg_data.test[0]) <= 1.0
+
+    def test_clone_independent(self, ecg_data, ecg_model):
+        clone = ecg_model.clone()
+        clone.fine_tune(ecg_data.pool[:50], epochs=10)
+        assert ecg_model.accuracy(ecg_data.test) != pytest.approx(
+            clone.accuracy(ecg_data.test), abs=1e-12
+        ) or True  # cloning must at least not crash; independence checked below
+        record = ecg_data.test[0]
+        assert not np.allclose(
+            ecg_model.predict_windows(record)[1], clone.predict_windows(record)[1]
+        )
+
+    def test_predict_before_fit_raises(self, ecg_data):
+        with pytest.raises(RuntimeError):
+            ECGClassifier(seed=0).predict_windows(ecg_data.test[0])
+
+    def test_fine_tune_before_fit_raises(self, ecg_data):
+        with pytest.raises(RuntimeError):
+            ECGClassifier(seed=0).fine_tune(ecg_data.pool[:5])
+
+
+class TestECGAssertion:
+    def test_oscillation_fires(self):
+        assertion = make_ecg_assertion(30.0)
+        classes = np.array([0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0])
+        record = type(
+            "R", (), {"n_windows": 11, "window_times": np.arange(11) * 5.0}
+        )()
+        items = record_stream(record, classes)
+        assert assertion.evaluate_stream(items).sum() > 0
+
+    def test_stable_prediction_abstains(self):
+        assertion = make_ecg_assertion(30.0)
+        record = type(
+            "R", (), {"n_windows": 11, "window_times": np.arange(11) * 5.0}
+        )()
+        items = record_stream(record, np.zeros(11, dtype=int))
+        assert assertion.evaluate_stream(items).sum() == 0
+
+    def test_slow_transition_allowed(self):
+        # A → B with both persisting ≥ 30 s: a genuine rhythm change.
+        assertion = make_ecg_assertion(30.0)
+        classes = np.array([0] * 7 + [1] * 7)
+        record = type(
+            "R", (), {"n_windows": 14, "window_times": np.arange(14) * 5.0}
+        )()
+        items = record_stream(record, classes)
+        assert assertion.evaluate_stream(items).sum() == 0
+
+    def test_record_severities_shape(self, ecg_data, ecg_model):
+        sev = record_severities(ecg_model, ecg_data.pool[:40])
+        assert sev.shape == (40, 1)
+        assert np.all(sev >= 0)
+
+    def test_flagged_records_have_oscillating_predictions(self, ecg_data, ecg_model):
+        sev = record_severities(ecg_model, ecg_data.pool[:80])[:, 0]
+        for idx in np.flatnonzero(sev > 0)[:10]:
+            classes, _ = ecg_model.predict_windows(ecg_data.pool[idx])
+            assert len(set(classes.tolist())) > 1
+
+
+class TestECGWeakSupervision:
+    def test_runs_and_reports(self, ecg_data):
+        result = run_ecg_weak_supervision(ecg_data, n_weak=150, seed=3)
+        assert result.domain == "ECG"
+        assert result.n_weak_labels > 0
+        assert 0 < result.pretrained_metric < 100
+        assert 0 < result.weakly_supervised_metric < 100
+
+
+class TestTVNewsPipeline:
+    @pytest.fixture(scope="class")
+    def scenes(self):
+        return TVNewsWorld(seed=0).generate_videos(2, 1200)
+
+    def test_assertions_registered(self):
+        pipeline = TVNewsPipeline()
+        assert pipeline.assertion_names == [
+            "news:attr:identity",
+            "news:attr:gender",
+            "news:attr:hair",
+        ]
+
+    def test_fires_on_injected_errors(self, scenes):
+        pipeline = TVNewsPipeline()
+        report, _ = pipeline.monitor(scenes)
+        assert report.total_fires() > 0
+
+    def test_clean_world_abstains(self):
+        cfg = TVNewsWorldConfig(
+            identity_error_rate=0.0, gender_error_rate=0.0, hair_error_rate=0.0
+        )
+        scenes = TVNewsWorld(cfg, seed=0).generate_videos(1, 600)
+        pipeline = TVNewsPipeline()
+        report, _ = pipeline.monitor(scenes)
+        assert report.total_fires() == 0
+
+    def test_identifiers_scene_local(self, scenes):
+        pipeline = TVNewsPipeline()
+        _, items = pipeline.monitor(scenes)
+        for item in items:
+            for output in item.outputs:
+                video_id, scene_id, _cluster = output["face_id"]
+                assert output["observation"].scene_id == scene_id
+
+    def test_aggregate_news_severity(self, scenes):
+        pipeline = TVNewsPipeline()
+        report, _ = pipeline.monitor(scenes)
+        agg = pipeline.aggregate_news_severity(report)
+        assert agg.shape == (report.n_items,)
+        assert agg.sum() == report.severities.sum()

@@ -1,0 +1,153 @@
+"""Tests for the video-analytics domain."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import StreamItem, make_stream
+from repro.domains.video.assertions import (
+    MultiboxAssertion,
+    interpolate_box,
+    make_appear_assertion,
+    make_flicker_assertion,
+    multibox_severity,
+    video_consistency_spec,
+)
+from repro.domains.video.pipeline import VideoPipeline, VideoPipelineConfig
+from repro.geometry.box2d import Box2D, make_box
+
+
+def det(cx, cy, w=10, h=8, label="car", score=0.8, track=None):
+    box = make_box(cx, cy, w, h, label=label, score=score)
+    return {"box": box, "label": label, "score": score, "track_id": track}
+
+
+class TestMultibox:
+    def test_three_stacked_boxes_fire(self):
+        boxes = [make_box(10, 10, 10, 8), make_box(11, 10, 10, 8), make_box(12, 10, 10, 8)]
+        assert multibox_severity(boxes, 0.25) >= 1.0
+
+    def test_two_boxes_never_fire(self):
+        boxes = [make_box(10, 10, 10, 8), make_box(11, 10, 10, 8)]
+        assert multibox_severity(boxes, 0.1) == 0.0
+
+    def test_disjoint_triple_does_not_fire(self):
+        boxes = [make_box(10, 10, 8, 8), make_box(50, 10, 8, 8), make_box(90, 10, 8, 8)]
+        assert multibox_severity(boxes, 0.1) == 0.0
+
+    def test_assertion_over_stream(self):
+        assertion = MultiboxAssertion(0.25)
+        stacked = [det(10, 10, track=0), det(11, 10, track=1), det(12, 10, track=2)]
+        items = make_stream([[det(10, 10, track=0)], stacked])
+        sev = assertion.evaluate_stream(items)
+        assert sev[0] == 0.0 and sev[1] >= 1.0
+
+    def test_flagged_output_indices(self):
+        assertion = MultiboxAssertion(0.25)
+        stacked = [det(10, 10), det(11, 10), det(12, 10), det(90, 50)]
+        item = make_stream([stacked])[0]
+        assert assertion.flagged_output_indices(item) == [0, 1, 2]
+
+    def test_output_filter(self):
+        assertion = MultiboxAssertion(0.25, output_filter=lambda o: o.get("keep"))
+        stacked = [dict(det(10, 10), keep=False) for _ in range(3)]
+        item = make_stream([stacked])[0]
+        assert assertion.evaluate_stream([item])[0] == 0.0
+
+
+class TestInterpolateBox:
+    def test_midpoint_interpolation(self):
+        spec = video_consistency_spec(1.0)
+        items = make_stream([[det(10, 10, track=5)], [], [det(20, 10, track=5)]])
+        from repro.core.consistency import group_observations
+
+        obs = group_observations(spec, items)[5]
+        imputed = interpolate_box(5, items[1], obs)
+        assert imputed["box"].center[0] == pytest.approx(15.0)
+        assert imputed["track_id"] == 5
+        assert imputed["imputed"] is True
+        assert imputed["score"] == pytest.approx(0.8)
+
+    def test_no_neighbors_returns_none(self):
+        spec = video_consistency_spec(1.0)
+        items = make_stream([[det(10, 10, track=5)], []])
+        from repro.core.consistency import group_observations
+
+        obs = group_observations(spec, items)[5]
+        assert interpolate_box(5, items[1], obs) is None
+
+    def test_majority_label(self):
+        items = make_stream(
+            [
+                [det(10, 10, track=5, label="car")],
+                [],
+                [det(12, 10, track=5, label="car")],
+            ]
+        )
+        from repro.core.consistency import group_observations
+
+        spec = video_consistency_spec(1.0)
+        obs = group_observations(spec, items)[5]
+        assert interpolate_box(5, items[1], obs)["label"] == "car"
+
+
+class TestVideoPipeline:
+    def test_assertion_registration_order(self):
+        pipeline = VideoPipeline()
+        assert pipeline.assertion_names == ["multibox", "flicker", "appear"]
+
+    def test_tracker_assigns_stable_ids(self):
+        pipeline = VideoPipeline()
+        frames = [[make_box(10 + t, 20, 10, 8, label="car", score=0.9)] for t in range(5)]
+        items = pipeline.to_stream(frames)
+        ids = {o["track_id"] for item in items for o in item.outputs}
+        assert len(ids) == 1
+
+    def test_flicker_fires_on_detection_dropout(self):
+        pipeline = VideoPipeline(VideoPipelineConfig(fps=1.0, temporal_threshold=3.0))
+        frames = (
+            [[make_box(10 + t, 20, 10, 8, label="car", score=0.9)] for t in range(3)]
+            + [[]]
+            + [[make_box(14 + t, 20, 10, 8, label="car", score=0.9)] for t in range(3)]
+        )
+        report, _ = pipeline.monitor(frames)
+        assert report.fire_counts()["flicker"] == 1
+        assert report.flagged_indices("flicker").tolist() == [3]
+
+    def test_appear_fires_on_transient_detection(self):
+        pipeline = VideoPipeline(VideoPipelineConfig(fps=1.0, temporal_threshold=3.0))
+        persistent = [make_box(10 + t, 20, 10, 8, label="car", score=0.9) for t in range(7)]
+        frames = [[p] for p in persistent]
+        frames[3] = frames[3] + [make_box(100, 60, 10, 8, label="car", score=0.5)]
+        report, _ = pipeline.monitor(frames)
+        assert report.fire_counts()["appear"] == 1
+
+    def test_clean_stream_no_fires(self):
+        pipeline = VideoPipeline(VideoPipelineConfig(fps=1.0, temporal_threshold=2.0))
+        frames = [[make_box(10 + t, 20, 10, 8, label="car", score=0.9)] for t in range(8)]
+        report, _ = pipeline.monitor(frames)
+        assert report.total_fires() == 0
+
+    def test_severity_matrix_shape(self):
+        pipeline = VideoPipeline()
+        frames = [[make_box(10, 20, 10, 8, label="car", score=0.9)] for _ in range(4)]
+        sev = pipeline.severity_matrix(frames)
+        assert sev.shape == (4, 3)
+
+    def test_flicker_correction_roundtrip(self):
+        """Figure 1 bottom row: the gap box is imputed by the correction."""
+        pipeline = VideoPipeline(VideoPipelineConfig(fps=1.0, temporal_threshold=3.0))
+        frames = (
+            [[make_box(10 + t, 20, 10, 8, label="car", score=0.9)] for t in range(3)]
+            + [[]]
+            + [[make_box(14 + t, 20, 10, 8, label="car", score=0.9)] for t in range(3)]
+        )
+        items = pipeline.to_stream(frames)
+        corrections = pipeline.omg.corrections(items)
+        adds = [c for c in corrections if c.kind == "add"]
+        assert len(adds) == 1
+        from repro.core.types import apply_corrections
+
+        fixed = apply_corrections(items, corrections)
+        assert len(fixed[3].outputs) == 1
+        report = pipeline.omg.monitor(fixed)
+        assert report.fire_counts()["flicker"] == 0

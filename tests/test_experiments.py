@@ -1,0 +1,141 @@
+"""Tests for the experiment harness (small configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.loc import effective_loc, loc_with_helpers
+from repro.experiments.reporting import format_float, format_table
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table5 import run_table5
+from repro.experiments.table6 import run_table6
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["A", "Blong"], [(1, 2), (333, 4)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "Blong" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_float(self):
+        assert format_float(1.234) == "1.2"
+        assert format_float(None) == "n/a"
+        assert format_float(float("nan")) == "n/a"
+
+
+class TestLocCounting:
+    def test_counts_exclude_docstrings_and_comments(self):
+        def sample():
+            """Docstring line.
+
+            More docstring.
+            """
+            # a comment
+            x = 1
+
+            return x
+
+        assert effective_loc(sample) == 3  # def, x = 1, return x
+
+    def test_multiline_statements_counted_per_line(self):
+        def sample(a=(
+            1,
+            2,
+        )):
+            return a
+
+        assert effective_loc(sample) == 5
+
+    def test_loc_with_helpers_sums(self):
+        def body():
+            return 1
+
+        def helper():
+            return 2
+
+        b, total = loc_with_helpers([body], [helper])
+        assert b == 2 and total == 4
+
+
+class TestTable1:
+    def test_four_domains(self):
+        result = run_table1()
+        assert len(result.rows) == 4
+        tasks = [r.task for r in result.rows]
+        assert "TV news" in tasks and "AF classification" in tasks
+        assert "flicker" in result.format_table()
+
+
+class TestTable2:
+    def test_paper_loc_bounds(self):
+        result = run_table2()
+        assert {r.assertion for r in result.rows} == {
+            "news",
+            "ECG",
+            "flicker",
+            "appear",
+            "multibox",
+            "agree",
+        }
+        # Paper: assertion main bodies fit in ≤ 25 LOC.
+        assert result.max_body_loc <= 25
+        # Helpers included, the paper reports ≤ 60; our shared IoU helper
+        # is a little chattier — everything stays under 70.
+        assert result.max_total_loc <= 70
+
+    def test_consistency_rows_tagged(self):
+        result = run_table2()
+        assert result.row("news").kind == "consistency"
+        assert result.row("agree").kind == "custom"
+
+    def test_helpers_never_reduce_loc(self):
+        result = run_table2()
+        assert all(r.loc_with_helpers >= r.loc_body for r in result.rows)
+
+
+class TestTable5:
+    def test_matches_taxonomy(self):
+        result = run_table5()
+        assert result.n_classes == 4
+        assert result.n_subclasses == 9
+        assert "multi-modal" in result.format_table()
+
+
+class TestTable6:
+    def test_small_run_shape(self):
+        result = run_table6(seed=0, n_video_frames=600, label_stride=10)
+        assert result.n_labels > 100
+        assert 0 < result.n_errors < result.n_labels
+        assert 0 <= result.n_errors_caught <= result.n_errors
+        # The tracker-consistency check catches a strict minority of
+        # errors (paper: 12.5%) but not none.
+        assert 0.0 < result.catch_rate < 0.6
+
+    def test_error_rate_tracks_config(self):
+        low = run_table6(seed=1, n_video_frames=600, class_error_rate=0.02)
+        high = run_table6(seed=1, n_video_frames=600, class_error_rate=0.3)
+        assert high.error_rate > low.error_rate
+
+    def test_format(self):
+        result = run_table6(seed=0, n_video_frames=400)
+        assert "Errors caught" in result.format_table()
+
+
+class TestFig3Small:
+    def test_flicker_errors_are_high_confidence(self):
+        from repro.experiments.fig3 import run_fig3
+
+        result = run_fig3(seed=0, n_pool=250)
+        assert result.n_boxes > 0
+        # the headline claim: assertion-flagged errors reach high
+        # confidence percentiles that uncertainty monitoring would miss
+        assert result.top_percentile("flicker") > 70.0
+
+    def test_format_table(self):
+        from repro.experiments.fig3 import Fig3Result
+
+        result = Fig3Result(percentiles={"flicker": [90.0, 80.0]}, n_boxes=10)
+        text = result.format_table()
+        assert "Rank" in text and "90" in text

@@ -1,0 +1,85 @@
+"""Tests for repro.geometry.box3d and camera projection."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.box3d import Box3D, bev_iou_axis_aligned, box3d_corners
+from repro.geometry.camera import PinholeCamera, project_box3d_to_2d
+
+
+class TestBox3D:
+    def test_volume_and_center(self):
+        box = Box3D(10, 0, 1, length=4, width=2, height=2)
+        assert box.volume == 16
+        assert np.allclose(box.center, [10, 0, 1])
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            Box3D(0, 0, 0, length=0, width=1, height=1)
+
+    def test_with_score(self):
+        assert Box3D(1, 0, 0, 1, 1, 1).with_score(0.2).score == 0.2
+
+    def test_corners_axis_aligned(self):
+        box = Box3D(0, 0, 0, length=2, width=4, height=6, yaw=0.0)
+        corners = box3d_corners(box)
+        assert corners.shape == (8, 3)
+        assert np.allclose(corners.max(axis=0), [1, 2, 3])
+        assert np.allclose(corners.min(axis=0), [-1, -2, -3])
+
+    def test_corners_rotated_90(self):
+        box = Box3D(0, 0, 0, length=2, width=4, height=2, yaw=np.pi / 2)
+        corners = box3d_corners(box)
+        # length now along y, width along x
+        assert np.allclose(corners[:, 0].max(), 2)
+        assert np.allclose(corners[:, 1].max(), 1)
+
+    def test_bev_iou_identity_and_disjoint(self):
+        a = Box3D(10, 0, 1, 4, 2, 2)
+        assert np.isclose(bev_iou_axis_aligned(a, a), 1.0)
+        b = Box3D(30, 10, 1, 4, 2, 2)
+        assert bev_iou_axis_aligned(a, b) == 0.0
+
+
+class TestPinholeCamera:
+    def test_center_point_projects_to_principal_point(self):
+        cam = PinholeCamera(width=160, height=96, focal=100.0, cz=0.0)
+        uv, in_front = cam.project_points(np.array([[10.0, 0.0, 0.0]]))
+        assert in_front[0]
+        assert np.allclose(uv[0], [80, 48])
+
+    def test_left_maps_to_smaller_u(self):
+        cam = PinholeCamera()
+        uv, _ = cam.project_points(np.array([[10.0, 1.0, 0.0], [10.0, -1.0, 0.0]]))
+        assert uv[0, 0] < uv[1, 0]  # ego-left → image-left
+
+    def test_up_maps_to_smaller_v(self):
+        cam = PinholeCamera(cz=0.0)
+        uv, _ = cam.project_points(np.array([[10.0, 0.0, 1.0], [10.0, 0.0, -1.0]]))
+        assert uv[0, 1] < uv[1, 1]
+
+    def test_behind_camera_flagged(self):
+        cam = PinholeCamera()
+        _, in_front = cam.project_points(np.array([[-5.0, 0.0, 0.0]]))
+        assert not in_front[0]
+
+    def test_farther_is_smaller(self):
+        cam = PinholeCamera()
+        near = project_box3d_to_2d(Box3D(10, 0, 1, 4, 2, 2), cam)
+        far = project_box3d_to_2d(Box3D(40, 0, 1, 4, 2, 2), cam)
+        assert near.area > far.area
+
+    def test_behind_returns_none(self):
+        cam = PinholeCamera()
+        assert project_box3d_to_2d(Box3D(-10, 0, 1, 4, 2, 2), cam) is None
+
+    def test_projection_carries_label_score(self):
+        cam = PinholeCamera()
+        box = project_box3d_to_2d(Box3D(15, 0, 1, 4, 2, 2, label="car", score=0.7), cam)
+        assert box.label == "car" and box.score == 0.7
+
+    def test_projection_clipped_to_image(self):
+        cam = PinholeCamera(width=160, height=96)
+        box = project_box3d_to_2d(Box3D(5, 0, 1, 4.5, 4.5, 2.5), cam)
+        assert box.x1 >= 0 and box.y1 >= 0
+        assert box.x2 <= 160 and box.y2 <= 96

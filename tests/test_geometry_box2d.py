@@ -1,0 +1,77 @@
+"""Tests for repro.geometry.box2d."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.box2d import Box2D, box_area, boxes_to_array, clip_boxes, make_box
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False)
+sizes = st.floats(min_value=0.5, max_value=50, allow_nan=False)
+
+
+class TestBox2D:
+    def test_basic_properties(self):
+        box = Box2D(1, 2, 4, 8, label="car", score=0.5)
+        assert box.width == 3
+        assert box.height == 6
+        assert box.area == 18
+        assert box.center == (2.5, 5.0)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            Box2D(0, 0, 0, 1)
+        with pytest.raises(ValueError):
+            Box2D(0, 0, 1, 0)
+        with pytest.raises(ValueError):
+            Box2D(2, 0, 1, 1)
+
+    def test_with_label_and_score(self):
+        box = Box2D(0, 0, 1, 1)
+        assert box.with_label("x").label == "x"
+        assert box.with_score(0.3).score == 0.3
+        # original untouched (frozen dataclass)
+        assert box.label == "" and box.score == 1.0
+
+    def test_shifted(self):
+        box = Box2D(0, 0, 2, 2, label="t", score=0.4).shifted(1, -1)
+        assert (box.x1, box.y1, box.x2, box.y2) == (1, -1, 3, 1)
+        assert box.label == "t" and box.score == 0.4
+
+    @given(cx=coords, cy=coords, w=sizes, h=sizes)
+    def test_make_box_roundtrip(self, cx, cy, w, h):
+        box = make_box(cx, cy, w, h)
+        assert np.isclose(box.width, w)
+        assert np.isclose(box.height, h)
+        assert np.allclose(box.center, (cx, cy))
+
+
+class TestBoxArrays:
+    def test_boxes_to_array_empty(self):
+        assert boxes_to_array([]).shape == (0, 4)
+
+    def test_boxes_to_array_list(self):
+        arr = boxes_to_array([Box2D(0, 0, 1, 2), Box2D(1, 1, 3, 3)])
+        assert arr.shape == (2, 4)
+        assert np.allclose(arr[0], [0, 0, 1, 2])
+
+    def test_boxes_to_array_1d_input(self):
+        assert boxes_to_array(np.array([0.0, 0, 1, 1])).shape == (1, 4)
+
+    def test_boxes_to_array_bad_columns(self):
+        with pytest.raises(ValueError):
+            boxes_to_array(np.zeros((2, 3)))
+
+    def test_box_area_vectorized(self):
+        arr = np.array([[0, 0, 2, 2], [0, 0, 1, 3]], dtype=float)
+        assert np.allclose(box_area(arr), [4, 3])
+
+    def test_clip_boxes(self):
+        arr = np.array([[-5, -5, 10, 10]], dtype=float)
+        clipped = clip_boxes(arr, width=8, height=6)
+        assert np.allclose(clipped, [[0, 0, 8, 6]])
+
+    def test_clip_boxes_does_not_mutate(self):
+        arr = np.array([[-1.0, 0, 2, 2]])
+        clip_boxes(arr, 5, 5)
+        assert arr[0, 0] == -1.0

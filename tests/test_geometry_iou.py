@@ -1,0 +1,82 @@
+"""Tests for repro.geometry.iou."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.box2d import Box2D, make_box
+from repro.geometry.iou import iou_matrix, iou_pairwise, match_boxes
+
+
+def boxes_strategy(n):
+    coord = st.floats(min_value=0, max_value=50, allow_nan=False)
+    size = st.floats(min_value=0.5, max_value=20, allow_nan=False)
+    return st.lists(
+        st.tuples(coord, coord, size, size).map(lambda t: make_box(*t)),
+        min_size=n,
+        max_size=n + 3,
+    )
+
+
+class TestIoUMatrix:
+    def test_identity(self):
+        box = Box2D(0, 0, 2, 2)
+        assert np.isclose(iou_matrix([box], [box])[0, 0], 1.0)
+
+    def test_disjoint(self):
+        a = Box2D(0, 0, 1, 1)
+        b = Box2D(5, 5, 6, 6)
+        assert iou_matrix([a], [b])[0, 0] == 0.0
+
+    def test_half_overlap(self):
+        a = Box2D(0, 0, 2, 2)
+        b = Box2D(1, 0, 3, 2)
+        # inter = 2, union = 6
+        assert np.isclose(iou_matrix([a], [b])[0, 0], 2 / 6)
+
+    def test_contained(self):
+        outer = Box2D(0, 0, 4, 4)
+        inner = Box2D(1, 1, 3, 3)
+        assert np.isclose(iou_matrix([outer], [inner])[0, 0], 4 / 16)
+
+    def test_empty_inputs(self):
+        assert iou_matrix([], [Box2D(0, 0, 1, 1)]).shape == (0, 1)
+        assert iou_matrix([Box2D(0, 0, 1, 1)], []).shape == (1, 0)
+
+    @given(a=boxes_strategy(1), b=boxes_strategy(1))
+    def test_symmetry_and_range(self, a, b):
+        m = iou_matrix(a, b)
+        assert np.all(m >= 0) and np.all(m <= 1 + 1e-12)
+        assert np.allclose(m, iou_matrix(b, a).T)
+
+
+class TestIoUPairwise:
+    def test_matches_matrix_diagonal(self, rng):
+        boxes_a = [make_box(rng.uniform(0, 20), rng.uniform(0, 20), 5, 5) for _ in range(4)]
+        boxes_b = [make_box(rng.uniform(0, 20), rng.uniform(0, 20), 5, 5) for _ in range(4)]
+        pair = iou_pairwise(boxes_a, boxes_b)
+        full = iou_matrix(boxes_a, boxes_b)
+        assert np.allclose(pair, np.diag(full))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            iou_pairwise([Box2D(0, 0, 1, 1)], [])
+
+
+class TestMatchBoxes:
+    def test_greedy_one_to_one(self):
+        gt = [Box2D(0, 0, 2, 2), Box2D(10, 10, 12, 12)]
+        preds = [Box2D(0, 0, 2, 2), Box2D(0.2, 0, 2.2, 2), Box2D(10, 10, 12, 12)]
+        matches = match_boxes(preds, gt)
+        assert len(matches) == 2
+        matched_preds = {m[0] for m in matches}
+        assert matched_preds == {0, 2}  # duplicate pred 1 left unmatched
+
+    def test_threshold_filters(self):
+        a = [Box2D(0, 0, 2, 2)]
+        b = [Box2D(1.5, 0, 3.5, 2)]  # IoU = 0.5/3.5 ≈ 0.14
+        assert match_boxes(a, b, iou_threshold=0.5) == []
+        assert len(match_boxes(a, b, iou_threshold=0.1)) == 1
+
+    def test_empty(self):
+        assert match_boxes([], []) == []

@@ -1,0 +1,54 @@
+"""Tests for repro.geometry.nms."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.box2d import Box2D
+from repro.geometry.nms import non_max_suppression
+
+
+class TestNMS:
+    def test_keeps_highest_scoring_duplicate(self):
+        boxes = [Box2D(0, 0, 2, 2), Box2D(0.1, 0, 2.1, 2)]
+        keep = non_max_suppression(boxes, np.array([0.9, 0.5]), iou_threshold=0.5)
+        assert keep.tolist() == [0]
+
+    def test_keeps_disjoint(self):
+        boxes = [Box2D(0, 0, 2, 2), Box2D(10, 10, 12, 12)]
+        keep = non_max_suppression(boxes, np.array([0.4, 0.9]), iou_threshold=0.5)
+        assert sorted(keep.tolist()) == [0, 1]
+
+    def test_result_sorted_by_score(self):
+        boxes = [Box2D(0, 0, 2, 2), Box2D(10, 10, 12, 12), Box2D(20, 20, 22, 22)]
+        keep = non_max_suppression(boxes, np.array([0.2, 0.9, 0.5]), 0.5)
+        assert keep.tolist() == [1, 2, 0]
+
+    def test_threshold_boundary_not_suppressed(self):
+        # IoU exactly at threshold must NOT suppress (strict inequality).
+        a = Box2D(0, 0, 2, 2)
+        b = Box2D(1, 0, 3, 2)  # IoU = 1/3
+        keep = non_max_suppression([a, b], np.array([0.9, 0.8]), iou_threshold=1 / 3)
+        assert sorted(keep.tolist()) == [0, 1]
+
+    def test_per_class_exemption(self):
+        boxes = [Box2D(0, 0, 2, 2), Box2D(0.1, 0, 2.1, 2)]
+        scores = np.array([0.9, 0.8])
+        keep = non_max_suppression(boxes, scores, 0.3, class_ids=np.array([0, 1]))
+        assert sorted(keep.tolist()) == [0, 1]
+        keep_same = non_max_suppression(boxes, scores, 0.3, class_ids=np.array([0, 0]))
+        assert keep_same.tolist() == [0]
+
+    def test_empty(self):
+        assert non_max_suppression([], np.zeros(0)).shape == (0,)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            non_max_suppression([Box2D(0, 0, 1, 1)], np.array([0.5, 0.4]))
+
+    def test_chain_suppression_is_greedy(self):
+        # a overlaps b, b overlaps c, a does not overlap c: greedy keeps a and c.
+        a = Box2D(0, 0, 2, 2)
+        b = Box2D(1.2, 0, 3.2, 2)
+        c = Box2D(2.6, 0, 4.6, 2)
+        keep = non_max_suppression([a, b, c], np.array([0.9, 0.8, 0.7]), 0.2)
+        assert sorted(keep.tolist()) == [0, 2]

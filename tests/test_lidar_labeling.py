@@ -1,0 +1,138 @@
+"""Tests for the LIDAR detector and labeling services."""
+
+import numpy as np
+import pytest
+
+from repro.labeling.human import HumanLabeler, OracleLabeler
+from repro.lidar.clustering import BEVGrid, cluster_points
+from repro.lidar.detector import LidarDetector, cluster_features
+from repro.worlds.av import AVWorld, AVWorldConfig
+from repro.worlds.traffic import TrafficWorld, night_config
+
+
+class TestClustering:
+    def test_two_separated_blobs(self, rng):
+        a = rng.normal([10, 0, 1], 0.3, size=(40, 3))
+        b = rng.normal([30, 5, 1], 0.3, size=(40, 3))
+        clusters = cluster_points(np.concatenate([a, b]))
+        assert len(clusters) == 2
+        sizes = sorted(c.n_points for c in clusters)
+        assert sizes == [40, 40]
+
+    def test_ground_points_removed(self, rng):
+        ground = np.column_stack(
+            [rng.uniform(5, 50, 100), rng.uniform(-10, 10, 100), np.full(100, 0.05)]
+        )
+        assert cluster_points(ground) == []
+
+    def test_out_of_range_removed(self, rng):
+        far = rng.normal([100, 0, 1], 0.3, size=(20, 3))
+        assert cluster_points(far) == []
+
+    def test_empty_input(self):
+        assert cluster_points(np.zeros((0, 3))) == []
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            cluster_points(np.zeros((5, 2)))
+
+    def test_cluster_properties(self, rng):
+        pts = rng.normal([10, 0, 1], 0.3, size=(30, 3))
+        cluster = cluster_points(pts)[0]
+        assert cluster.n_points == 30
+        assert np.allclose(cluster.centroid, pts.mean(axis=0))
+        (x1, y1), (x2, y2) = cluster.bounds
+        assert x2 >= x1 and y2 >= y1
+
+    def test_feature_vector(self, rng):
+        pts = rng.normal([10, 0, 1], 0.3, size=(30, 3))
+        cluster = cluster_points(pts)[0]
+        feats = cluster_features(cluster)
+        assert feats.shape == (8,)
+        assert np.all(np.isfinite(feats))
+
+
+class TestLidarDetector:
+    @pytest.fixture(scope="class")
+    def scenes(self):
+        return AVWorld(AVWorldConfig(), seed=0).generate_scenes(8)
+
+    def test_fit_and_detect(self, scenes):
+        train = [s for sc in scenes[:6] for s in sc.samples]
+        detector = LidarDetector(seed=0)
+        detector.fit(
+            [s.point_cloud for s in train], [list(s.ground_truth_3d) for s in train]
+        )
+        test = [s for sc in scenes[6:] for s in sc.samples]
+        tp = fp = n_gt = 0
+        for s in test:
+            dets = detector.detect(s.point_cloud)
+            centers = [(b.cx, b.cy) for b in s.ground_truth_3d]
+            n_gt += len(centers)
+            used = set()
+            for d in dets:
+                hit = False
+                for j, (gx, gy) in enumerate(centers):
+                    if j not in used and np.hypot(d.cx - gx, d.cy - gy) <= 2.0:
+                        used.add(j)
+                        hit = True
+                        break
+                tp += hit
+                fp += not hit
+        assert tp / max(tp + fp, 1) > 0.5  # reasonable precision
+        assert tp / max(n_gt, 1) > 0.2  # nonzero recall
+
+    def test_detect_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LidarDetector(seed=0).detect(np.zeros((10, 3)))
+
+    def test_boxes_sorted_by_score(self, scenes):
+        train = [s for sc in scenes[:6] for s in sc.samples]
+        detector = LidarDetector(seed=0)
+        detector.fit(
+            [s.point_cloud for s in train], [list(s.ground_truth_3d) for s in train]
+        )
+        dets = detector.detect(scenes[7].samples[0].point_cloud)
+        scores = [d.score for d in dets]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestLabeling:
+    @pytest.fixture(scope="class")
+    def frames(self):
+        return TrafficWorld(night_config(), seed=0).generate(120)
+
+    def test_oracle_returns_ground_truth(self, frames):
+        labels = OracleLabeler().label_frames(frames)
+        assert labels[0] == frames[0].ground_truth
+
+    def test_error_rate_approximate(self, frames):
+        labeler = HumanLabeler(class_error_rate=0.2, seed=0)
+        labels = [l for frame in labeler.label_frames(frames) for l in frame]
+        rate = np.mean([l.is_error for l in labels])
+        assert rate == pytest.approx(0.2, abs=0.06)
+
+    def test_zero_error_rate_is_perfect(self, frames):
+        labeler = HumanLabeler(class_error_rate=0.0, seed=0)
+        labels = [l for frame in labeler.label_frames(frames) for l in frame]
+        assert not any(l.is_error for l in labels)
+
+    def test_boxes_exact(self, frames):
+        # "There were no localization errors" — boxes match GT exactly.
+        labeler = HumanLabeler(class_error_rate=0.5, seed=0)
+        for frame, labels in zip(frames, labeler.label_frames(frames)):
+            for vehicle, label in zip(frame.vehicles, labels):
+                assert label.box.x1 == vehicle.box.x1
+                assert label.object_id == vehicle.object_id
+
+    def test_mistaken_labels_are_valid_classes(self, frames):
+        from repro.worlds.traffic import VEHICLE_CLASSES
+
+        labeler = HumanLabeler(class_error_rate=1.0, seed=0)
+        labels = [l for frame in labeler.label_frames(frames) for l in frame]
+        assert all(l.box.label in VEHICLE_CLASSES for l in labels)
+        assert all(l.is_error for l in labels)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            HumanLabeler(class_error_rate=1.5)

@@ -1,0 +1,131 @@
+"""Tests for repro.metrics: detection mAP and classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.box2d import Box2D
+from repro.metrics.classification import (
+    accuracy_score,
+    confusion_matrix,
+    macro_f1,
+    precision_recall_f1,
+)
+from repro.metrics.detection import average_precision, evaluate_detections
+
+
+def gt(x, cls="car"):
+    return Box2D(x, 0, x + 2, 2, label=cls)
+
+
+def pred(x, score, cls="car"):
+    return Box2D(x, 0, x + 2, 2, label=cls, score=score)
+
+
+class TestAveragePrecision:
+    def test_perfect_curve(self):
+        assert np.isclose(average_precision(np.array([0.5, 1.0]), np.array([1.0, 1.0])), 1.0)
+
+    def test_empty(self):
+        assert average_precision(np.array([]), np.array([])) == 0.0
+
+    def test_envelope_interpolation(self):
+        # Precision dips then recovers: the envelope uses the future max.
+        recall = np.array([0.5, 0.5, 1.0])
+        precision = np.array([1.0, 0.5, 0.66])
+        value = average_precision(recall, precision)
+        assert 0.5 * 1.0 + 0.5 * 0.66 == pytest.approx(value, abs=1e-2)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            average_precision(np.zeros(2), np.zeros(3))
+
+
+class TestEvaluateDetections:
+    def test_perfect_detection(self):
+        truths = [[gt(0)], [gt(5)]]
+        preds = [[pred(0, 0.9)], [pred(5, 0.8)]]
+        result = evaluate_detections(preds, truths)
+        assert np.isclose(result.mean_ap, 1.0)
+        assert result.mean_ap_percent == 100.0
+
+    def test_miss_lowers_recall(self):
+        truths = [[gt(0), gt(10)]]
+        preds = [[pred(0, 0.9)]]
+        result = evaluate_detections(preds, truths)
+        assert np.isclose(result.mean_ap, 0.5)
+
+    def test_duplicate_is_false_positive(self):
+        truths = [[gt(0)]]
+        dup = [[pred(0, 0.9), pred(0.1, 0.8)]]
+        single = [[pred(0, 0.9)]]
+        assert (
+            evaluate_detections(dup, truths).mean_ap
+            < evaluate_detections(single, truths).mean_ap + 1e-12
+        )
+        # the duplicate ranks below the TP so AP stays 1.0 only when no dup
+        assert evaluate_detections(single, truths).mean_ap == pytest.approx(1.0)
+
+    def test_high_confidence_fp_hurts_more(self):
+        truths = [[gt(0)], [gt(5)]]
+        low_fp = [[pred(0, 0.9), pred(20, 0.1)], [pred(5, 0.8)]]
+        high_fp = [[pred(0, 0.9), pred(20, 0.95)], [pred(5, 0.8)]]
+        assert (
+            evaluate_detections(high_fp, truths).mean_ap
+            < evaluate_detections(low_fp, truths).mean_ap
+        )
+
+    def test_wrong_class_is_both_fp_and_fn(self):
+        truths = [[gt(0, "car")]]
+        preds = [[pred(0, 0.9, "truck")]]
+        result = evaluate_detections(preds, truths, classes=["car", "truck"])
+        assert result.ap_per_class["car"] == 0.0
+        assert np.isnan(result.ap_per_class["truck"])  # no truck GT
+
+    def test_class_without_gt_is_nan_and_excluded(self):
+        truths = [[gt(0, "car")]]
+        preds = [[pred(0, 0.9, "car")]]
+        result = evaluate_detections(preds, truths, classes=["car", "truck"])
+        assert np.isnan(result.ap_per_class["truck"])
+        assert np.isclose(result.mean_ap, 1.0)
+
+    def test_frame_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_detections([[]], [[], []])
+
+    def test_localization_threshold(self):
+        truths = [[gt(0)]]
+        shifted = [[pred(1.2, 0.9)]]  # IoU ≈ 0.29
+        assert evaluate_detections(shifted, truths, iou_threshold=0.5).mean_ap == 0.0
+        assert evaluate_detections(shifted, truths, iou_threshold=0.25).mean_ap == 1.0
+
+
+class TestClassificationMetrics:
+    def test_accuracy(self):
+        assert accuracy_score(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+        assert accuracy_score(np.array([]), np.array([])) == 0.0
+
+    def test_confusion_matrix(self):
+        mat = confusion_matrix(np.array([0, 0, 1]), np.array([0, 1, 1]), 2)
+        assert mat.tolist() == [[1, 1], [0, 1]]
+
+    def test_confusion_matrix_out_of_range(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([2]), np.array([0]), 2)
+
+    def test_precision_recall_f1(self):
+        y_true = np.array([1, 1, 0, 0])
+        y_pred = np.array([1, 0, 1, 0])
+        p, r, f1 = precision_recall_f1(y_true, y_pred)
+        assert p == 0.5 and r == 0.5 and f1 == 0.5
+
+    def test_degenerate_returns_zero(self):
+        p, r, f1 = precision_recall_f1(np.array([0, 0]), np.array([0, 0]))
+        assert (p, r, f1) == (0.0, 0.0, 0.0)
+
+    def test_macro_f1_perfect(self):
+        y = np.array([0, 1, 2, 0, 1, 2])
+        assert macro_f1(y, y, 3) == pytest.approx(1.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score(np.zeros(2), np.zeros(3))

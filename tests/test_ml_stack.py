@@ -1,0 +1,210 @@
+"""Tests for repro.ml: preprocessing, losses, optimizers, models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.linear import LogisticRegression
+from repro.ml.losses import cross_entropy, cross_entropy_grad, one_hot, softmax
+from repro.ml.mlp import MLPClassifier
+from repro.ml.optim import SGD, Adam
+from repro.ml.preprocess import Standardizer
+
+
+class TestStandardizer:
+    def test_zero_mean_unit_var(self, rng):
+        x = rng.normal(5.0, 3.0, size=(200, 4))
+        z = Standardizer().fit_transform(x)
+        assert np.allclose(z.mean(axis=0), 0, atol=1e-9)
+        assert np.allclose(z.std(axis=0), 1, atol=1e-9)
+
+    def test_constant_feature_maps_to_zero(self):
+        x = np.ones((10, 1)) * 3.0
+        z = Standardizer().fit_transform(x)
+        assert np.allclose(z, 0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            Standardizer().transform(np.ones((2, 2)))
+
+    def test_frozen_statistics(self, rng):
+        s = Standardizer().fit(rng.normal(size=(50, 2)))
+        mean_before = s.mean_.copy()
+        s.transform(rng.normal(10, 1, size=(50, 2)))
+        assert np.allclose(s.mean_, mean_before)
+
+    def test_dimension_mismatch_raises(self, rng):
+        s = Standardizer().fit(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError):
+            s.transform(np.zeros((5, 2)))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            Standardizer().fit(np.zeros((0, 2)))
+
+
+class TestLosses:
+    def test_one_hot(self):
+        out = one_hot(np.array([0, 2]), 3)
+        assert np.allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_one_hot_out_of_range(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+
+    @given(st.lists(st.floats(-50, 50), min_size=2, max_size=6))
+    def test_softmax_is_distribution(self, logits):
+        p = softmax(np.array([logits]))
+        assert np.isclose(p.sum(), 1.0)
+        assert np.all(p >= 0)
+
+    def test_softmax_stability(self):
+        p = softmax(np.array([[1000.0, 1000.0]]))
+        assert np.allclose(p, [[0.5, 0.5]])
+
+    def test_cross_entropy_perfect_prediction(self):
+        probs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert cross_entropy(probs, np.array([0, 1])) < 1e-9
+
+    def test_cross_entropy_soft_targets(self):
+        probs = np.array([[0.5, 0.5]])
+        value = cross_entropy(probs, np.array([[0.5, 0.5]]))
+        assert np.isclose(value, -np.log(0.5))
+
+    def test_cross_entropy_grad_shape_and_sign(self):
+        probs = np.array([[0.9, 0.1]])
+        grad = cross_entropy_grad(probs, one_hot(np.array([1]), 2))
+        assert grad.shape == (1, 2)
+        assert grad[0, 0] > 0 and grad[0, 1] < 0
+
+    def test_cross_entropy_weighted(self):
+        probs = np.array([[0.9, 0.1], [0.1, 0.9]])
+        labels = np.array([0, 0])
+        # Weighting the bad prediction more should raise the loss.
+        low = cross_entropy(probs, labels, sample_weight=np.array([1.0, 0.0]))
+        high = cross_entropy(probs, labels, sample_weight=np.array([0.0, 1.0]))
+        assert high > low
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("opt_factory", [lambda: SGD(0.1), lambda: Adam(0.1)])
+    def test_minimizes_quadratic(self, opt_factory):
+        opt = opt_factory()
+        x = [np.array([5.0])]
+        for _ in range(300):
+            opt.step(x, [2 * x[0]])  # d/dx x^2
+        assert abs(x[0][0]) < 1e-2
+
+    def test_sgd_momentum_accelerates(self):
+        plain, momentum = SGD(0.01), SGD(0.01, momentum=0.9)
+        xa, xb = [np.array([5.0])], [np.array([5.0])]
+        for _ in range(50):
+            plain.step(xa, [2 * xa[0]])
+            momentum.step(xb, [2 * xb[0]])
+        assert abs(xb[0][0]) < abs(xa[0][0])
+
+    def test_reset_clears_state(self):
+        opt = Adam(0.1)
+        x = [np.array([1.0])]
+        opt.step(x, [np.array([1.0])])
+        opt.reset()
+        assert opt._m is None and opt._t == 0
+
+    def test_bad_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD(0.0)
+        with pytest.raises(ValueError):
+            Adam(-1.0)
+
+
+def _blobs(rng, n=300, separation=4.0):
+    """Two well-separated Gaussian blobs."""
+    x0 = rng.normal(0, 1, size=(n, 2))
+    x1 = rng.normal(separation, 1, size=(n, 2))
+    x = np.concatenate([x0, x1])
+    y = np.concatenate([np.zeros(n, dtype=int), np.ones(n, dtype=int)])
+    return x, y
+
+
+class TestLogisticRegression:
+    def test_learns_separable(self, rng):
+        x, y = _blobs(rng)
+        model = LogisticRegression(2, 2, seed=0).fit(x, y, epochs=50)
+        assert np.mean(model.predict(x) == y) > 0.95
+
+    def test_predict_proba_rows_sum_to_one(self, rng):
+        x, y = _blobs(rng, n=50)
+        model = LogisticRegression(2, 2, seed=0).fit(x, y, epochs=5)
+        assert np.allclose(model.predict_proba(x).sum(axis=1), 1.0)
+
+    def test_clone_preserves_weights(self, rng):
+        x, y = _blobs(rng, n=50)
+        model = LogisticRegression(2, 2, seed=0).fit(x, y, epochs=10)
+        clone = model.clone()
+        assert np.allclose(clone.weights, model.weights)
+        assert np.allclose(clone.predict_proba(x), model.predict_proba(x))
+
+    def test_warm_start_continues(self, rng):
+        x, y = _blobs(rng, separation=2.0)
+        model = LogisticRegression(2, 2, seed=0).fit(x, y, epochs=2)
+        loss_before = model.loss(x, y)
+        model.fit(x, y, epochs=30, reset=False)
+        assert model.loss(x, y) < loss_before
+
+    def test_lr_override_restored(self, rng):
+        x, y = _blobs(rng, n=50)
+        model = LogisticRegression(2, 2, learning_rate=0.05, seed=0)
+        model.fit(x, y, epochs=1, learning_rate=1e-5)
+        assert model._optimizer.learning_rate == 0.05
+
+    def test_sample_weight_shifts_decision(self, rng):
+        x, y = _blobs(rng, separation=1.0)
+        w_up = np.where(y == 1, 10.0, 1.0)
+        biased = LogisticRegression(2, 2, seed=0).fit(x, y, epochs=30, sample_weight=w_up)
+        plain = LogisticRegression(2, 2, seed=0).fit(x, y, epochs=30)
+        assert (biased.predict(x) == 1).sum() >= (plain.predict(x) == 1).sum()
+
+    def test_bad_shapes_raise(self):
+        model = LogisticRegression(2, 3, seed=0)
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((4, 2)), np.zeros(4, dtype=int))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((0, 3)), np.zeros(0, dtype=int))
+
+
+class TestMLPClassifier:
+    def test_learns_xor(self, rng):
+        # XOR is not linearly separable: requires the hidden layer.
+        x = rng.uniform(-1, 1, size=(600, 2))
+        y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(int)
+        model = MLPClassifier(2, hidden=(16,), n_classes=2, learning_rate=0.02, seed=0)
+        model.fit(x, y, epochs=300, reset=True)
+        assert np.mean(model.predict(x) == y) > 0.9
+
+    def test_clone_is_deep(self, rng):
+        x, y = _blobs(rng, n=50)
+        model = MLPClassifier(2, hidden=(4,), n_classes=2, seed=0).fit(x, y, epochs=5)
+        clone = model.clone()
+        clone.fit(x, y, epochs=20)
+        # training the clone must not touch the original
+        assert not all(
+            np.allclose(a, b) for a, b in zip(model.weights, clone.weights)
+        )
+
+    def test_soft_targets_accepted(self, rng):
+        x, _ = _blobs(rng, n=40)
+        soft = np.full((x.shape[0], 2), 0.5)
+        MLPClassifier(2, hidden=(4,), n_classes=2, seed=0).fit(x, soft, epochs=2)
+
+    def test_invalid_hidden_raises(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(2, hidden=(), n_classes=2)
+        with pytest.raises(ValueError):
+            MLPClassifier(2, hidden=(0,), n_classes=2)
+
+    def test_reset_reinitializes(self, rng):
+        x, y = _blobs(rng, n=50)
+        model = MLPClassifier(2, hidden=(4,), n_classes=2, seed=0).fit(x, y, epochs=10)
+        w_trained = [w.copy() for w in model.weights]
+        model.fit(x, y, epochs=0, reset=True)
+        assert not all(np.allclose(a, b) for a, b in zip(w_trained, model.weights))

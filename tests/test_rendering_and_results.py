@@ -1,0 +1,88 @@
+"""Tests for rendering helpers and experiment result containers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig4 import Fig4Result
+from repro.geometry.box2d import Box2D
+from repro.worlds import rendering
+
+
+class TestRendering:
+    def test_blank_image(self):
+        img = rendering.blank_image(10, 20, 0.3)
+        assert img.shape == (10, 20)
+        assert np.allclose(img, 0.3)
+
+    def test_smooth_noise_zero_mean_and_amplitude(self, rng):
+        noise = rendering.smooth_noise(rng, 64, 64, sigma=0.05, scale=4.0)
+        assert abs(noise.mean()) < 0.02
+        assert noise.std() == pytest.approx(0.05, rel=0.1)
+
+    def test_smooth_noise_is_smooth(self, rng):
+        rough = rng.normal(0, 0.05, size=(64, 64))
+        smooth = rendering.smooth_noise(rng, 64, 64, sigma=0.05, scale=4.0)
+        # neighbor correlation is higher for the smoothed field
+        def neighbor_corr(a):
+            return np.corrcoef(a[:, :-1].ravel(), a[:, 1:].ravel())[0, 1]
+
+        assert neighbor_corr(smooth) > neighbor_corr(rough) + 0.3
+
+    def test_fill_box_clips_to_image(self):
+        img = rendering.blank_image(10, 10)
+        rendering.fill_box(img, Box2D(-5, -5, 5, 5), 1.0)
+        assert img[0, 0] == 1.0 and img[9, 9] == 0.0
+
+    def test_fill_box_shaded_gradient(self):
+        img = rendering.blank_image(20, 20)
+        rendering.fill_box_shaded(img, Box2D(5, 5, 15, 15), 0.5)
+        assert img[14, 10] > img[5, 10]  # bottom brighter than top
+
+    def test_gaussian_blob_peak_at_center(self):
+        img = rendering.blank_image(20, 20)
+        rendering.add_gaussian_blob(img, 10, 10, radius=2.0, amplitude=0.5)
+        assert img[10, 10] == pytest.approx(0.5, rel=0.05)
+        assert img[10, 10] == img.max()
+
+    def test_blob_off_image_is_noop(self):
+        img = rendering.blank_image(10, 10)
+        rendering.add_gaussian_blob(img, 100, 100, radius=2.0, amplitude=0.5)
+        assert img.max() == 0.0
+
+    def test_finalize_clips_and_adds_noise(self, rng):
+        img = rendering.blank_image(20, 20, 0.99)
+        out = rendering.finalize(img, rng, noise_sigma=0.1)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+        assert out.std() > 0
+
+
+class TestFig4Result:
+    def result(self):
+        return Fig4Result(
+            domain="d",
+            curves={"random": [50.0, 55.0, 60.0], "bal": [52.0, 58.0, 61.0]},
+            initial_metric=40.0,
+            budget_per_round=25,
+        )
+
+    def test_final(self):
+        assert self.result().final("bal") == 61.0
+
+    def test_labels_to_reach(self):
+        result = self.result()
+        assert result.labels_to_reach("bal", 57.0) == 50
+        assert result.labels_to_reach("random", 57.0) == 75
+        assert result.labels_to_reach("random", 99.0) is None
+
+    def test_labels_savings_story(self):
+        # the paper's "40% fewer labels" computation in miniature
+        result = self.result()
+        target = 57.0
+        bal = result.labels_to_reach("bal", target)
+        random = result.labels_to_reach("random", target)
+        assert bal < random
+
+    def test_format_table_contains_strategies(self):
+        text = self.result().format_table()
+        assert "random" in text and "bal" in text
+        assert "40.0" in text  # pretrained shown in the title

@@ -1,0 +1,75 @@
+"""Tests for repro.tracking."""
+
+import pytest
+
+from repro.geometry.box2d import Box2D, make_box
+from repro.tracking.tracker import IoUTracker
+
+
+def moving_box(t, speed=1.0):
+    return make_box(10 + speed * t, 10, 8, 6)
+
+
+class TestIoUTracker:
+    def test_stable_identity_for_moving_object(self):
+        tracker = IoUTracker()
+        frames = [[moving_box(t)] for t in range(10)]
+        tracked = tracker.run(frames)
+        ids = {tb.track_id for frame in tracked for tb in frame}
+        assert ids == {0}
+
+    def test_new_object_gets_new_id(self):
+        tracker = IoUTracker()
+        frames = [[moving_box(0)], [moving_box(1), make_box(100, 50, 8, 6)]]
+        tracked = tracker.run(frames)
+        assert tracked[1][0].track_id == 0
+        assert tracked[1][1].track_id == 1
+
+    def test_gap_within_max_age_keeps_id(self):
+        tracker = IoUTracker(max_age=2)
+        frames = [[moving_box(0)], [], [moving_box(2)]]
+        tracked = tracker.run(frames)
+        assert tracked[2][0].track_id == 0
+
+    def test_gap_beyond_max_age_new_id(self):
+        tracker = IoUTracker(max_age=1)
+        frames = [[moving_box(0)], [], [], [moving_box(3)]]
+        tracked = tracker.run(frames)
+        assert tracked[3][0].track_id != 0
+
+    def test_run_resets(self):
+        tracker = IoUTracker()
+        tracker.run([[moving_box(0)]])
+        tracked = tracker.run([[moving_box(0)]])
+        assert tracked[0][0].track_id == 0  # ids restart after reset
+
+    def test_two_parallel_objects_keep_distinct_ids(self):
+        tracker = IoUTracker()
+        frames = [
+            [make_box(10 + t, 10, 8, 6), make_box(10 + t, 40, 8, 6)] for t in range(5)
+        ]
+        tracked = tracker.run(frames)
+        top_ids = {frame[0].track_id for frame in tracked}
+        bottom_ids = {frame[1].track_id for frame in tracked}
+        assert top_ids == {0} and bottom_ids == {1}
+
+    def test_completed_tracks_min_length(self):
+        tracker = IoUTracker()
+        frames = [[moving_box(t)] for t in range(4)]
+        frames[2] = frames[2] + [make_box(100, 60, 6, 6)]  # one-frame object
+        tracker.run(frames)
+        assert len(tracker.completed_tracks(min_length=2)) == 1
+        assert len(tracker.completed_tracks(min_length=1)) == 2
+
+    def test_track_frames_ordering(self):
+        tracker = IoUTracker()
+        tracker.run([[moving_box(t)] for t in range(3)])
+        track = tracker.completed_tracks()[0]
+        assert track.frames() == [0, 1, 2]
+        assert track.first_frame == 0 and track.last_frame == 2
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            IoUTracker(iou_threshold=0.0)
+        with pytest.raises(ValueError):
+            IoUTracker(max_age=-1)

@@ -1,0 +1,80 @@
+"""Tests for repro.utils: seeding and validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import check_finite, check_fraction, check_positive, check_shape
+
+
+class TestAsGenerator:
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(7).random(5)
+        b = as_generator(7).random(5)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(as_generator(1).random(5), as_generator(2).random(5))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_spawn_count(self):
+        assert len(spawn_generators(0, 4)) == 4
+
+    def test_spawn_zero(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_children_are_independent(self):
+        a, b = spawn_generators(0, 2)
+        assert not np.allclose(a.random(10), b.random(10))
+
+    def test_spawn_is_deterministic(self):
+        a = spawn_generators(3, 2)[0].random(4)
+        b = spawn_generators(3, 2)[0].random(4)
+        assert np.allclose(a, b)
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        assert check_positive(1.5, "x") == 1.5
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(0.0, "x")
+
+    def test_check_positive_nonstrict_accepts_zero(self):
+        assert check_positive(0.0, "x", strict=False) == 0.0
+
+    def test_check_fraction_bounds(self):
+        assert check_fraction(0.0, "f") == 0.0
+        assert check_fraction(1.0, "f") == 1.0
+        with pytest.raises(ValueError):
+            check_fraction(1.01, "f")
+        with pytest.raises(ValueError):
+            check_fraction(-0.01, "f")
+
+    def test_check_shape_wildcard(self):
+        arr = np.zeros((3, 4))
+        check_shape(arr, (None, 4), "a")
+        with pytest.raises(ValueError):
+            check_shape(arr, (None, 5), "a")
+        with pytest.raises(ValueError):
+            check_shape(arr, (3, 4, 1), "a")
+
+    def test_check_finite(self):
+        check_finite(np.ones(3), "a")
+        with pytest.raises(ValueError):
+            check_finite(np.array([1.0, np.nan]), "a")
+        with pytest.raises(ValueError):
+            check_finite(np.array([np.inf]), "a")

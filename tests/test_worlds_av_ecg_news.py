@@ -1,0 +1,147 @@
+"""Tests for the AV, ECG, and TV-news worlds."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.camera import project_box3d_to_2d
+from repro.worlds.av import AVWorld, AVWorldConfig
+from repro.worlds.ecg import ECG_CLASSES, ECGRecord, ECGWorld, ECGWorldConfig
+from repro.worlds.tvnews import GENDERS, HAIR_COLORS, TVNewsWorld, TVNewsWorldConfig
+
+
+class TestAVWorld:
+    def test_scene_structure(self):
+        cfg = AVWorldConfig(samples_per_scene=6)
+        scene = AVWorld(cfg, seed=0).generate_scene(3)
+        assert scene.scene_id == 3
+        assert len(scene) == 6
+        assert scene.samples[1].timestamp == pytest.approx(0.5)  # 2 Hz
+
+    def test_determinism(self):
+        a = AVWorld(seed=9).generate_scene(0)
+        b = AVWorld(seed=9).generate_scene(0)
+        assert np.allclose(a.samples[0].point_cloud, b.samples[0].point_cloud)
+        assert np.allclose(a.samples[0].camera_image, b.samples[0].camera_image)
+
+    def test_point_cloud_shape(self):
+        sample = AVWorld(seed=0).generate_scene(0).samples[0]
+        assert sample.point_cloud.ndim == 2 and sample.point_cloud.shape[1] == 3
+
+    def test_gt2d_matches_projection_of_gt3d(self):
+        cfg = AVWorldConfig()
+        sample = AVWorld(cfg, seed=1).generate_scene(0).samples[0]
+        for box2d in sample.ground_truth_2d:
+            # every 2-D GT must be the projection of some 3-D GT
+            candidates = [
+                project_box3d_to_2d(b3, cfg.camera) for b3 in sample.ground_truth_3d
+            ]
+            assert any(
+                c is not None and abs(c.x1 - box2d.x1) < 1e-9 for c in candidates
+            )
+
+    def test_vehicle_points_near_their_boxes(self):
+        cfg = AVWorldConfig(clutter_clusters=(0, 0), ground_points=0)
+        sample = AVWorld(cfg, seed=2).generate_scene(0).samples[0]
+        if sample.point_cloud.shape[0] == 0:
+            pytest.skip("no returns this seed")
+        centers = np.array([[b.cx, b.cy] for b in sample.ground_truth_3d])
+        dists = np.min(
+            np.linalg.norm(
+                sample.point_cloud[:, None, :2] - centers[None, :, :], axis=2
+            ),
+            axis=1,
+        )
+        assert np.percentile(dists, 95) < 8.0
+
+    def test_generate_scenes_ids(self):
+        scenes = AVWorld(seed=0).generate_scenes(3, start_id=10)
+        assert [s.scene_id for s in scenes] == [10, 11, 12]
+
+    def test_negative_scene_count(self):
+        with pytest.raises(ValueError):
+            AVWorld(seed=0).generate_scenes(-1)
+
+
+class TestECGWorld:
+    def test_record_shape(self):
+        cfg = ECGWorldConfig()
+        record = ECGWorld(cfg, seed=0).generate_record()
+        assert record.features.shape == (record.n_windows, 8)
+        assert record.window_times.shape == (record.n_windows,)
+        assert 0 <= record.label < len(ECG_CLASSES)
+
+    def test_class_distribution_roughly_matches(self):
+        records = ECGWorld(seed=0).generate_records(2000)
+        counts = np.bincount([r.label for r in records], minlength=4) / 2000
+        assert np.allclose(counts, ECGWorldConfig().class_probabilities, atol=0.05)
+
+    def test_features_positive(self):
+        records = ECGWorld(seed=1).generate_records(50)
+        for r in records:
+            assert np.all(r.features > 0)
+
+    def test_class_separation_controls_difficulty(self):
+        # Higher separation → AF and Normal RR-irregularity differ more.
+        def gap(sep):
+            world = ECGWorld(ECGWorldConfig(class_separation=sep), seed=0)
+            records = world.generate_records(500)
+            rmssd = {0: [], 1: []}
+            for r in records:
+                if r.label in rmssd:
+                    rmssd[r.label].append(r.features[:, 2].mean())
+            return abs(np.mean(rmssd[1]) - np.mean(rmssd[0]))
+
+        assert gap(1.0) > gap(0.3)
+
+    def test_record_ids_unique(self):
+        records = ECGWorld(seed=0).generate_records(10)
+        assert len({r.record_id for r in records}) == 10
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            ECGWorldConfig(class_probabilities=(1.0, 0.5, 0.0, 0.0))
+        with pytest.raises(ValueError):
+            ECGWorldConfig(window_seconds=120.0, record_seconds=60.0)
+
+
+class TestTVNewsWorld:
+    def test_scene_generation(self):
+        scenes = TVNewsWorld(seed=0).generate_video(0, 600)
+        assert scenes
+        assert all(s.observations for s in scenes)
+        assert [s.scene_id for s in scenes] == list(range(len(scenes)))
+
+    def test_attributes_from_valid_vocabularies(self):
+        scenes = TVNewsWorld(seed=0).generate_video(0, 300)
+        for s in scenes:
+            for o in s.observations:
+                assert o.pred_gender in GENDERS and o.true_gender in GENDERS
+                assert o.pred_hair in HAIR_COLORS and o.true_hair in HAIR_COLORS
+
+    def test_error_rates_approximate_config(self):
+        cfg = TVNewsWorldConfig(identity_error_rate=0.1, gender_error_rate=0.0, hair_error_rate=0.0)
+        scenes = TVNewsWorld(cfg, seed=0).generate_videos(3, 1200)
+        obs = [o for s in scenes for o in s.observations]
+        rate = np.mean([o.identity_wrong for o in obs])
+        assert rate == pytest.approx(0.1, abs=0.03)
+        assert all(o.pred_gender == o.true_gender for o in obs)
+
+    def test_hosts_static_within_scene(self):
+        cfg = TVNewsWorldConfig(position_jitter=0.5)
+        scenes = TVNewsWorld(cfg, seed=0).generate_video(0, 600)
+        scene = max(scenes, key=lambda s: len(s.observations))
+        by_identity = {}
+        for o in scene.observations:
+            by_identity.setdefault(o.true_identity, []).append(o.box.center)
+        for centers in by_identity.values():
+            centers = np.array(centers)
+            assert centers.std(axis=0).max() < 5.0
+
+    def test_true_attributes_consistent_per_member(self):
+        world = TVNewsWorld(seed=0)
+        scenes = world.generate_videos(2, 600)
+        genders = {}
+        for s in scenes:
+            for o in s.observations:
+                genders.setdefault(o.true_identity, set()).add(o.true_gender)
+        assert all(len(g) == 1 for g in genders.values())

@@ -1,0 +1,99 @@
+"""Tests for the traffic world simulator."""
+
+import numpy as np
+import pytest
+
+from repro.worlds.traffic import (
+    TrafficWorld,
+    TrafficWorldConfig,
+    VEHICLE_CLASSES,
+    day_config,
+    night_config,
+)
+
+
+class TestTrafficWorld:
+    def test_determinism(self):
+        a = TrafficWorld(night_config(), seed=5).generate(10)
+        b = TrafficWorld(night_config(), seed=5).generate(10)
+        assert np.allclose(a[3].image, b[3].image)
+        assert [v.object_id for v in a[3].vehicles] == [v.object_id for v in b[3].vehicles]
+
+    def test_different_seeds_differ(self):
+        a = TrafficWorld(night_config(), seed=1).generate(5)
+        b = TrafficWorld(night_config(), seed=2).generate(5)
+        assert not np.allclose(a[4].image, b[4].image)
+
+    def test_image_shape_and_range(self):
+        cfg = night_config()
+        frames = TrafficWorld(cfg, seed=0).generate(3)
+        for frame in frames:
+            assert frame.image.shape == (cfg.height, cfg.width)
+            assert frame.image.min() >= 0.0 and frame.image.max() <= 1.0
+
+    def test_ground_truth_labels_valid(self):
+        frames = TrafficWorld(night_config(), seed=0).generate(30)
+        labels = {v.label for f in frames for v in f.vehicles}
+        assert labels <= set(VEHICLE_CLASSES)
+        assert labels  # warmup populated the street
+
+    def test_vehicles_move_in_their_direction(self):
+        frames = TrafficWorld(night_config(), seed=0).generate(20)
+        positions = {}
+        for frame in frames:
+            for v in frame.vehicles:
+                positions.setdefault(v.object_id, []).append((v.box.center[0], v.direction))
+        moved = 0
+        for history in positions.values():
+            if len(history) >= 2:
+                (x0, d), (x1, _) = history[0], history[-1]
+                assert (x1 - x0) * d >= 0
+                moved += 1
+        assert moved > 0
+
+    def test_timestamps_follow_fps(self):
+        cfg = night_config()
+        frames = TrafficWorld(cfg, seed=0).generate(3)
+        assert frames[1].timestamp == pytest.approx(1.0 / cfg.fps)
+
+    def test_day_is_brighter_than_night(self):
+        day = TrafficWorld(day_config(), seed=0).generate(5)
+        night = TrafficWorld(night_config(), seed=0).generate(5)
+        assert np.mean([f.image.mean() for f in day]) > np.mean(
+            [f.image.mean() for f in night]
+        )
+
+    def test_vehicle_boxes_overlap_image(self):
+        cfg = night_config()
+        frames = TrafficWorld(cfg, seed=0).generate(10)
+        for frame in frames:
+            for v in frame.vehicles:
+                assert v.box.x2 > 0 and v.box.x1 < cfg.width
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrafficWorldConfig(profile="dusk")
+        with pytest.raises(ValueError):
+            TrafficWorldConfig(class_probabilities=(0.5, 0.1))
+
+    def test_negative_frames_raise(self):
+        with pytest.raises(ValueError):
+            TrafficWorld(seed=0).generate(-1)
+
+    def test_traffic_waves_modulate_density(self):
+        # With waves disabled, density stays steadier than with deep waves.
+        steady_cfg = TrafficWorldConfig(profile="night", traffic_wave_period=0.0)
+        wave_cfg = TrafficWorldConfig(
+            profile="night", traffic_wave_period=10.0, traffic_wave_min=0.0
+        )
+        steady = TrafficWorld(steady_cfg, seed=3).generate(300)
+        waved = TrafficWorld(wave_cfg, seed=3).generate(300)
+        steady_counts = np.array([len(f.vehicles) for f in steady])
+        waved_counts = np.array([len(f.vehicles) for f in waved])
+        assert waved_counts.std() >= steady_counts.std() * 0.8
+
+    def test_dim_fraction_produces_dim_vehicles(self):
+        cfg = TrafficWorldConfig(profile="night", dim_fraction=1.0)
+        frames = TrafficWorld(cfg, seed=0).generate(20)
+        brightness = [v.brightness for f in frames for v in f.vehicles]
+        assert max(brightness) <= cfg.dim_brightness[1] + 1e-9
