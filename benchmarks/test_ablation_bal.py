@@ -11,6 +11,10 @@ from conftest import run_once
 from repro.core import BALStrategy, run_active_learning
 from repro.domains.ecg import ECGActiveLearningTask, make_ecg_task_data
 from repro.experiments.reporting import format_table
+import pytest
+
+#: Full reproduction runs take minutes; excluded from the fast tier via -m "not slow".
+pytestmark = pytest.mark.slow
 
 
 def _run_variants(variants, n_trials=3, n_rounds=4, budget=100):

@@ -11,6 +11,10 @@ from conftest import run_once
 
 from repro.domains.ecg import bootstrap_ecg_classifier, make_ecg_task_data, record_severities
 from repro.experiments.reporting import format_table
+import pytest
+
+#: Full reproduction runs take minutes; excluded from the fast tier via -m "not slow".
+pytestmark = pytest.mark.slow
 
 
 def _sweep(thresholds=(10.0, 30.0, 60.0)):

@@ -13,6 +13,10 @@ from repro.domains.video import (
     run_video_weak_supervision,
 )
 from repro.experiments.reporting import format_table
+import pytest
+
+#: Full reproduction runs take minutes; excluded from the fast tier via -m "not slow".
+pytestmark = pytest.mark.slow
 
 
 def _sweep():

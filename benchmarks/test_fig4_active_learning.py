@@ -16,6 +16,10 @@ best strategy, and monotone-ish improvement across rounds.
 from conftest import run_once
 
 from repro.experiments import run_fig4_av, run_fig4_video
+import pytest
+
+#: Full reproduction runs take minutes; excluded from the fast tier via -m "not slow".
+pytestmark = pytest.mark.slow
 
 
 def _check_shape(result, tolerance):

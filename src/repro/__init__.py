@@ -22,6 +22,26 @@ The public API mirrors the paper's library, OMG ("OMG Model Guardian"):
 Substrates used by the paper's evaluation (synthetic worlds, trainable
 detectors and classifiers, metrics) live in sibling subpackages; see
 ``DESIGN.md`` for the full inventory.
+
+Runtime performance
+-------------------
+Online monitoring is incremental: :meth:`~repro.core.runtime.OMG.observe`
+dispatches each invocation through stateful per-assertion streaming
+evaluators (:mod:`repro.core.streaming`) — deque-based rolling windows
+for windowed function assertions, per-identifier aggregates for
+consistency assertions — so one observation costs O(assertions)
+amortized instead of the legacy O(window × assertions) replay (~9×
+items/sec at ``window_size=64`` with 8 assertions; see
+``benchmarks/test_streaming_throughput.py``). For chunked feeds,
+:meth:`~repro.core.runtime.OMG.observe_batch` ingests many items per
+call and returns the chunk's severity matrix; ``parallel=True`` streams
+independent assertions on a thread pool. Severity attribution is
+revisable — a flicker is flagged on the gap items once the object
+reappears — and :meth:`~repro.core.runtime.OMG.online_report` is
+guaranteed to equal an offline :meth:`~repro.core.runtime.OMG.monitor`
+pass over the same stream exactly (the differential invariant enforced
+by ``tests/core/test_streaming_equivalence.py``). Example:
+``examples/streaming_monitor.py``.
 """
 
 from repro.core import (

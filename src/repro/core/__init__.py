@@ -25,6 +25,7 @@ from repro.core.bal import BAL, BALSelection
 from repro.core.ccmab import CCMAB
 from repro.core.consistency import (
     AttributeConsistencyAssertion,
+    ConsistencyIndex,
     ConsistencySpec,
     TemporalConsistencyAssertion,
     TemporalViolation,
@@ -32,7 +33,17 @@ from repro.core.consistency import (
     majority_value,
 )
 from repro.core.database import AssertionDatabase, AssertionEntry
-from repro.core.runtime import OMG, MonitoringReport
+from repro.core.runtime import ENGINES, OMG, MonitoringReport
+from repro.core.streaming import (
+    AttributeConsistencyEvaluator,
+    PerItemEvaluator,
+    RollingWindowEvaluator,
+    StreamingEngine,
+    StreamingEvaluator,
+    TemporalConsistencyEvaluator,
+    WindowedReplayEvaluator,
+    make_evaluator,
+)
 from repro.core.strategies import (
     BALStrategy,
     RandomStrategy,
@@ -75,12 +86,21 @@ __all__ = [
     "AssertionEntry",
     "AssertionRecord",
     "AttributeConsistencyAssertion",
+    "AttributeConsistencyEvaluator",
+    "ConsistencyIndex",
     "ConsistencySpec",
     "Correction",
+    "ENGINES",
     "FunctionAssertion",
     "ModelAssertion",
     "MonitoringReport",
     "OMG",
+    "PerItemEvaluator",
+    "RollingWindowEvaluator",
+    "StreamingEngine",
+    "StreamingEvaluator",
+    "TemporalConsistencyEvaluator",
+    "WindowedReplayEvaluator",
     "RandomStrategy",
     "RoundResult",
     "SelectionContext",
@@ -102,6 +122,7 @@ __all__ = [
     "generate_assertions",
     "harvest_weak_labels",
     "majority_value",
+    "make_evaluator",
     "make_stream",
     "run_active_learning",
 ]

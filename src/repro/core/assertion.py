@@ -52,6 +52,13 @@ class ModelAssertion(abc.ABC):
         """
         return []
 
+    #: Streaming hook. Subclasses whose severity for an item depends on
+    #: that item alone may define ``evaluate_item(item) -> float``; the
+    #: streaming engine then evaluates them in O(1) per observation
+    #: instead of replaying the history window. Left undefined here so
+    #: window-dependent assertions fall back to exact replay.
+    evaluate_item = None
+
     def __call__(self, items: list) -> np.ndarray:
         return self.evaluate_stream(items)
 
@@ -95,6 +102,15 @@ class FunctionAssertion(ModelAssertion):
         self.func = func
         self.window = window
         self.taxonomy_class = taxonomy_class
+
+    def evaluate_item(self, item: StreamItem) -> float:
+        """Severity of one item; only valid for ``window == 1``."""
+        if self.window != 1:
+            raise ValueError(
+                f"assertion {self.name!r} has window={self.window}; "
+                "per-item evaluation requires window == 1"
+            )
+        return float(self.func(item.input, list(item.outputs)))
 
     def evaluate_stream(self, items: list) -> np.ndarray:
         severities = np.zeros(len(items), dtype=np.float64)

@@ -130,6 +130,53 @@ def group_observations(spec: ConsistencySpec, items: list) -> dict:
     return groups
 
 
+class ConsistencyIndex:
+    """Shared, lazily-computed grouping of one stream for one spec.
+
+    Every assertion generated from a single :class:`ConsistencySpec`
+    needs the same identifier bookkeeping — attribute assertions the
+    per-identifier observation groups, temporal assertions the
+    per-identifier presence positions. Building it once per
+    (spec, stream) pair and passing it to each assertion's
+    ``evaluate_stream``/``corrections`` turns the offline monitor's
+    per-assertion regrouping into one pass per spec.
+    """
+
+    def __init__(self, spec: ConsistencySpec, items: list) -> None:
+        self.spec = spec
+        self.items = items
+        self._groups: "dict | None" = None
+        self._presence: "dict | None" = None
+
+    @property
+    def groups(self) -> dict:
+        """identifier → list of :class:`Observation` (see
+        :func:`group_observations`)."""
+        if self._groups is None:
+            self._groups = group_observations(self.spec, self.items)
+        return self._groups
+
+    @property
+    def presence(self) -> dict:
+        """identifier → sorted window *positions* where it appears.
+
+        Positions index into ``items`` (not ``item.index``), and each
+        identifier is counted at most once per item.
+        """
+        if self._presence is None:
+            presence: dict = {}
+            for pos, item in enumerate(self.items):
+                seen_here = set()
+                for output in item.outputs:
+                    identifier = self.spec.id_fn(output)
+                    if identifier is None or identifier in seen_here:
+                        continue
+                    seen_here.add(identifier)
+                    presence.setdefault(identifier, []).append(pos)
+            self._presence = presence
+        return self._presence
+
+
 def majority_value(values: list) -> Any:
     """Most common value; ties broken by first occurrence (§4.2 default)."""
     counts = Counter(values)
@@ -161,9 +208,9 @@ class AttributeConsistencyAssertion(ModelAssertion):
         self.spec = spec
         self.attr_key = attr_key
 
-    def _deviations(self, items: list):
+    def _deviations(self, items: list, index: "ConsistencyIndex | None" = None):
         """Yield (observation, majority) for outputs deviating from their group."""
-        groups = group_observations(self.spec, items)
+        groups = index.groups if index is not None else group_observations(self.spec, items)
         for identifier, observations in groups.items():
             values = []
             kept = []
@@ -183,16 +230,16 @@ class AttributeConsistencyAssertion(ModelAssertion):
                 if value != majority:
                     yield obs, identifier, (majority if strict else None)
 
-    def evaluate_stream(self, items: list) -> np.ndarray:
+    def evaluate_stream(self, items: list, index: "ConsistencyIndex | None" = None) -> np.ndarray:
         severities = np.zeros(len(items), dtype=np.float64)
         index_of = {item.index: pos for pos, item in enumerate(items)}
-        for obs, _identifier, _majority in self._deviations(items):
+        for obs, _identifier, _majority in self._deviations(items, index):
             severities[index_of[obs.item_index]] += 1.0
         return severities
 
-    def corrections(self, items: list) -> list:
+    def corrections(self, items: list, index: "ConsistencyIndex | None" = None) -> list:
         proposals = []
-        for obs, identifier, majority in self._deviations(items):
+        for obs, identifier, majority in self._deviations(items, index):
             if majority is None:
                 continue  # tie: cannot pick a correction confidently
             fixed = self.spec.set_attribute(obs.output, self.attr_key, majority)
@@ -264,7 +311,7 @@ class TemporalConsistencyAssertion(ModelAssertion):
     # ------------------------------------------------------------------
     # Violation detection
     # ------------------------------------------------------------------
-    def violations(self, items: list) -> list:
+    def violations(self, items: list, index: "ConsistencyIndex | None" = None) -> list:
         """All :class:`TemporalViolation` s in the window, in stream order."""
         if not items:
             return []
@@ -273,15 +320,11 @@ class TemporalConsistencyAssertion(ModelAssertion):
         n = len(items)
 
         # presence[identifier] = sorted window positions where it appears
-        presence: dict = {}
-        for pos, item in enumerate(items):
-            seen_here = set()
-            for output in item.outputs:
-                identifier = self.spec.id_fn(output)
-                if identifier is None or identifier in seen_here:
-                    continue
-                seen_here.add(identifier)
-                presence.setdefault(identifier, []).append(pos)
+        presence = (
+            index.presence
+            if index is not None
+            else ConsistencyIndex(self.spec, items).presence
+        )
 
         found: list = []
         for identifier, positions in presence.items():
@@ -326,18 +369,18 @@ class TemporalConsistencyAssertion(ModelAssertion):
         found.sort(key=lambda v: (v.start_pos, str(v.identifier)))
         return found
 
-    def evaluate_stream(self, items: list) -> np.ndarray:
+    def evaluate_stream(self, items: list, index: "ConsistencyIndex | None" = None) -> np.ndarray:
         severities = np.zeros(len(items), dtype=np.float64)
-        for violation in self.violations(items):
+        for violation in self.violations(items, index):
             span = range(violation.start_pos, violation.end_pos + 1)
             for pos in span:
                 severities[pos] += 1.0
         return severities
 
-    def corrections(self, items: list) -> list:
+    def corrections(self, items: list, index: "ConsistencyIndex | None" = None) -> list:
         proposals = []
-        groups = group_observations(self.spec, items)
-        for violation in self.violations(items):
+        groups = index.groups if index is not None else group_observations(self.spec, items)
+        for violation in self.violations(items, index):
             if violation.kind == "run":
                 # Remove every output of this identifier within the run.
                 for pos in range(violation.start_pos, violation.end_pos + 1):

@@ -4,27 +4,50 @@ OMG "logs user-defined assertions as callbacks … Given the model's input
 and output, OMG will execute the assertions and record any errors" (§2.4).
 This module provides both deployment styles the paper describes:
 
-- **online**: call :meth:`OMG.observe` after every model invocation; OMG
-  maintains a bounded history window, evaluates every registered assertion
-  over it, records fires for the newest item, and invokes any registered
-  corrective-action callbacks (e.g., "shutting down an autopilot", §1).
-- **offline/batch**: call :meth:`OMG.monitor` on a full stream (historical
-  data, validation sets, human labels) to get a
+- **online**: call :meth:`OMG.observe` after every model invocation (or
+  :meth:`OMG.observe_batch` on chunks); OMG dispatches each item through
+  stateful per-assertion streaming evaluators
+  (:mod:`repro.core.streaming`), records fires — including retroactive
+  ones, e.g. a flicker only detectable once the object reappears — and
+  invokes any registered corrective-action callbacks (e.g., "shutting
+  down an autopilot", §1). Cost is O(assertions) amortized per item
+  instead of the legacy O(window × assertions) replay.
+- **offline/batch**: call :meth:`OMG.monitor` on a full stream
+  (historical data, validation sets, human labels) to get a
   :class:`MonitoringReport` whose per-item severity matrix is exactly the
   context matrix BAL consumes for active learning (§3).
+
+The two styles agree: after a stream has been fed through ``observe`` /
+``observe_batch``, :meth:`OMG.online_report` reproduces the offline
+:meth:`OMG.monitor` severity matrix exactly (the differential invariant
+enforced by ``tests/core/test_streaming_equivalence.py``). The guarantee
+covers the built-in assertion families — function assertions (any
+window), attribute/temporal consistency assertions, and anything
+exposing ``evaluate_item``; a custom :class:`ModelAssertion` subclass
+with none of those streaming forms falls back to legacy windowed replay
+(newest-item severity over the bounded history), which may differ from
+a full offline pass.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 import numpy as np
 
-from repro.core.assertion import FunctionAssertion, ModelAssertion, as_assertion
-from repro.core.consistency import ConsistencySpec, generate_assertions
+from repro.core.assertion import ModelAssertion, as_assertion
+from repro.core.consistency import (
+    AttributeConsistencyAssertion,
+    ConsistencyIndex,
+    ConsistencySpec,
+    TemporalConsistencyAssertion,
+    generate_assertions,
+)
 from repro.core.database import AssertionDatabase
-from repro.core.types import AssertionRecord, Correction, StreamItem, make_stream
+from repro.core.streaming import StreamingEngine
+from repro.core.types import AssertionRecord, StreamItem, make_stream
 
 
 @dataclass
@@ -81,8 +104,31 @@ class MonitoringReport:
         return int(np.count_nonzero(self.severities > 0))
 
 
+#: Engines selectable at construction. "streaming" is the default
+#: incremental path; "legacy" re-evaluates every assertion over the full
+#: history window per observation (kept for differential testing and the
+#: throughput benchmark's baseline).
+ENGINES = ("streaming", "legacy")
+
+
 class OMG:
     """The model-assertion runtime.
+
+    Parameters
+    ----------
+    database:
+        Shared assertion registry; a fresh one is created when omitted.
+    window_size:
+        Bound on the trailing history kept for window-replay evaluation
+        (the legacy engine, and streaming fallbacks for assertion types
+        with no incremental form). Streaming consistency evaluators keep
+        per-identifier aggregates since the last :meth:`reset` instead,
+        so their online severities match the offline monitor exactly.
+    engine:
+        ``"streaming"`` (default) or ``"legacy"``; see :data:`ENGINES`.
+    max_workers:
+        Thread-pool width for ``observe_batch(..., parallel=True)``;
+        ``None`` lets the executor pick.
 
     Examples
     --------
@@ -100,15 +146,25 @@ class OMG:
         database: "AssertionDatabase | None" = None,
         *,
         window_size: int = 64,
+        engine: str = "streaming",
+        max_workers: "int | None" = None,
     ) -> None:
         if window_size < 1:
             raise ValueError(f"window_size must be >= 1, got {window_size}")
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
         self.database = database if database is not None else AssertionDatabase()
         self.window_size = window_size
-        self._history: list = []
+        self.engine = engine
+        self._history: deque = deque(maxlen=window_size)
         self._next_index = 0
         self._online_records: list = []
         self._actions: list = []
+        # The engine shares OMG's history deque as its recent-item window,
+        # so observed items are retained once, not twice.
+        self._streaming = StreamingEngine(
+            self.database, window_size, max_workers=max_workers, recent=self._history
+        )
 
     # ------------------------------------------------------------------
     # Registration
@@ -183,70 +239,186 @@ class OMG:
     # ------------------------------------------------------------------
     # Online monitoring
     # ------------------------------------------------------------------
+    def _make_item(self, model_input: Any, outputs, timestamp: "float | None") -> StreamItem:
+        if timestamp is None:
+            timestamp = float(self._next_index)
+        item = StreamItem(
+            index=self._next_index,
+            timestamp=timestamp,
+            input=model_input,
+            outputs=tuple(outputs),
+        )
+        self._next_index += 1
+        return item
+
+    def _dispatch(self, records: list) -> None:
+        self._online_records.extend(records)
+        for record in records:
+            for action in self._actions:
+                action(record)
+
+    def _observe_legacy(self, item: StreamItem) -> list:
+        self._history.append(item)
+        fresh: list = []
+        window = list(self._history)
+        last = len(window) - 1
+        for assertion in self.database:
+            severities = assertion.evaluate_stream(window)
+            severity = float(severities[last])
+            if severity > 0:
+                fresh.append(
+                    AssertionRecord(
+                        assertion_name=assertion.name,
+                        item_index=item.index,
+                        severity=severity,
+                    )
+                )
+        return fresh
+
     def observe(
         self,
-        input: Any,
+        model_input: Any,
         outputs,
         *,
         timestamp: "float | None" = None,
     ) -> list:
         """Ingest one model invocation; return fresh fire records.
 
-        Assertions are evaluated over the trailing history window (so
-        windowed/consistency assertions see context); only severities
-        attributed to the newest item are recorded and dispatched to
+        On the streaming engine each assertion's evaluator consumes the
+        item incrementally; returned records cover the new item plus any
+        retroactive severity revisions to earlier items (consistency
+        assertions attribute gap/run violations once the closing
+        transition is seen). Every returned record is also dispatched to
         :meth:`on_fire` callbacks.
         """
-        if timestamp is None:
-            timestamp = float(self._next_index)
-        item = StreamItem(
-            index=self._next_index, timestamp=timestamp, input=input, outputs=tuple(outputs)
-        )
-        self._next_index += 1
-        self._history.append(item)
-        if len(self._history) > self.window_size:
-            self._history.pop(0)
-
-        fresh: list = []
-        last = len(self._history) - 1
-        for assertion in self.database:
-            severities = assertion.evaluate_stream(self._history)
-            severity = float(severities[last])
-            if severity > 0:
-                record = AssertionRecord(
-                    assertion_name=assertion.name,
-                    item_index=item.index,
-                    severity=severity,
-                )
-                fresh.append(record)
-        self._online_records.extend(fresh)
-        for record in fresh:
-            for action in self._actions:
-                action(record)
+        item = self._make_item(model_input, outputs, timestamp)
+        if self.engine == "legacy":
+            fresh = self._observe_legacy(item)
+        else:
+            fresh = self._streaming.ingest(item)  # appends to the shared history
+        self._dispatch(fresh)
         return fresh
+
+    def observe_batch(
+        self,
+        model_inputs: "list | None",
+        outputs_per_item: list,
+        *,
+        timestamps=None,
+        parallel: bool = False,
+    ) -> MonitoringReport:
+        """Ingest a chunk of invocations; return the chunk's report.
+
+        The returned :class:`MonitoringReport` covers the chunk's items
+        (rows in chunk order) with severities as of the end of the chunk,
+        so within-chunk retroactive revisions are already folded in.
+        ``report.records`` holds the fresh fire records, which may also
+        reference pre-chunk items. With ``parallel=True`` independent
+        assertions consume the chunk on separate threads (results are
+        bit-identical to the serial path).
+
+        Only available on the streaming engine.
+        """
+        if self.engine == "legacy":
+            raise RuntimeError("observe_batch requires the streaming engine")
+        n = len(outputs_per_item)
+        if model_inputs is not None and len(model_inputs) != n:
+            raise ValueError(f"{len(model_inputs)} inputs but {n} output lists")
+        if timestamps is not None and len(timestamps) != n:
+            raise ValueError(f"{len(timestamps)} timestamps but {n} output lists")
+        items = [
+            self._make_item(
+                model_inputs[i] if model_inputs is not None else None,
+                outputs_per_item[i],
+                float(timestamps[i]) if timestamps is not None else None,
+            )
+            for i in range(n)
+        ]
+        fresh = self._streaming.ingest_batch(items, parallel=parallel)
+        self._dispatch(fresh)
+        start = items[0].index if items else self._next_index
+        names, chunk = self._streaming.chunk_matrix(start, self._next_index)
+        return MonitoringReport(assertion_names=names, severities=chunk, records=fresh)
 
     @property
     def online_records(self) -> list:
         """All records accumulated through :meth:`observe`."""
         return list(self._online_records)
 
+    @property
+    def n_observed(self) -> int:
+        """Items ingested online since the last :meth:`reset` (also the
+        index the next observed item will get)."""
+        return self._next_index
+
+    def online_report(self) -> MonitoringReport:
+        """Severity matrix accumulated by the streaming engine.
+
+        Covers every item observed since the last :meth:`reset`, with all
+        retroactive revisions applied — equal to what :meth:`monitor`
+        computes offline over the same items for every assertion with a
+        streaming form (function, consistency, or ``evaluate_item``; the
+        streaming-equivalence invariant). Custom assertion subclasses
+        with none of those fall back to newest-item windowed replay, as
+        the legacy engine always did. Only available on the streaming
+        engine.
+        """
+        if self.engine == "legacy":
+            raise RuntimeError("online_report requires the streaming engine")
+        names, matrix = self._streaming.severity_matrix(self._next_index)
+        records = [
+            AssertionRecord(
+                assertion_name=names[col],
+                item_index=int(row),
+                severity=float(matrix[row, col]),
+            )
+            for row, col in zip(*np.nonzero(matrix > 0))
+        ]
+        return MonitoringReport(
+            assertion_names=names, severities=matrix, records=records
+        )
+
     def reset(self) -> None:
         """Clear online history and records (assertions stay registered)."""
-        self._history = []
+        self._history.clear()
         self._next_index = 0
         self._online_records = []
+        self._streaming.reset()
 
     # ------------------------------------------------------------------
     # Batch monitoring
     # ------------------------------------------------------------------
+    def _consistency_indices(self, items: list) -> dict:
+        """One :class:`ConsistencyIndex` per distinct spec in the database.
+
+        All assertions generated from the same :class:`ConsistencySpec`
+        share one grouping pass over the stream instead of regrouping
+        per assertion.
+        """
+        indices: dict = {}
+        for assertion in self.database:
+            spec = getattr(assertion, "spec", None)
+            if isinstance(spec, ConsistencySpec) and id(spec) not in indices:
+                indices[id(spec)] = ConsistencyIndex(spec, items)
+        return indices
+
     def monitor(self, items: list) -> MonitoringReport:
         """Run every enabled assertion over a full stream."""
         names = self.database.names()
         n = len(items)
+        indices = self._consistency_indices(items)
         severities = np.zeros((n, len(names)), dtype=np.float64)
         records: list = []
         for col, assertion in enumerate(self.database):
-            sev = np.asarray(assertion.evaluate_stream(items), dtype=np.float64)
+            if isinstance(
+                assertion, (AttributeConsistencyAssertion, TemporalConsistencyAssertion)
+            ):
+                sev = assertion.evaluate_stream(
+                    items, index=indices[id(assertion.spec)]
+                )
+            else:
+                sev = assertion.evaluate_stream(items)
+            sev = np.asarray(sev, dtype=np.float64)
             if sev.shape != (n,):
                 raise ValueError(
                     f"assertion {assertion.name!r} returned shape {sev.shape}, expected ({n},)"
@@ -280,7 +452,15 @@ class OMG:
 
     def corrections(self, items: list) -> list:
         """Collect weak-label proposals from every enabled assertion."""
+        indices = self._consistency_indices(items)
         proposals: list = []
         for assertion in self.database:
-            proposals.extend(assertion.corrections(items))
+            if isinstance(
+                assertion, (AttributeConsistencyAssertion, TemporalConsistencyAssertion)
+            ):
+                proposals.extend(
+                    assertion.corrections(items, index=indices[id(assertion.spec)])
+                )
+            else:
+                proposals.extend(assertion.corrections(items))
         return proposals

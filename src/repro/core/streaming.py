@@ -1,0 +1,550 @@
+"""Incremental streaming evaluation for the OMG runtime.
+
+The legacy :meth:`OMG.observe` path re-ran every registered assertion over
+the *entire* trailing history window on *every* invocation — O(window ×
+assertions) work per item. This module provides stateful per-assertion
+evaluators that consume items one at a time and maintain rolling state,
+so each observation costs O(assertions) amortized:
+
+- :class:`PerItemEvaluator` — assertions whose severity for an item
+  depends on that item alone (``FunctionAssertion(window=1)`` and any
+  :class:`~repro.core.assertion.ModelAssertion` exposing
+  ``evaluate_item``): one function call per item.
+- :class:`RollingWindowEvaluator` — ``FunctionAssertion(window=w)``:
+  deque-based rolling window of exactly the assertion's own lookback, so
+  the function runs once per item instead of once per (item, window
+  position) pair.
+- :class:`AttributeConsistencyEvaluator` — per-identifier observation
+  groups with incrementally-maintained majority values; emits
+  *retroactive* severity revisions when a late observation flips a
+  group's majority.
+- :class:`TemporalConsistencyEvaluator` — per-identifier presence runs;
+  emits retroactive severities for gap/run violations the moment the
+  closing transition is observed.
+- :class:`WindowedReplayEvaluator` — fallback for arbitrary assertion
+  subclasses with no streaming form: exact legacy semantics (re-evaluate
+  over the bounded history window, record the newest position).
+
+The engine's invariant — enforced by
+``tests/core/test_streaming_equivalence.py`` — is that after any stream
+is fed through :meth:`StreamingEngine.ingest` (or ``ingest_batch``), the
+accumulated severity matrix equals what the offline
+:meth:`OMG.monitor` pass computes over the same items, exactly, for all
+four assertion families. Function-assertion evaluators keep bounded
+deques; consistency evaluators keep full-stream aggregates since the
+last reset — that exactness costs memory that grows with the stream
+(per-identifier observation values, the position→index map, the sparse
+severity log), so long-lived deployments should :meth:`reset` at
+episode boundaries. The O(assertions) per-item cost is amortized: an
+attribute-majority flip rescans its identifier's group, so a pathological
+stream alternating one identifier between two values degrades to
+O(group) on the items where the majority changes.
+
+Severity attribution is *revisable*: a flicker is only detectable once
+the object reappears, so the evaluator assigns severity to the gap items
+retroactively. Evaluators report changes as ``{item_index: severity}``
+dictionaries; the engine keeps a sparse severity log, emits
+:class:`~repro.core.types.AssertionRecord` fire events for every change
+to a positive severity, and can materialize the log as a
+:class:`~repro.core.runtime.MonitoringReport` at any time.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter, deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+import numpy as np
+
+from repro.core.assertion import FunctionAssertion, ModelAssertion
+from repro.core.consistency import (
+    AttributeConsistencyAssertion,
+    TemporalConsistencyAssertion,
+)
+from repro.core.types import AssertionRecord, StreamItem
+
+
+class StreamingEvaluator(abc.ABC):
+    """Stateful single-assertion evaluator.
+
+    ``update`` consumes one item and returns the severities that changed:
+    ``{item_index: new_total_severity}``. The newest item is included
+    whenever its severity is positive; earlier indices appear only when
+    new information revises them (consistency assertions).
+    """
+
+    def __init__(self, assertion: ModelAssertion) -> None:
+        self.assertion = assertion
+
+    @abc.abstractmethod
+    def update(self, item: StreamItem) -> dict:
+        """Consume one stream item; return changed ``{index: severity}``."""
+
+    def update_batch(self, items: list) -> list:
+        """Consume a chunk; return one change-dict per item, in order."""
+        return [self.update(item) for item in items]
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Drop all rolling state (the assertion itself is stateless)."""
+
+    def _check_severity(self, value: Any) -> float:
+        severity = float(value)
+        if severity < 0:
+            raise ValueError(
+                f"assertion {self.assertion.name!r} returned negative severity {severity}"
+            )
+        return severity
+
+
+class PerItemEvaluator(StreamingEvaluator):
+    """Assertions whose severity depends on the current item only."""
+
+    def __init__(self, assertion: ModelAssertion) -> None:
+        super().__init__(assertion)
+        evaluate_item = getattr(assertion, "evaluate_item", None)
+        if not callable(evaluate_item):
+            raise TypeError(f"{assertion!r} does not define evaluate_item")
+        self._evaluate_item = evaluate_item
+
+    def update(self, item: StreamItem) -> dict:
+        severity = self._check_severity(self._evaluate_item(item))
+        return {item.index: severity} if severity > 0 else {}
+
+    def reset(self) -> None:
+        pass
+
+
+class RollingWindowEvaluator(StreamingEvaluator):
+    """``FunctionAssertion(window=w)`` over a deque of its own lookback.
+
+    The deque length is the *assertion's* window, independent of the
+    runtime's history bound, so the online severity matches the offline
+    ``evaluate_stream`` exactly even for small runtime windows.
+    """
+
+    def __init__(self, assertion: FunctionAssertion) -> None:
+        super().__init__(assertion)
+        self._inputs: deque = deque(maxlen=assertion.window)
+        self._outputs: deque = deque(maxlen=assertion.window)
+
+    def update(self, item: StreamItem) -> dict:
+        self._inputs.append(item.input)
+        self._outputs.append(list(item.outputs))
+        value = self.assertion.func(list(self._inputs), list(self._outputs))
+        severity = self._check_severity(value)
+        return {item.index: severity} if severity > 0 else {}
+
+    def reset(self) -> None:
+        self._inputs.clear()
+        self._outputs.clear()
+
+
+class WindowedReplayEvaluator(StreamingEvaluator):
+    """Legacy fallback: re-evaluate the full window, keep the newest score.
+
+    Used for arbitrary :class:`ModelAssertion` subclasses that offer
+    neither ``evaluate_item`` nor a dedicated streaming form. Costs
+    O(window) per item — exactly the legacy ``observe`` semantics.
+    """
+
+    def __init__(self, assertion: ModelAssertion, window_size: int) -> None:
+        super().__init__(assertion)
+        self._window: deque = deque(maxlen=window_size)
+
+    def update(self, item: StreamItem) -> dict:
+        self._window.append(item)
+        window = list(self._window)
+        severities = np.asarray(self.assertion.evaluate_stream(window), dtype=np.float64)
+        if severities.shape != (len(window),):
+            raise ValueError(
+                f"assertion {self.assertion.name!r} returned shape "
+                f"{severities.shape}, expected ({len(window)},)"
+            )
+        severity = self._check_severity(severities[-1])
+        return {item.index: severity} if severity > 0 else {}
+
+    def reset(self) -> None:
+        self._window.clear()
+
+
+class _AttrGroup:
+    """Rolling state for one identifier of an attribute assertion."""
+
+    __slots__ = ("observations", "counts", "first_seen", "majority", "contrib")
+
+    def __init__(self) -> None:
+        #: (item_index, value) per kept observation, in arrival order.
+        self.observations: list = []
+        self.counts: Counter = Counter()
+        #: value → arrival position of its first occurrence (tie-break).
+        self.first_seen: dict = {}
+        self.majority: Any = None
+        #: item_index → deviation count this group currently contributes.
+        self.contrib: dict = {}
+
+
+class AttributeConsistencyEvaluator(StreamingEvaluator):
+    """Incremental form of :class:`AttributeConsistencyAssertion`.
+
+    Maintains, per identifier, the multiset of attribute values and the
+    current majority under the offline tie-break (most common, first
+    occurrence wins ties). A new observation normally costs O(1); when it
+    flips the group's majority, the group's deviations are recomputed and
+    the affected items' severities are revised retroactively.
+    """
+
+    def __init__(self, assertion: AttributeConsistencyAssertion) -> None:
+        super().__init__(assertion)
+        self.spec = assertion.spec
+        self.attr_key = assertion.attr_key
+        self._groups: dict = {}
+        self._item_sev: Counter = Counter()
+
+    def reset(self) -> None:
+        self._groups = {}
+        self._item_sev = Counter()
+
+    def _group_deviations(self, group: _AttrGroup) -> dict:
+        """item_index → deviation count under the group's current majority."""
+        if len(group.observations) < 2 or len(group.counts) < 2:
+            return {}
+        contrib: dict = {}
+        for item_index, value in group.observations:
+            if value != group.majority:
+                contrib[item_index] = contrib.get(item_index, 0) + 1
+        return contrib
+
+    def _apply_contrib(self, group: _AttrGroup, new_contrib: dict, changed: dict) -> None:
+        for item_index in set(group.contrib) | set(new_contrib):
+            delta = new_contrib.get(item_index, 0) - group.contrib.get(item_index, 0)
+            if delta:
+                self._item_sev[item_index] += delta
+                changed[item_index] = float(self._item_sev[item_index])
+        group.contrib = new_contrib
+
+    def update(self, item: StreamItem) -> dict:
+        changed: dict = {}
+        touched: dict = {}  # identifier → needs full rescan (flip/activation)
+        added: dict = {}  # identifier → values this item contributed
+        for output in item.outputs:
+            identifier = self.spec.id_fn(output)
+            if identifier is None:
+                continue
+            attrs = self.spec.attributes_of(output)
+            if self.attr_key not in attrs:
+                continue
+            value = attrs[self.attr_key]
+            group = self._groups.get(identifier)
+            if group is None:
+                group = self._groups[identifier] = _AttrGroup()
+            was_active = len(group.observations) >= 2 and len(group.counts) >= 2
+            old_majority = group.majority
+            group.observations.append((item.index, value))
+            group.counts[value] += 1
+            group.first_seen.setdefault(value, len(group.observations) - 1)
+            if (
+                group.majority is None
+                or group.counts[value] > group.counts[group.majority]
+                or (
+                    group.counts[value] == group.counts[group.majority]
+                    and group.first_seen[value] < group.first_seen[group.majority]
+                )
+            ):
+                group.majority = value
+            now_active = len(group.observations) >= 2 and len(group.counts) >= 2
+            needs_rescan = (now_active and not was_active) or (
+                was_active and group.majority != old_majority
+            )
+            touched[identifier] = touched.get(identifier, False) or needs_rescan
+            added.setdefault(identifier, []).append(value)
+
+        for identifier, rescanned in touched.items():
+            group = self._groups[identifier]
+            if rescanned:
+                new_contrib = self._group_deviations(group)
+            else:
+                # Majority stable: only this item's new observations can
+                # deviate; older contributions are untouched.
+                if len(group.observations) < 2 or len(group.counts) < 2:
+                    continue
+                fresh = sum(1 for value in added[identifier] if value != group.majority)
+                if fresh == group.contrib.get(item.index, 0):
+                    continue
+                new_contrib = dict(group.contrib)
+                if fresh:
+                    new_contrib[item.index] = fresh
+                else:
+                    new_contrib.pop(item.index, None)
+            self._apply_contrib(group, new_contrib, changed)
+        return changed
+
+
+class _PresenceState:
+    """Rolling presence run of one identifier (temporal assertions)."""
+
+    __slots__ = ("run_start", "run_end", "run_start_ts", "run_end_ts")
+
+    def __init__(self, pos: int, ts: float) -> None:
+        self.run_start = pos
+        self.run_end = pos
+        self.run_start_ts = ts
+        self.run_end_ts = ts
+
+
+class TemporalConsistencyEvaluator(StreamingEvaluator):
+    """Incremental form of :class:`TemporalConsistencyAssertion`.
+
+    Tracks each identifier's current presence run. A *gap* violation is
+    emitted (retroactively, onto the gap items) the moment the identifier
+    reappears within ``T`` of vanishing; a *run* violation is emitted
+    onto the run items the moment a short interior run is followed by an
+    absence. Items at the stream boundary are never flagged, matching
+    the offline rule that edge runs may continue past the window.
+    """
+
+    def __init__(self, assertion: TemporalConsistencyAssertion) -> None:
+        super().__init__(assertion)
+        self.spec = assertion.spec
+        self.mode = assertion.mode
+        self._states: dict = {}
+        self._present_prev: set = set()
+        self._next_pos = 0
+        self._item_sev: Counter = Counter()
+        #: window position → item index (positions == indices since reset,
+        #: but kept explicit so severity lands on true stream indices).
+        self._index_of: dict = {}
+
+    def reset(self) -> None:
+        self._states = {}
+        self._present_prev = set()
+        self._next_pos = 0
+        self._item_sev = Counter()
+        self._index_of = {}
+
+    def _flag_span(self, start_pos: int, end_pos: int, changed: dict) -> None:
+        for pos in range(start_pos, end_pos + 1):
+            index = self._index_of[pos]
+            self._item_sev[index] += 1
+            changed[index] = float(self._item_sev[index])
+
+    def update(self, item: StreamItem) -> dict:
+        pos = self._next_pos
+        self._next_pos += 1
+        self._index_of[pos] = item.index
+        threshold = float(self.spec.temporal_threshold)
+        check_gaps = self.mode in ("gap", "both")
+        check_runs = self.mode in ("run", "both")
+
+        present = set()
+        for output in item.outputs:
+            identifier = self.spec.id_fn(output)
+            if identifier is not None:
+                present.add(identifier)
+
+        changed: dict = {}
+        # Runs that just ended: identifier present at pos-1, absent now.
+        if check_runs:
+            for identifier in self._present_prev - present:
+                state = self._states[identifier]
+                interior = state.run_start > 0
+                if interior and state.run_end_ts - state.run_start_ts < threshold:
+                    self._flag_span(state.run_start, state.run_end, changed)
+
+        for identifier in present:
+            state = self._states.get(identifier)
+            if state is None:
+                self._states[identifier] = _PresenceState(pos, item.timestamp)
+            elif state.run_end == pos - 1:
+                state.run_end = pos
+                state.run_end_ts = item.timestamp
+            else:
+                # Reappearance after a positional gap.
+                if check_gaps and item.timestamp - state.run_end_ts < threshold:
+                    self._flag_span(state.run_end + 1, pos - 1, changed)
+                state.run_start = pos
+                state.run_end = pos
+                state.run_start_ts = item.timestamp
+                state.run_end_ts = item.timestamp
+
+        self._present_prev = present
+        # Positions older than any possible revision can be forgotten once
+        # every identifier's pending gap/run would exceed the threshold;
+        # kept simple: the map grows with the stream (ints only) and is
+        # cleared on reset.
+        return changed
+
+
+def make_evaluator(assertion: ModelAssertion, window_size: int) -> StreamingEvaluator:
+    """Pick the streaming evaluator for an assertion.
+
+    Dispatch order: dedicated consistency evaluators, rolling/per-item
+    function evaluators, any ``evaluate_item`` hook on custom subclasses,
+    then the legacy windowed-replay fallback.
+    """
+    if isinstance(assertion, AttributeConsistencyAssertion):
+        return AttributeConsistencyEvaluator(assertion)
+    if isinstance(assertion, TemporalConsistencyAssertion):
+        return TemporalConsistencyEvaluator(assertion)
+    if isinstance(assertion, FunctionAssertion):
+        if assertion.window == 1:
+            return PerItemEvaluator(assertion)
+        return RollingWindowEvaluator(assertion)
+    if callable(getattr(assertion, "evaluate_item", None)):
+        return PerItemEvaluator(assertion)
+    return WindowedReplayEvaluator(assertion, window_size)
+
+
+class StreamingEngine:
+    """Drives one evaluator per registered assertion and keeps the log.
+
+    The engine is owned by :class:`~repro.core.runtime.OMG`; it tracks
+    the assertion database lazily, so assertions registered mid-stream
+    get an evaluator seeded by replaying the bounded recent-item window
+    (the same context the legacy path would have shown them).
+    """
+
+    def __init__(
+        self,
+        database,
+        window_size: int,
+        max_workers: "int | None" = None,
+        recent: "deque | None" = None,
+    ) -> None:
+        self.database = database
+        self.window_size = window_size
+        self.max_workers = max_workers
+        self._evaluators: dict = {}
+        #: assertion name → {item_index: severity} (sparse, nonzero only).
+        self._log: dict = {}
+        #: Bounded recent-item window, used to warm up late-registered
+        #: assertions and by the replay fallback; may be shared with the
+        #: owning runtime (OMG hands in its history deque).
+        self._recent: deque = recent if recent is not None else deque(maxlen=window_size)
+        self._n_items = 0
+        self._executor: "ThreadPoolExecutor | None" = None
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        for evaluator in self._evaluators.values():
+            evaluator.reset()
+        self._log = {}
+        self._recent.clear()
+        self._n_items = 0
+
+    def _sync(self) -> list:
+        """Evaluators for the enabled assertions, creating any missing.
+
+        A late-registered assertion is warmed up on the recent-item
+        window so its rolling state matches what it would hold had it
+        been registered ``window_size`` items ago; warm-up severities are
+        logged but produce no fire records (they are not fresh events).
+        """
+        evaluators = []
+        for assertion in self.database:
+            evaluator = self._evaluators.get(assertion.name)
+            if evaluator is None or evaluator.assertion is not assertion:
+                evaluator = make_evaluator(assertion, self.window_size)
+                self._evaluators[assertion.name] = evaluator
+                # A replaced assertion must not inherit its predecessor's
+                # fires: the log restarts from the warm-up replay.
+                log = self._log[assertion.name] = {}
+                for item in self._recent:
+                    for index, severity in evaluator.update(item).items():
+                        if severity > 0:
+                            log[index] = severity
+                        else:
+                            log.pop(index, None)
+            evaluators.append(evaluator)
+        return evaluators
+
+    def _merge(self, name: str, changes: dict, records: list) -> None:
+        log = self._log.setdefault(name, {})
+        for index, severity in sorted(changes.items()):
+            previous = log.get(index, 0.0)
+            if severity > 0:
+                log[index] = severity
+            else:
+                log.pop(index, None)
+            if severity > 0 and severity != previous:
+                records.append(
+                    AssertionRecord(
+                        assertion_name=name, item_index=index, severity=severity
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    def ingest(self, item: StreamItem) -> list:
+        """Consume one item; return fresh fire records (incl. revisions)."""
+        evaluators = self._sync()
+        self._recent.append(item)
+        self._n_items = max(self._n_items, item.index + 1)
+        records: list = []
+        for evaluator in evaluators:
+            self._merge(evaluator.assertion.name, evaluator.update(item), records)
+        return records
+
+    def ingest_batch(self, items: list, *, parallel: bool = False) -> list:
+        """Consume a chunk of items; return fresh fire records.
+
+        With ``parallel=True`` each assertion's evaluator consumes the
+        chunk on a thread-pool worker — evaluators share no state, so
+        independent assertions stream concurrently. The merge is
+        serialized per (item, assertion) in registration order, so the
+        records and the severity log are identical to the serial path.
+        """
+        if not items:
+            return []
+        evaluators = self._sync()
+        self._recent.extend(items)
+        self._n_items = max(self._n_items, items[-1].index + 1)
+        if parallel and len(evaluators) > 1:
+            if self._executor is None:
+                # Reused across chunks; idle workers are joined at
+                # interpreter exit, so no explicit shutdown is needed.
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers, thread_name_prefix="omg-streaming"
+                )
+            per_evaluator = list(
+                self._executor.map(lambda ev: ev.update_batch(items), evaluators)
+            )
+        else:
+            per_evaluator = [ev.update_batch(items) for ev in evaluators]
+        records: list = []
+        for item_pos in range(len(items)):
+            for evaluator, changes in zip(evaluators, per_evaluator):
+                self._merge(evaluator.assertion.name, changes[item_pos], records)
+        return records
+
+    # ------------------------------------------------------------------
+    def severity_matrix(self, n_items: "int | None" = None) -> tuple:
+        """(assertion names, dense ``(n_items, n_assertions)`` matrix)."""
+        names = self.database.names()
+        n = self._n_items if n_items is None else n_items
+        matrix = np.zeros((n, len(names)), dtype=np.float64)
+        for col, name in enumerate(names):
+            for index, severity in self._log.get(name, {}).items():
+                if 0 <= index < n:
+                    matrix[index, col] = severity
+        return names, matrix
+
+    def chunk_matrix(self, start: int, stop: int) -> tuple:
+        """(assertion names, dense matrix for item indices [start, stop)).
+
+        O(chunk × assertions) — unlike :meth:`severity_matrix` it does
+        not touch the full log, so per-chunk reporting stays flat over
+        a long-lived stream.
+        """
+        names = self.database.names()
+        matrix = np.zeros((max(0, stop - start), len(names)), dtype=np.float64)
+        for col, name in enumerate(names):
+            log = self._log.get(name)
+            if not log:
+                continue
+            for row in range(start, stop):
+                severity = log.get(row)
+                if severity:
+                    matrix[row - start, col] = severity
+        return names, matrix

@@ -71,11 +71,15 @@ class AgreeAssertion(ModelAssertion):
         camera = [o["box"] for o in item.outputs if o.get("sensor") == "camera"]
         return lidar, camera
 
+    def evaluate_item(self, item) -> float:
+        """Per-item severity (streaming hook: agreement is memoryless)."""
+        lidar, camera = self.split_outputs(item)
+        return sensor_agreement(lidar, camera, self.iou_threshold)
+
     def evaluate_stream(self, items: list) -> np.ndarray:
         severities = np.zeros(len(items), dtype=np.float64)
         for pos, item in enumerate(items):
-            lidar, camera = self.split_outputs(item)
-            severities[pos] = sensor_agreement(lidar, camera, self.iou_threshold)
+            severities[pos] = self.evaluate_item(item)
         return severities
 
     def disagreeing_outputs(self, item) -> list:

@@ -73,23 +73,28 @@ class AVPipeline:
         for pos, (sample, cam_boxes, lidar_boxes) in enumerate(
             zip(samples, camera_dets, lidar_dets)
         ):
-            outputs = [
-                {"sensor": "camera", "box": box, "label": box.label, "score": box.score}
-                for box in cam_boxes
-            ]
-            for box3d in lidar_boxes:
-                outputs.append(
-                    {
-                        "sensor": "lidar",
-                        "box3d": box3d,
-                        "box": project_box3d_to_2d(box3d, self.camera),
-                        "score": box3d.score,
-                    }
-                )
+            outputs = self.fuse_outputs(cam_boxes, lidar_boxes)
             items.append(
                 StreamItem(index=pos, timestamp=sample.timestamp, outputs=tuple(outputs))
             )
         return items
+
+    def fuse_outputs(self, cam_boxes: list, lidar_boxes: list) -> list:
+        """One sample's fused output list (camera boxes + LIDAR projections)."""
+        outputs = [
+            {"sensor": "camera", "box": box, "label": box.label, "score": box.score}
+            for box in cam_boxes
+        ]
+        for box3d in lidar_boxes:
+            outputs.append(
+                {
+                    "sensor": "lidar",
+                    "box3d": box3d,
+                    "box": project_box3d_to_2d(box3d, self.camera),
+                    "score": box3d.score,
+                }
+            )
+        return outputs
 
     def monitor(
         self, samples: list, camera_dets: list, lidar_dets: list
@@ -97,6 +102,41 @@ class AVPipeline:
         """Full pass over fused samples."""
         items = self.to_stream(samples, camera_dets, lidar_dets)
         return self.omg.monitor(items), items
+
+    # ------------------------------------------------------------------
+    # Online / streaming path
+    # ------------------------------------------------------------------
+    def observe_sample(self, sample, cam_boxes: list, lidar_boxes: list) -> list:
+        """Ingest one fused sample through the streaming engine."""
+        return self.omg.observe(
+            None, self.fuse_outputs(cam_boxes, lidar_boxes), timestamp=sample.timestamp
+        )
+
+    def observe_batch(
+        self,
+        samples: list,
+        camera_dets: list,
+        lidar_dets: list,
+        *,
+        parallel: bool = False,
+    ) -> MonitoringReport:
+        """Ingest a chunk of fused samples; returns the chunk's report.
+
+        Both AV assertions are per-item, so the online severities equal
+        the offline :meth:`monitor` matrix row-for-row.
+        """
+        if not (len(samples) == len(camera_dets) == len(lidar_dets)):
+            raise ValueError("samples, camera_dets and lidar_dets must be parallel")
+        outputs = [
+            self.fuse_outputs(cam_boxes, lidar_boxes)
+            for cam_boxes, lidar_boxes in zip(camera_dets, lidar_dets)
+        ]
+        return self.omg.observe_batch(
+            None,
+            outputs,
+            timestamps=[sample.timestamp for sample in samples],
+            parallel=parallel,
+        )
 
     def run_models(
         self, samples: list, camera_model: Detector, lidar_model: LidarDetector

@@ -12,6 +12,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.active_learning import ActiveLearningTask
+from repro.core.database import AssertionDatabase
+from repro.core.runtime import OMG
 from repro.core.types import StreamItem
 from repro.core.weak_supervision import WeakSupervisionResult
 from repro.domains.ecg.assertions import make_ecg_assertion
@@ -70,16 +72,43 @@ def record_stream(record, predicted_classes: np.ndarray) -> list:
     ]
 
 
+def make_ecg_monitor(temporal_threshold: float = 30.0) -> OMG:
+    """One-assertion streaming runtime, reusable across records."""
+    database = AssertionDatabase()
+    database.add(make_ecg_assertion(temporal_threshold), domain="ecg")
+    return OMG(database)
+
+
+def stream_record_severity(
+    omg, record, predicted_classes: np.ndarray
+) -> float:
+    """Total oscillation severity of one record via the streaming engine.
+
+    Each record is its own stream: the runtime is reset, the record's
+    windows are ingested as one batch, and the online severities are
+    summed — numerically identical to an offline ``evaluate_stream``
+    pass (the streaming-equivalence invariant), but on the same code
+    path a deployed monitor would use.
+    """
+    omg.reset()
+    items = record_stream(record, predicted_classes)
+    report = omg.observe_batch(
+        None,
+        [list(item.outputs) for item in items],
+        timestamps=[item.timestamp for item in items],
+    )
+    return float(report.severities.sum())
+
+
 def record_severities(
     model: ECGClassifier, records: list, *, temporal_threshold: float = 30.0
 ) -> np.ndarray:
     """``(n_records, 1)`` oscillation severities under the ECG assertion."""
-    assertion = make_ecg_assertion(temporal_threshold)
     severities = np.zeros((len(records), 1), dtype=np.float64)
+    monitor = make_ecg_monitor(temporal_threshold)
     for i, record in enumerate(records):
         classes, _ = model.predict_windows(record)
-        items = record_stream(record, classes)
-        severities[i, 0] = float(assertion.evaluate_stream(items).sum())
+        severities[i, 0] = stream_record_severity(monitor, record, classes)
     return severities
 
 
@@ -116,11 +145,10 @@ class ECGActiveLearningTask(ActiveLearningTask):
 
     def severities(self, predictions) -> np.ndarray:
         _, window_preds = predictions
-        assertion = make_ecg_assertion(self.temporal_threshold)
+        monitor = make_ecg_monitor(self.temporal_threshold)
         severities = np.zeros((len(self.data.pool), 1), dtype=np.float64)
         for i, (record, (classes, _probs)) in enumerate(zip(self.data.pool, window_preds)):
-            items = record_stream(record, classes)
-            severities[i, 0] = float(assertion.evaluate_stream(items).sum())
+            severities[i, 0] = stream_record_severity(monitor, record, classes)
         return severities
 
     def uncertainty(self, predictions) -> np.ndarray:

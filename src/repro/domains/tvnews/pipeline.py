@@ -122,6 +122,24 @@ class TVNewsPipeline:
         items = self.to_stream(scenes)
         return self.omg.monitor(items), items
 
+    def observe_scenes(self, scenes: list, *, parallel: bool = False) -> MonitoringReport:
+        """Streaming path: ingest scenes through ``observe_batch``.
+
+        Scene clustering is scene-local, so scenes can arrive in chunks
+        as footage is processed; the accumulated
+        :meth:`~repro.core.runtime.OMG.online_report` equals the offline
+        :meth:`monitor` matrix over the same scenes.
+        """
+        items = self.to_stream(scenes)
+        # to_stream indexes from 0 per call; hand OMG the raw outputs so
+        # the engine numbers them continuously across chunks.
+        return self.omg.observe_batch(
+            None,
+            [list(item.outputs) for item in items],
+            timestamps=[item.timestamp for item in items],
+            parallel=parallel,
+        )
+
     def aggregate_news_severity(self, report: MonitoringReport) -> np.ndarray:
         """Sum the three attribute assertions into one ``news`` severity."""
         return report.severities.sum(axis=1)

@@ -51,6 +51,7 @@ class VideoPipeline:
         database.add(self.flicker, domain="video")
         database.add(self.appear, domain="video")
         self.omg = OMG(database)
+        self._live_tracker: "IoUTracker | None" = None
 
     @property
     def assertion_names(self) -> list:
@@ -69,15 +70,7 @@ class VideoPipeline:
         tracked_frames = tracker.run(detections_per_frame)
         items = []
         for frame_index, tracked in enumerate(tracked_frames):
-            outputs = tuple(
-                {
-                    "box": t.box,
-                    "label": t.box.label,
-                    "score": t.box.score,
-                    "track_id": t.track_id,
-                }
-                for t in tracked
-            )
+            outputs = self._frame_outputs(tracked)
             items.append(
                 StreamItem(
                     index=frame_index,
@@ -87,10 +80,72 @@ class VideoPipeline:
             )
         return items
 
+    @staticmethod
+    def _frame_outputs(tracked: list) -> tuple:
+        return tuple(
+            {
+                "box": t.box,
+                "label": t.box.label,
+                "score": t.box.score,
+                "track_id": t.track_id,
+            }
+            for t in tracked
+        )
+
     def monitor(self, detections_per_frame: list) -> tuple[MonitoringReport, list]:
         """Full pass: track, build the stream, run all assertions."""
         items = self.to_stream(detections_per_frame)
         return self.omg.monitor(items), items
+
+    # ------------------------------------------------------------------
+    # Online / streaming path
+    # ------------------------------------------------------------------
+    def start_stream(self) -> None:
+        """Begin a fresh online session: new tracker, cleared runtime."""
+        self._live_tracker = IoUTracker(
+            iou_threshold=self.config.tracker_iou, max_age=self.config.tracker_max_age
+        )
+        self.omg.reset()
+
+    def _require_tracker(self) -> IoUTracker:
+        if self._live_tracker is None:
+            self.start_stream()
+        return self._live_tracker
+
+    def observe_frame(self, detections: list) -> list:
+        """Ingest one frame's detections through the streaming engine.
+
+        Tracking is incremental (the same greedy IoU matcher the offline
+        pass uses frame-by-frame), so feeding every frame of a video
+        through here produces exactly the :meth:`monitor` severities —
+        see ``tests/test_domains_video.py``.
+        """
+        tracker = self._require_tracker()
+        frame_index = self.omg.n_observed
+        tracked = tracker.update(frame_index, detections)
+        return self.omg.observe(
+            None,
+            self._frame_outputs(tracked),
+            timestamp=frame_index / self.config.fps,
+        )
+
+    def observe_batch(
+        self, detections_per_frame: list, *, parallel: bool = False
+    ) -> MonitoringReport:
+        """Ingest a chunk of frames; returns the chunk's severity report."""
+        tracker = self._require_tracker()
+        start = self.omg.n_observed
+        outputs = []
+        for offset, detections in enumerate(detections_per_frame):
+            tracked = tracker.update(start + offset, detections)
+            outputs.append(self._frame_outputs(tracked))
+        timestamps = [
+            (start + offset) / self.config.fps
+            for offset in range(len(detections_per_frame))
+        ]
+        return self.omg.observe_batch(
+            None, outputs, timestamps=timestamps, parallel=parallel
+        )
 
     def severity_matrix(self, detections_per_frame: list) -> np.ndarray:
         """``(n_frames, 3)`` severities in database order."""

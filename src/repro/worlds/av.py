@@ -292,8 +292,14 @@ class AVWorld:
                 a.x += a.speed * dt
         return AVScene(scene_id=scene_id, samples=tuple(samples))
 
-    def generate_scenes(self, n_scenes: int, *, start_id: int = 0) -> list:
-        """Generate ``n_scenes`` independent scenes."""
+    def iter_scenes(self, n_scenes: int, *, start_id: int = 0):
+        """Generate scenes lazily (the streaming form of
+        :meth:`generate_scenes`)."""
         if n_scenes < 0:
             raise ValueError(f"n_scenes must be >= 0, got {n_scenes}")
-        return [self.generate_scene(start_id + i) for i in range(n_scenes)]
+        for i in range(n_scenes):
+            yield self.generate_scene(start_id + i)
+
+    def generate_scenes(self, n_scenes: int, *, start_id: int = 0) -> list:
+        """Generate ``n_scenes`` independent scenes."""
+        return list(self.iter_scenes(n_scenes, start_id=start_id))

@@ -170,8 +170,14 @@ class ECGWorld:
         self._next_id += 1
         return record
 
-    def generate_records(self, n_records: int) -> list:
-        """Generate ``n_records`` independent records."""
+    def iter_records(self, n_records: int):
+        """Generate records lazily (the streaming form of
+        :meth:`generate_records`)."""
         if n_records < 0:
             raise ValueError(f"n_records must be >= 0, got {n_records}")
-        return [self.generate_record() for _ in range(n_records)]
+        for _ in range(n_records):
+            yield self.generate_record()
+
+    def generate_records(self, n_records: int) -> list:
+        """Generate ``n_records`` independent records."""
+        return list(self.iter_records(n_records))

@@ -299,18 +299,20 @@ class TrafficWorld:
         return rendering.finalize(image, self._rng, noise_sigma=cfg.noise_sigma)
 
     # ------------------------------------------------------------------
-    def generate(self, n_frames: int, *, warmup: int = 30) -> list:
-        """Simulate and render ``n_frames`` frames.
+    def stream(self, n_frames: int, *, warmup: int = 30):
+        """Simulate and render frames one at a time (generator).
 
-        ``warmup`` steps run (and are discarded) first so the street is
-        populated from frame 0 rather than starting empty.
+        The streaming form of :meth:`generate`: frames are yielded as
+        they are simulated, so an online monitor can consume an
+        arbitrarily long feed without materializing it. ``warmup`` steps
+        run (and are discarded) first so the street is populated from
+        frame 0 rather than starting empty.
         """
         if n_frames < 0:
             raise ValueError(f"n_frames must be >= 0, got {n_frames}")
         for _ in range(warmup):
             self._step_traffic()
             self._step_glare()
-        frames = []
         cfg = self.config
         for i in range(n_frames):
             self._step_traffic()
@@ -318,15 +320,16 @@ class TrafficWorld:
             visible = tuple(
                 v for v in self._vehicles if v.box.x2 > 1 and v.box.x1 < cfg.width - 1
             )
-            frames.append(
-                TrafficFrame(
-                    index=i,
-                    timestamp=i / cfg.fps,
-                    image=self._render(),
-                    vehicles=visible,
-                )
+            yield TrafficFrame(
+                index=i,
+                timestamp=i / cfg.fps,
+                image=self._render(),
+                vehicles=visible,
             )
-        return frames
+
+    def generate(self, n_frames: int, *, warmup: int = 30) -> list:
+        """Simulate and render ``n_frames`` frames as a list."""
+        return list(self.stream(n_frames, warmup=warmup))
 
 
 def day_config(**overrides) -> TrafficWorldConfig:

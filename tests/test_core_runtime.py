@@ -44,6 +44,19 @@ class TestBatchMonitoring:
         with pytest.raises(KeyError):
             report.column("nope")
 
+    def test_unknown_flagged_indices_raises(self):
+        omg = OMG()
+        omg.add_assertion(count_assertion, "many")
+        report = omg.monitor_outputs([[1]])
+        with pytest.raises(KeyError, match="nope"):
+            report.flagged_indices("nope")
+
+    def test_monitor_rejects_negative_severity(self):
+        omg = OMG()
+        omg.add_assertion(lambda i, o: -1.0, "negative")
+        with pytest.raises(ValueError, match="negative severity"):
+            omg.monitor(make_stream([[1], [2]]))
+
     def test_decorator_registration(self):
         omg = OMG()
 
@@ -93,6 +106,34 @@ class TestOnlineMonitoring:
         omg.observe(None, [1])
         omg.observe(None, [2])
         assert [i.timestamp for i in omg._history] == [0.0, 1.0]
+
+    def test_reset_does_not_refire_actions_for_old_records(self):
+        """Corrective actions fire once per fresh record, never replayed."""
+        omg = OMG()
+        omg.add_assertion(count_assertion, "many")
+        fired = []
+        omg.on_fire(fired.append)
+        omg.observe(None, [1, 2, 3])
+        assert len(fired) == 1
+        omg.reset()
+        assert len(fired) == 1  # reset itself triggers nothing
+        omg.observe(None, [1])  # benign item: no new fires either
+        assert len(fired) == 1
+        omg.observe(None, [1, 2, 3])
+        assert len(fired) == 2
+        # the post-reset record is attributed to a restarted index
+        assert fired[1].item_index == 1
+
+    def test_observe_indices_restart_after_reset(self):
+        omg = OMG()
+        omg.add_assertion(count_assertion, "many")
+        for _ in range(3):
+            omg.observe(None, [1, 2, 3])
+        omg.reset()
+        records = omg.observe(None, [1, 2, 3])
+        assert [r.item_index for r in records] == [0]
+        assert omg.online_records == records
+        assert [i.index for i in omg._history] == [0]
 
 
 class TestConsistencyRegistration:

@@ -135,3 +135,30 @@ class TestImputationRule:
             0, 0.0, outputs=(camera_output(projected), lidar_output(box3d, camera))
         )
         assert impute_camera_boxes_rule(pipeline)([item]) == []
+
+
+class TestAVStreamingPath:
+    def test_observe_batch_matches_monitor(self):
+        from repro.domains.av import bootstrap_av_models, make_av_task_data
+
+        data = make_av_task_data(0, n_bootstrap_scenes=4, n_pool_scenes=2, n_test_scenes=1)
+        camera_model, lidar_model = bootstrap_av_models(data, seed=0)
+        camera = PinholeCamera(width=160, height=96, focal=110.0, cz=1.4)
+        samples = data.pool_samples[:10]
+        offline_pipeline = AVPipeline(camera)
+        cam_dets, lidar_dets = offline_pipeline.run_models(samples, camera_model, lidar_model)
+        offline, _ = offline_pipeline.monitor(samples, cam_dets, lidar_dets)
+
+        online = AVPipeline(camera)
+        chunk = online.observe_batch(samples[:6], cam_dets[:6], lidar_dets[:6])
+        assert chunk.n_items == 6
+        for sample, cam, lidar in zip(samples[6:], cam_dets[6:], lidar_dets[6:]):
+            online.observe_sample(sample, cam, lidar)
+        report = online.omg.online_report()
+        assert report.assertion_names == offline.assertion_names
+        np.testing.assert_array_equal(report.severities, offline.severities)
+
+    def test_observe_batch_parallel_lists_checked(self):
+        pipeline = AVPipeline(PinholeCamera())
+        with pytest.raises(ValueError):
+            pipeline.observe_batch([1, 2], [[]], [[]])

@@ -157,3 +157,31 @@ class TestTVNewsPipeline:
         agg = pipeline.aggregate_news_severity(report)
         assert agg.shape == (report.n_items,)
         assert agg.sum() == report.severities.sum()
+
+
+class TestStreamingPaths:
+    def test_tvnews_observe_scenes_matches_monitor(self):
+        scenes = TVNewsWorld(seed=0).generate_videos(2, 1200)
+        offline, _ = TVNewsPipeline().monitor(scenes)
+        online = TVNewsPipeline()
+        online.observe_scenes(scenes[: len(scenes) // 2])
+        online.observe_scenes(scenes[len(scenes) // 2 :])
+        report = online.omg.online_report()
+        assert report.assertion_names == offline.assertion_names
+        np.testing.assert_array_equal(report.severities, offline.severities)
+
+    def test_ecg_stream_record_severity_matches_offline(self, ecg_data, ecg_model):
+        from repro.domains.ecg.assertions import make_ecg_assertion
+        from repro.domains.ecg.task import (
+            make_ecg_monitor,
+            record_stream,
+            stream_record_severity,
+        )
+
+        assertion = make_ecg_assertion(30.0)
+        monitor = make_ecg_monitor(30.0)
+        for record in ecg_data.pool[:20]:
+            classes, _ = ecg_model.predict_windows(record)
+            offline = float(assertion.evaluate_stream(record_stream(record, classes)).sum())
+            online = stream_record_severity(monitor, record, classes)
+            assert online == offline

@@ -151,3 +151,47 @@ class TestVideoPipeline:
         assert len(fixed[3].outputs) == 1
         report = pipeline.omg.monitor(fixed)
         assert report.fire_counts()["flicker"] == 0
+
+
+class TestVideoStreamingPath:
+    def flicker_frames(self):
+        return (
+            [[make_box(10 + t, 20, 10, 8, label="car", score=0.9)] for t in range(3)]
+            + [[]]
+            + [[make_box(14 + t, 20, 10, 8, label="car", score=0.9)] for t in range(3)]
+        )
+
+    def test_observe_frame_matches_monitor(self):
+        config = VideoPipelineConfig(fps=1.0, temporal_threshold=3.0)
+        frames = self.flicker_frames()
+        offline, _ = VideoPipeline(config).monitor(frames)
+        online = VideoPipeline(config)
+        online.start_stream()
+        records = []
+        for detections in frames:
+            records.extend(online.observe_frame(detections))
+        report = online.omg.online_report()
+        np.testing.assert_array_equal(report.severities, offline.severities)
+        # the flicker record is attributed retroactively to the gap frame
+        assert [r.item_index for r in records if r.assertion_name == "flicker"] == [3]
+
+    def test_observe_batch_matches_monitor(self):
+        config = VideoPipelineConfig(fps=1.0, temporal_threshold=3.0)
+        frames = self.flicker_frames()
+        offline, _ = VideoPipeline(config).monitor(frames)
+        online = VideoPipeline(config)
+        online.start_stream()
+        online.observe_batch(frames[:4])
+        chunk = online.observe_batch(frames[4:])
+        assert chunk.n_items == 3
+        np.testing.assert_array_equal(
+            online.omg.online_report().severities, offline.severities
+        )
+
+    def test_start_stream_resets(self):
+        config = VideoPipelineConfig(fps=1.0, temporal_threshold=3.0)
+        pipeline = VideoPipeline(config)
+        pipeline.observe_batch(self.flicker_frames())
+        pipeline.start_stream()
+        assert pipeline.omg.n_observed == 0
+        assert pipeline.omg.online_report().n_items == 0

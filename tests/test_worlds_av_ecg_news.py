@@ -145,3 +145,19 @@ class TestTVNewsWorld:
             for o in s.observations:
                 genders.setdefault(o.true_identity, set()).add(o.true_gender)
         assert all(len(g) == 1 for g in genders.values())
+
+
+class TestWorldStreamingGenerators:
+    def test_av_iter_scenes_matches_generate(self):
+        eager = AVWorld(seed=3).generate_scenes(3)
+        lazy = list(AVWorld(seed=3).iter_scenes(3))
+        assert [s.scene_id for s in eager] == [s.scene_id for s in lazy]
+        np.testing.assert_array_equal(
+            eager[1].samples[0].point_cloud, lazy[1].samples[0].point_cloud
+        )
+
+    def test_ecg_iter_records_matches_generate(self):
+        eager = ECGWorld(seed=4).generate_records(3)
+        lazy = list(ECGWorld(seed=4).iter_records(3))
+        assert [r.record_id for r in eager] == [r.record_id for r in lazy]
+        np.testing.assert_array_equal(eager[2].features, lazy[2].features)

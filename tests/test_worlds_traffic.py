@@ -97,3 +97,23 @@ class TestTrafficWorld:
         frames = TrafficWorld(cfg, seed=0).generate(20)
         brightness = [v.brightness for f in frames for v in f.vehicles]
         assert max(brightness) <= cfg.dim_brightness[1] + 1e-9
+
+
+class TestStreamGenerator:
+    def test_stream_matches_generate(self):
+        eager = TrafficWorld(night_config(), seed=5).generate(10)
+        lazy = list(TrafficWorld(night_config(), seed=5).stream(10))
+        assert len(lazy) == 10
+        for a, b in zip(eager, lazy):
+            assert a.index == b.index and a.timestamp == b.timestamp
+            np.testing.assert_array_equal(a.image, b.image)
+            assert [v.object_id for v in a.vehicles] == [v.object_id for v in b.vehicles]
+
+    def test_stream_is_lazy(self):
+        stream = TrafficWorld(night_config(), seed=0).stream(10**9)
+        frame = next(stream)  # a feed this long could never materialize
+        assert frame.index == 0
+
+    def test_negative_frames_rejected(self):
+        with pytest.raises(ValueError):
+            list(TrafficWorld(night_config(), seed=0).stream(-1))
