@@ -9,3 +9,22 @@ measured for wall time, not micro-kernels to be re-sampled.
 def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` once under the benchmark timer and return its result."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def run_registry(benchmark, name, *, jobs=1, **config_fields):
+    """Run a registered experiment once under the timer; return its result.
+
+    Goes through :func:`repro.experiments.run_experiment` — the same path
+    the ``python -m repro`` CLI uses — with the artifact cache disabled so
+    the timer always measures a real run.
+    """
+    from repro.experiments import run_experiment
+
+    run = benchmark.pedantic(
+        run_experiment,
+        args=(name,),
+        kwargs={"jobs": jobs, "cache": False, **config_fields},
+        rounds=1,
+        iterations=1,
+    )
+    return run.result

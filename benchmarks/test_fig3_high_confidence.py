@@ -6,13 +6,11 @@ monitoring would not flag them. Flicker error confidence is the mean of
 the surrounding boxes, per the paper.
 """
 
-from conftest import run_once
-
-from repro.experiments import run_fig3
+from conftest import run_registry
 
 
 def test_fig3_high_confidence_errors(benchmark):
-    result = run_once(benchmark, run_fig3, seed=0, n_pool=800)
+    result = run_registry(benchmark, "fig3", seed=0, n_pool=800)
     print("\n" + result.format_table())
     assert result.n_boxes > 0
     # The flicker assertion's top error must be high-confidence.

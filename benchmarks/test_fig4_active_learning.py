@@ -13,9 +13,7 @@ pretrained model for every strategy, BAL ending within tolerance of the
 best strategy, and monotone-ish improvement across rounds.
 """
 
-from conftest import run_once
-
-from repro.experiments import run_fig4_av, run_fig4_video
+from conftest import run_registry
 import pytest
 
 #: Full reproduction runs take minutes; excluded from the fast tier via -m "not slow".
@@ -36,9 +34,9 @@ def _check_shape(result, tolerance):
 
 
 def test_fig4_video_active_learning(benchmark):
-    result = run_once(
+    result = run_registry(
         benchmark,
-        run_fig4_video,
+        "fig4_video",
         seed=0,
         n_rounds=5,
         budget_per_round=25,
@@ -52,9 +50,9 @@ def test_fig4_video_active_learning(benchmark):
 
 
 def test_fig4_av_active_learning(benchmark):
-    result = run_once(
+    result = run_registry(
         benchmark,
-        run_fig4_av,
+        "fig4_av",
         seed=0,
         n_rounds=5,
         budget_per_round=25,

@@ -4,15 +4,13 @@ Paper claim: "with just a single assertion, model-assertion based active
 learning can match uncertainty sampling and outperform random sampling."
 """
 
-from conftest import run_once
-
-from repro.experiments import run_fig5
+from conftest import run_registry
 
 
 def test_fig5_ecg_active_learning(benchmark):
-    result = run_once(
+    result = run_registry(
         benchmark,
-        run_fig5,
+        "fig5",
         seed=0,
         n_rounds=5,
         budget_per_round=100,

@@ -1,0 +1,57 @@
+"""Bench: the registry runner's ``--jobs`` trial parallelism on Figure 4.
+
+Figure 4(a) decomposes into 8 independent (strategy, trial) units; with
+4 workers the wall clock should be at least halved versus the serial
+path, and — because every unit derives its randomness from child seeds,
+never from a shared generator — the averaged curves must be
+bit-identical regardless of placement.
+
+The speedup assertion needs real cores: with fewer than 4 the equality
+half still runs and asserts, and the timing half only prints (a 4-worker
+pool cannot be expected to halve wall clock on 1-3 cores).
+"""
+
+import os
+import time
+
+import pytest
+
+
+from repro.experiments import run_experiment
+
+#: Full reproduction runs take minutes; excluded from the fast tier via -m "not slow".
+pytestmark = pytest.mark.slow
+
+#: Smaller than the headline fig4 bench so serial + parallel fit one bench.
+FIG4_BENCH_CONFIG = dict(
+    seed=0,
+    n_rounds=3,
+    budget_per_round=25,
+    n_pool=300,
+    n_test=100,
+    n_trials=2,
+)
+
+
+def test_fig4_jobs4_bit_identical_and_faster(benchmark):
+    t0 = time.perf_counter()
+    serial = run_experiment("fig4_video", cache=False, jobs=1, **FIG4_BENCH_CONFIG)
+    serial_s = time.perf_counter() - t0
+
+    def parallel_run():
+        return run_experiment("fig4_video", cache=False, jobs=4, **FIG4_BENCH_CONFIG)
+
+    parallel = benchmark.pedantic(parallel_run, rounds=1, iterations=1)
+    parallel_s = benchmark.stats.stats.total
+
+    assert parallel.result == serial.result, (
+        "jobs=4 must reproduce the serial curves bit-identically"
+    )
+
+    cores = os.cpu_count() or 1
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    print(f"\nPARALLEL_SPEEDUP serial={serial_s:.1f}s jobs4={parallel_s:.1f}s {speedup:.2f}x ({cores} cores)")
+    if cores >= 4:
+        assert speedup >= 2.0, f"expected >= 2x speedup with 4 workers, got {speedup:.2f}x"
+    else:
+        print(f"PARALLEL_SPEEDUP not asserted: {cores} cores < 4")

@@ -1,12 +1,10 @@
 """Bench: regenerate Table 1 (task/model/assertion summary)."""
 
-from conftest import run_once
-
-from repro.experiments import run_table1
+from conftest import run_registry
 
 
 def test_table1_summary(benchmark):
-    result = run_once(benchmark, run_table1)
+    result = run_registry(benchmark, "table1")
     print("\n" + result.format_table())
     assert len(result.rows) == 4
     names = " ".join(r.assertions for r in result.rows)

@@ -4,13 +4,11 @@ Paper claim: every assertion's main body ≤ 25 LOC; ≤ 60 LOC including
 (double-counted) shared helpers.
 """
 
-from conftest import run_once
-
-from repro.experiments import run_table2
+from conftest import run_registry
 
 
 def test_table2_loc(benchmark):
-    result = run_once(benchmark, run_table2)
+    result = run_registry(benchmark, "table2")
     print("\n" + result.format_table())
     assert result.max_body_loc <= 25
     assert result.max_total_loc <= 60

@@ -5,13 +5,11 @@ across all domains when only counting errors in the model outputs", and
 ≥ the output-only precision when identifier errors also count.
 """
 
-from conftest import run_once
-
-from repro.experiments import run_table3
+from conftest import run_registry
 
 
 def test_table3_precision(benchmark):
-    result = run_once(benchmark, run_table3, seed=0)
+    result = run_registry(benchmark, "table3", seed=0)
     print("\n" + result.format_table())
     for row in result.rows:
         assert row.n_sampled >= 5, f"{row.assertion} produced too few fires"

@@ -7,13 +7,11 @@ detection domains and be ≥ −1 point for ECG (the paper's own gain is
 +1.4 points and within run-to-run noise here).
 """
 
-from conftest import run_once
-
-from repro.experiments import run_table4
+from conftest import run_registry
 
 
 def test_table4_weak_supervision(benchmark):
-    result = run_once(benchmark, run_table4, seed=0)
+    result = run_registry(benchmark, "table4", seed=0)
     print("\n" + result.format_table())
 
     video = result.result_for("video analytics")

@@ -1,12 +1,10 @@
 """Bench: regenerate Table 5 (assertion-class taxonomy)."""
 
-from conftest import run_once
-
-from repro.experiments import run_table5
+from conftest import run_registry
 
 
 def test_table5_taxonomy(benchmark):
-    result = run_once(benchmark, run_table5)
+    result = run_registry(benchmark, "table5")
     print("\n" + result.format_table())
     assert result.n_classes == 4
     assert result.n_subclasses == 9

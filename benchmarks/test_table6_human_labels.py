@@ -6,13 +6,11 @@ far from zero and far from all (single-frame objects are invisible to a
 consistency check).
 """
 
-from conftest import run_once
-
-from repro.experiments import run_table6
+from conftest import run_registry
 
 
 def test_table6_human_labels(benchmark):
-    result = run_once(benchmark, run_table6, seed=0, n_video_frames=2000, label_stride=10)
+    result = run_registry(benchmark, "table6", seed=0, n_video_frames=2000, label_stride=10)
     print("\n" + result.format_table())
     assert result.n_labels > 300
     assert 0 < result.n_errors < result.n_labels

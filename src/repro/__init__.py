@@ -20,8 +20,25 @@ The public API mirrors the paper's library, OMG ("OMG Model Guardian"):
   consistency-assertion correction rules.
 
 Substrates used by the paper's evaluation (synthetic worlds, trainable
-detectors and classifiers, metrics) live in sibling subpackages; see
-``DESIGN.md`` for the full inventory.
+detectors and classifiers, metrics) live in sibling subpackages.
+
+Reproducing the evaluation
+--------------------------
+Every table/figure is a registered experiment (frozen config dataclass +
+pure ``run(config)`` body) executed by the registry runner in
+:mod:`repro.experiments.runner`, which layers on deterministic
+child-seed fan-out (:mod:`repro.core.seeding`), process-parallel trial
+execution, a content-addressed artifact cache (``.repro-cache/``), and
+uniform JSON + text reporting. ``python -m repro`` drives it from the
+command line::
+
+    python -m repro list
+    python -m repro run fig4_video --jobs 4
+    python -m repro run --all --jobs 2
+    python -m repro report
+
+Same-seed results are bit-identical run directly, via the CLI, serially,
+or with ``--jobs N`` (see ``tests/experiments/test_runner.py``).
 
 Runtime performance
 -------------------

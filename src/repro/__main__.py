@@ -1,0 +1,250 @@
+"""``python -m repro`` — the reproduction command line.
+
+Subcommands:
+
+- ``list`` — the experiment catalog (name, paper artifact, config).
+- ``run NAME... | --all`` — execute experiments through the registry
+  runner, with the artifact cache and ``--jobs N`` trial parallelism.
+- ``report`` — render cached results without recomputation.
+
+Examples
+--------
+.. code-block:: console
+
+   $ python -m repro list
+   $ python -m repro run fig4_video --jobs 4
+   $ python -m repro run table6 --seed 7 --set n_video_frames=600
+   $ python -m repro run --all --jobs 2
+   $ python -m repro report fig4_video
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import dataclasses
+import json
+import sys
+
+from repro.experiments import list_experiments, run_experiment
+from repro.experiments.reporting import (
+    format_table,
+    from_jsonable,
+    render_result,
+    to_jsonable,
+)
+from repro.experiments.runner import get_experiment, load_cached
+
+
+def _parse_value(text: str):
+    """Best-effort literal parsing for ``--set key=value`` overrides."""
+    try:
+        return ast.literal_eval(text)
+    except (SyntaxError, ValueError):
+        return text
+
+
+def _config_overrides(spec, args, *, strict: bool = True) -> dict:
+    """Map CLI flags onto the experiment's config fields.
+
+    With ``strict`` (explicitly named experiments) an override naming a
+    field the config lacks is an error; under ``run --all`` the same
+    override is applied only where the field exists, so a battery-wide
+    ``--seed 7`` doesn't abort on the knobless experiments.
+    """
+    field_names = {f.name for f in dataclasses.fields(spec.config_type)}
+    overrides: dict = {}
+    if args.seed is not None:
+        if "seed" in field_names:
+            overrides["seed"] = args.seed
+        elif strict:
+            raise SystemExit(f"error: experiment {spec.name!r} takes no seed")
+    if args.trials is not None:
+        if "n_trials" in field_names:
+            overrides["n_trials"] = args.trials
+        elif strict:
+            raise SystemExit(f"error: experiment {spec.name!r} has no trials")
+    for assignment in args.set or []:
+        key, sep, value = assignment.partition("=")
+        if not sep:
+            raise SystemExit(f"error: --set expects key=value, got {assignment!r}")
+        if key in field_names:
+            overrides[key] = _parse_value(value)
+        elif strict:
+            known = ", ".join(sorted(field_names)) or "(none)"
+            raise SystemExit(
+                f"error: {spec.name!r} config has no field {key!r}; fields: {known}"
+            )
+    return overrides
+
+
+def _cmd_list(args) -> int:
+    specs = list_experiments()
+    if args.json:
+        payload = [
+            {
+                "name": spec.name,
+                "artifact": spec.artifact,
+                "description": spec.description,
+                "config": to_jsonable(spec.config_type()),
+            }
+            for spec in specs
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    rows = []
+    for spec in specs:
+        fields = dataclasses.fields(spec.config_type)
+        config = ", ".join(f"{f.name}={getattr(spec.config_type(), f.name)}" for f in fields)
+        rows.append((spec.name, spec.artifact, config or "-"))
+    print(format_table(["Experiment", "Paper artifact", "Config defaults"], rows,
+                       title=f"{len(specs)} registered experiments"))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    if args.all:
+        if args.names:
+            raise SystemExit("error: give experiment names or --all, not both")
+        names = [spec.name for spec in list_experiments()]
+    elif args.names:
+        names = args.names
+    else:
+        raise SystemExit("error: give at least one experiment name (or --all)")
+
+    # Resolve every name and its overrides up front, so a typo in the
+    # last argument fails before the first expensive experiment runs.
+    plan = []
+    for name in names:
+        try:
+            spec = get_experiment(name)
+        except KeyError as exc:
+            raise SystemExit(f"error: {exc.args[0]}") from None
+        plan.append((spec, _config_overrides(spec, args, strict=not args.all)))
+
+    payloads = []
+    for spec, overrides in plan:
+        run = run_experiment(
+            spec.name,
+            jobs=args.jobs,
+            force=args.force,
+            cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            **overrides,
+        )
+        if args.json:
+            payloads.append(
+                {
+                    "experiment": spec.name,
+                    "artifact": spec.artifact,
+                    "cached": run.cached,
+                    "elapsed_s": run.elapsed_s,
+                    "config": to_jsonable(run.config),
+                    "result": to_jsonable(run.result),
+                }
+            )
+        else:
+            status = (
+                f"[{spec.name}] cache hit ({run.path})"
+                if run.cached
+                else f"[{spec.name}] ran in {run.elapsed_s:.1f}s"
+                + (f" → {run.path}" if run.path else "")
+            )
+            print(status)
+            print(render_result(run.result))
+            print()
+    if args.json:
+        # One parseable document: an object for a single experiment, an
+        # array when several ran.
+        print(json.dumps(payloads[0] if len(payloads) == 1 else payloads, indent=2))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    names = args.names or [spec.name for spec in list_experiments()]
+    for name in names:  # validate everything before rendering anything
+        try:
+            get_experiment(name)
+        except KeyError as exc:
+            raise SystemExit(f"error: {exc.args[0]}") from None
+    missing = []
+    shown = 0
+    payloads = []
+    for name in names:
+        entries = load_cached(name, cache_dir=args.cache_dir)
+        if not entries:
+            missing.append(name)
+            continue
+        payload, path = entries[0]  # newest; older fingerprints stay on disk
+        shown += 1
+        if args.json:
+            payloads.append(payload)
+        else:
+            print(f"[{name}] {payload.get('artifact', '')} (cached at {path})")
+            print(render_result(from_jsonable(payload["result"])))
+            print()
+    if args.json and payloads:
+        # One parseable document, like `run --json`.
+        print(json.dumps(payloads[0] if len(payloads) == 1 else payloads, indent=2))
+    if missing and args.names:
+        raise SystemExit(
+            "error: no cached artifacts for: "
+            + ", ".join(missing)
+            + " — run `python -m repro run <name>` first"
+        )
+    if not shown:
+        raise SystemExit(
+            "error: the artifact cache is empty — run `python -m repro run --all` first"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the paper's tables and figures through the experiment registry.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="show the experiment catalog")
+    p_list.add_argument("--json", action="store_true", help="machine-readable output")
+    p_list.set_defaults(fn=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run experiments (cached, parallel trials)")
+    p_run.add_argument("names", nargs="*", help="experiment names (see `list`)")
+    p_run.add_argument("--all", action="store_true", help="run every registered experiment")
+    p_run.add_argument("--jobs", type=int, default=1, help="worker processes for independent trials")
+    p_run.add_argument("--seed", type=int, default=None, help="override the config seed")
+    p_run.add_argument("--trials", type=int, default=None, help="override the config n_trials")
+    p_run.add_argument("--set", action="append", metavar="KEY=VALUE",
+                       help="override any other config field (repeatable)")
+    p_run.add_argument("--force", action="store_true", help="recompute even on a cache hit")
+    p_run.add_argument("--no-cache", action="store_true", help="skip the artifact cache entirely")
+    p_run.add_argument("--cache-dir", default=None, help="artifact cache directory (default .repro-cache)")
+    p_run.add_argument("--json", action="store_true", help="machine-readable output")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_report = sub.add_parser("report", help="render cached results without recomputation")
+    p_report.add_argument("names", nargs="*", help="experiment names (default: all cached)")
+    p_report.add_argument("--cache-dir", default=None, help="artifact cache directory")
+    p_report.add_argument("--json", action="store_true", help="machine-readable output")
+    p_report.set_defaults(fn=_cmd_report)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # e.g. `python -m repro run --all | head` — exit quietly with the
+        # conventional SIGPIPE status instead of a traceback.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(141)

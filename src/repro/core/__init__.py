@@ -34,6 +34,7 @@ from repro.core.consistency import (
 )
 from repro.core.database import AssertionDatabase, AssertionEntry
 from repro.core.runtime import ENGINES, OMG, MonitoringReport
+from repro.core.seeding import derive_rng, derive_seed, spawn_seeds
 from repro.core.streaming import (
     AttributeConsistencyEvaluator,
     PerItemEvaluator,
@@ -117,6 +118,9 @@ __all__ = [
     "as_assertion",
     "compare_strategies",
     "default_strategies",
+    "derive_rng",
+    "derive_seed",
+    "spawn_seeds",
     "entries_for_class",
     "format_taxonomy_table",
     "generate_assertions",

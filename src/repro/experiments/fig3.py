@@ -18,11 +18,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.experiments.reporting import format_table
-from repro.experiments.table3 import _box_is_error, _detected_at, _gt_vehicle_at
-from repro.geometry.iou import iou_matrix
+from repro.experiments.judging import box_is_error, detected_at, gt_vehicle_at
+from repro.experiments.reporting import format_table, register_result_type
+from repro.experiments.runner import get_experiment, register_experiment
 
 
+@register_result_type
 @dataclass
 class Fig3Result:
     """Percentiles of the top-10 highest-confidence errors per assertion.
@@ -54,17 +55,28 @@ class Fig3Result:
         )
 
 
-def run_fig3(
-    seed: int = 0,
-    *,
-    n_pool: int = 800,
-    top_k: int = 10,
-) -> Fig3Result:
+@dataclass(frozen=True)
+class Fig3Config:
+    """Figure 3 configuration."""
+
+    seed: int = 0
+    n_pool: int = 800
+    top_k: int = 10
+
+
+@register_experiment(
+    "fig3",
+    config=Fig3Config,
+    artifact="Figure 3",
+    description="Confidence percentiles of the top assertion-flagged true errors",
+)
+def _run_fig3(config: Fig3Config) -> Fig3Result:
     """Collect assertion-flagged *true* errors and rank them by confidence."""
     from repro.core.consistency import group_observations
     from repro.domains.video import VideoPipeline, bootstrap_detector, make_video_task_data
     from repro.utils.rng import as_generator
 
+    seed, n_pool, top_k = config.seed, config.n_pool, config.top_k
     rng = as_generator(seed)
     data = make_video_task_data(int(rng.integers(2**31 - 1)), n_pool=n_pool, n_test=50)
     detector = bootstrap_detector(data, seed=rng.spawn(1)[0])
@@ -92,7 +104,7 @@ def run_fig3(
         for out_idx in sorted(
             range(len(item.outputs)), key=lambda i: -item.outputs[i]["score"]
         ):
-            is_error = _box_is_error(item.outputs[out_idx]["box"], gt, claimed)
+            is_error = box_is_error(item.outputs[out_idx]["box"], gt, claimed)
             if out_idx in flagged and is_error:
                 errors["multibox"].append(item.outputs[out_idx]["score"])
 
@@ -102,7 +114,7 @@ def run_fig3(
             for output in items[pos].outputs:
                 if output.get("track_id") != violation.identifier:
                     continue
-                if _gt_vehicle_at(frames, pos, output["box"], iou_threshold=0.5) is None:
+                if gt_vehicle_at(frames, pos, output["box"], iou_threshold=0.5) is None:
                     errors["appear"].append(output["score"])
 
     # flicker: missed boxes in gaps, conf = mean of surrounding boxes
@@ -114,8 +126,8 @@ def run_fig3(
         imputed = pipeline.spec.weak_label_fn(violation.identifier, items[mid], observations)
         if imputed is None:
             continue
-        gt_vehicle = _gt_vehicle_at(frames, mid, imputed["box"])
-        if gt_vehicle is not None and not _detected_at(
+        gt_vehicle = gt_vehicle_at(frames, mid, imputed["box"])
+        if gt_vehicle is not None and not detected_at(
             items, mid, gt_vehicle.box, exclude_track=violation.identifier
         ):
             errors["flicker"].append(imputed["score"])
@@ -125,3 +137,13 @@ def run_fig3(
         for name, scores in errors.items()
     }
     return Fig3Result(percentiles=percentiles, n_boxes=int(all_scores.size))
+
+
+def run_fig3(
+    seed: int = 0,
+    *,
+    n_pool: int = 800,
+    top_k: int = 10,
+) -> Fig3Result:
+    """Collect assertion-flagged *true* errors and rank them by confidence."""
+    return get_experiment("fig3").run(Fig3Config(seed=seed, n_pool=n_pool, top_k=top_k))

@@ -5,6 +5,12 @@ confident), uniform sampling from assertion-triggered data, and BAL —
 over five rounds of bulk labeling. Figure 4 shows rounds 2–5; Figure 9
 (appendix) shows all rounds; this harness records every round, so one run
 regenerates both.
+
+Execution decomposes into independent ``(strategy, trial)`` units: each
+unit derives its task and strategy randomness from
+:mod:`repro.core.seeding` child seeds, so the registry runner can fan
+units across processes (``--jobs N``) and the averaged curves are
+bit-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -13,20 +19,26 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.active_learning import compare_strategies
+from repro.core.active_learning import run_active_learning
+from repro.core.seeding import derive_rng, spawn_seeds
 from repro.core.strategies import (
     BALStrategy,
     RandomStrategy,
     UncertaintyStrategy,
     UniformAssertionStrategy,
 )
-from repro.experiments.reporting import format_float, format_table
-from repro.utils.rng import as_generator
+from repro.experiments.reporting import (
+    format_float,
+    format_table,
+    register_result_type,
+)
+from repro.experiments.runner import get_experiment, register_experiment
 
 #: Strategy display order, as in the paper's legends.
 STRATEGY_ORDER = ("random", "uncertainty", "uniform_ma", "bal")
 
 
+@register_result_type
 @dataclass
 class Fig4Result:
     """Averaged learning curves per strategy for one domain."""
@@ -64,15 +76,122 @@ class Fig4Result:
         return format_table(headers, rows, title=title)
 
 
-def _strategies(seed, fallback: str = "random") -> list:
-    rng = as_generator(seed)
-    children = rng.spawn(3)
+# ----------------------------------------------------------------------
+# (strategy, trial) unit machinery, shared with fig5
+# ----------------------------------------------------------------------
+def make_strategy(name: str, rng, fallback: str = "random"):
+    """Build one §5.4 strategy seeded with ``rng``."""
+    if name == "random":
+        return RandomStrategy(seed=rng)
+    if name == "uncertainty":
+        return UncertaintyStrategy()
+    if name == "uniform_ma":
+        return UniformAssertionStrategy(seed=rng)
+    if name == "bal":
+        return BALStrategy(seed=rng, fallback=fallback)
+    raise ValueError(f"unknown strategy {name!r}")
+
+
+def active_learning_units(config, strategy_names=STRATEGY_ORDER) -> list:
+    """One unit per (trial, strategy); trial-major so first-seen strategy
+    order in the combined curves matches the paper's legend order."""
     return [
-        RandomStrategy(seed=children[0]),
-        UncertaintyStrategy(),
-        UniformAssertionStrategy(seed=children[1]),
-        BALStrategy(seed=children[2], fallback=fallback),
+        {"trial": trial, "strategy": name}
+        for trial in range(config.n_trials)
+        for name in strategy_names
     ]
+
+
+def run_active_learning_unit(
+    experiment: str, config, unit: dict, task_factory, fallback: str = "random"
+) -> dict:
+    """One independent (strategy, trial) learning curve.
+
+    The trial's task seed comes from :func:`spawn_seeds` (shared by every
+    strategy in that trial, as when the paper evaluates all strategies on
+    the same collected pool); the strategy's own stream is derived from
+    ``(seed, experiment, strategy, trial)`` so no unit depends on any
+    other's generator state.
+    """
+    trial = unit["trial"]
+    trial_seed = spawn_seeds(config.seed, config.n_trials)[trial]
+    strategy = make_strategy(
+        unit["strategy"],
+        derive_rng(config.seed, experiment, unit["strategy"], trial),
+        fallback=fallback,
+    )
+    task = task_factory(config, trial_seed)
+    run = run_active_learning(
+        task,
+        strategy,
+        n_rounds=config.n_rounds,
+        budget_per_round=config.budget_per_round,
+    )
+    return {
+        "metrics": [float(m) for m in run.metrics],
+        "initial": float(run.initial_metric),
+    }
+
+
+def combine_active_learning(config, units, partials, *, domain, metric_name) -> Fig4Result:
+    """Average per-strategy curves over trials into a :class:`Fig4Result`."""
+    by_strategy: dict = {}
+    for unit, partial in zip(units, partials):
+        by_strategy.setdefault(unit["strategy"], []).append(partial["metrics"])
+    curves = {
+        name: [float(v) for v in np.mean(np.asarray(trials, dtype=np.float64), axis=0)]
+        for name, trials in by_strategy.items()
+    }
+    return Fig4Result(
+        domain=domain,
+        curves=curves,
+        initial_metric=float(np.mean([p["initial"] for p in partials])),
+        budget_per_round=config.budget_per_round,
+        metric_name=metric_name,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 4(a)/9(a): night-street
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig4VideoConfig:
+    """Figure 4(a)/9(a) configuration (paper: 2 trials, Appendix C)."""
+
+    seed: int = 0
+    n_rounds: int = 5
+    budget_per_round: int = 25
+    n_pool: int = 500
+    n_test: int = 150
+    n_trials: int = 2
+    fine_tune_epochs: int = 8
+
+
+def _video_task(config, trial_seed: int):
+    from repro.domains.video import VideoActiveLearningTask, make_video_task_data
+
+    data = make_video_task_data(trial_seed, n_pool=config.n_pool, n_test=config.n_test)
+    return VideoActiveLearningTask(
+        data, fine_tune_epochs=config.fine_tune_epochs, seed=trial_seed
+    )
+
+
+def _fig4_video_combine(config, units, partials) -> Fig4Result:
+    return combine_active_learning(
+        config, units, partials, domain="night-street", metric_name="mAP%"
+    )
+
+
+@register_experiment(
+    "fig4_video",
+    config=Fig4VideoConfig,
+    artifact="Figure 4(a)/9(a)",
+    description="Active learning on night-street: random/uncertainty/uniform-MA/BAL",
+    units=active_learning_units,
+    combine=_fig4_video_combine,
+)
+def _fig4_video_unit(config, unit):
+    return run_active_learning_unit("fig4_video", config, unit, _video_task)
 
 
 def run_fig4_video(
@@ -84,33 +203,68 @@ def run_fig4_video(
     n_test: int = 150,
     n_trials: int = 2,
     fine_tune_epochs: int = 8,
+    jobs: int = 1,
 ) -> Fig4Result:
     """Figure 4(a)/9(a): night-street. The paper ran 2 trials (App. C)."""
-    from repro.domains.video import VideoActiveLearningTask, make_video_task_data
-
-    rng = as_generator(seed)
-    trial_seeds = rng.integers(0, 2**31 - 1, size=n_trials)
-
-    def task_factory(trial: int):
-        data = make_video_task_data(int(trial_seeds[trial]), n_pool=n_pool, n_test=n_test)
-        return VideoActiveLearningTask(
-            data, fine_tune_epochs=fine_tune_epochs, seed=int(trial_seeds[trial])
-        )
-
-    results = compare_strategies(
-        task_factory,
-        _strategies(rng.spawn(1)[0]),
+    config = Fig4VideoConfig(
+        seed=seed,
         n_rounds=n_rounds,
         budget_per_round=budget_per_round,
+        n_pool=n_pool,
+        n_test=n_test,
         n_trials=n_trials,
+        fine_tune_epochs=fine_tune_epochs,
     )
-    return Fig4Result(
-        domain="night-street",
-        curves={name: result.metrics for name, result in results.items()},
-        initial_metric=float(np.mean([r.initial_metric for r in results.values()])),
-        budget_per_round=budget_per_round,
-        metric_name="mAP%",
+    return get_experiment("fig4_video").run(config, jobs=jobs)
+
+
+# ----------------------------------------------------------------------
+# Figure 4(b)/9(b): the AV world
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig4AVConfig:
+    """Figure 4(b)/9(b) configuration (NuScenes stand-in)."""
+
+    seed: int = 0
+    n_rounds: int = 5
+    budget_per_round: int = 25
+    n_bootstrap_scenes: int = 10
+    n_pool_scenes: int = 20
+    n_test_scenes: int = 6
+    n_trials: int = 2
+    fine_tune_epochs: int = 8
+
+
+def _av_task(config, trial_seed: int):
+    from repro.domains.av import AVActiveLearningTask, make_av_task_data
+
+    data = make_av_task_data(
+        trial_seed,
+        n_bootstrap_scenes=config.n_bootstrap_scenes,
+        n_pool_scenes=config.n_pool_scenes,
+        n_test_scenes=config.n_test_scenes,
     )
+    return AVActiveLearningTask(
+        data, fine_tune_epochs=config.fine_tune_epochs, seed=trial_seed
+    )
+
+
+def _fig4_av_combine(config, units, partials) -> Fig4Result:
+    return combine_active_learning(
+        config, units, partials, domain="nuscenes", metric_name="mAP%"
+    )
+
+
+@register_experiment(
+    "fig4_av",
+    config=Fig4AVConfig,
+    artifact="Figure 4(b)/9(b)",
+    description="Active learning on the AV world: random/uncertainty/uniform-MA/BAL",
+    units=active_learning_units,
+    combine=_fig4_av_combine,
+)
+def _fig4_av_unit(config, unit):
+    return run_active_learning_unit("fig4_av", config, unit, _av_task)
 
 
 def run_fig4_av(
@@ -123,35 +277,17 @@ def run_fig4_av(
     n_test_scenes: int = 6,
     n_trials: int = 2,
     fine_tune_epochs: int = 8,
+    jobs: int = 1,
 ) -> Fig4Result:
     """Figure 4(b)/9(b): the AV world (NuScenes stand-in)."""
-    from repro.domains.av import AVActiveLearningTask, make_av_task_data
-
-    rng = as_generator(seed)
-    trial_seeds = rng.integers(0, 2**31 - 1, size=n_trials)
-
-    def task_factory(trial: int):
-        data = make_av_task_data(
-            int(trial_seeds[trial]),
-            n_bootstrap_scenes=n_bootstrap_scenes,
-            n_pool_scenes=n_pool_scenes,
-            n_test_scenes=n_test_scenes,
-        )
-        return AVActiveLearningTask(
-            data, fine_tune_epochs=fine_tune_epochs, seed=int(trial_seeds[trial])
-        )
-
-    results = compare_strategies(
-        task_factory,
-        _strategies(rng.spawn(1)[0]),
+    config = Fig4AVConfig(
+        seed=seed,
         n_rounds=n_rounds,
         budget_per_round=budget_per_round,
+        n_bootstrap_scenes=n_bootstrap_scenes,
+        n_pool_scenes=n_pool_scenes,
+        n_test_scenes=n_test_scenes,
         n_trials=n_trials,
+        fine_tune_epochs=fine_tune_epochs,
     )
-    return Fig4Result(
-        domain="nuscenes",
-        curves={name: result.metrics for name, result in results.items()},
-        initial_metric=float(np.mean([r.initial_metric for r in results.values()])),
-        budget_per_round=budget_per_round,
-        metric_name="mAP%",
-    )
+    return get_experiment("fig4_av").run(config, jobs=jobs)

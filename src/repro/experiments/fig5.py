@@ -5,17 +5,73 @@ to deploy more than one assertion. … data collection with a single model
 assertion generally matches or outperforms both uncertainty and random
 sampling" (§5.4). Five rounds of 100 records, averaged over 8 trials
 (Appendix C); BAL falls back to uncertainty sampling when the single
-assertion stalls, as the paper allows.
+assertion stalls, as the paper allows. Trials fan out as independent
+``(strategy, trial)`` units, like Figure 4.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from dataclasses import dataclass
 
-from repro.core.active_learning import compare_strategies
-from repro.core.strategies import BALStrategy, RandomStrategy, UncertaintyStrategy
-from repro.experiments.fig4 import Fig4Result
-from repro.utils.rng import as_generator
+from repro.experiments.fig4 import (
+    Fig4Result,
+    active_learning_units,
+    combine_active_learning,
+    run_active_learning_unit,
+)
+from repro.experiments.runner import get_experiment, register_experiment
+
+#: Figure 5 compares three strategies (no uniform-MA with one assertion).
+FIG5_STRATEGIES = ("random", "uncertainty", "bal")
+
+
+@dataclass(frozen=True)
+class Fig5Config:
+    """Figure 5 configuration (paper: 8 trials, Appendix C)."""
+
+    seed: int = 0
+    n_rounds: int = 5
+    budget_per_round: int = 100
+    n_train: int = 120
+    n_pool: int = 2000
+    n_test: int = 500
+    n_trials: int = 8
+    fine_tune_epochs: int = 15
+
+
+def _ecg_task(config, trial_seed: int):
+    from repro.domains.ecg import ECGActiveLearningTask, make_ecg_task_data
+
+    data = make_ecg_task_data(
+        trial_seed, n_train=config.n_train, n_pool=config.n_pool, n_test=config.n_test
+    )
+    return ECGActiveLearningTask(
+        data, fine_tune_epochs=config.fine_tune_epochs, seed=trial_seed
+    )
+
+
+def _fig5_units(config) -> list:
+    return active_learning_units(config, strategy_names=FIG5_STRATEGIES)
+
+
+def _fig5_combine(config, units, partials) -> Fig4Result:
+    return combine_active_learning(
+        config, units, partials, domain="ecg", metric_name="accuracy%"
+    )
+
+
+@register_experiment(
+    "fig5",
+    config=Fig5Config,
+    artifact="Figure 5",
+    description="Active learning on ECG with a single assertion: random/uncertainty/BAL",
+    units=_fig5_units,
+    combine=_fig5_combine,
+)
+def _fig5_unit(config, unit):
+    return run_active_learning_unit(
+        "fig5", config, unit, _ecg_task, fallback="uncertainty"
+    )
 
 
 def run_fig5(
@@ -27,38 +83,16 @@ def run_fig5(
     n_test: int = 500,
     n_trials: int = 8,
     fine_tune_epochs: int = 15,
+    jobs: int = 1,
 ) -> Fig4Result:
     """Figure 5: random vs uncertainty vs BAL on the ECG task."""
-    from repro.domains.ecg import ECGActiveLearningTask, make_ecg_task_data
-
-    rng = as_generator(seed)
-    trial_seeds = rng.integers(0, 2**31 - 1, size=n_trials)
-
-    def task_factory(trial: int):
-        data = make_ecg_task_data(
-            int(trial_seeds[trial]), n_train=120, n_pool=n_pool, n_test=n_test
-        )
-        return ECGActiveLearningTask(
-            data, fine_tune_epochs=fine_tune_epochs, seed=int(trial_seeds[trial])
-        )
-
-    children = rng.spawn(2)
-    strategies = [
-        RandomStrategy(seed=children[0]),
-        UncertaintyStrategy(),
-        BALStrategy(seed=children[1], fallback="uncertainty"),
-    ]
-    results = compare_strategies(
-        task_factory,
-        strategies,
+    config = Fig5Config(
+        seed=seed,
         n_rounds=n_rounds,
         budget_per_round=budget_per_round,
+        n_pool=n_pool,
+        n_test=n_test,
         n_trials=n_trials,
+        fine_tune_epochs=fine_tune_epochs,
     )
-    return Fig4Result(
-        domain="ecg",
-        curves={name: result.metrics for name, result in results.items()},
-        initial_metric=float(np.mean([r.initial_metric for r in results.values()])),
-        budget_per_round=budget_per_round,
-        metric_name="accuracy%",
-    )
+    return get_experiment("fig5").run(config, jobs=jobs)

@@ -1,0 +1,64 @@
+"""Ground-truth judging helpers shared by Table 3 and Figure 3.
+
+The six ``judge_*`` functions in :mod:`repro.experiments.table3` all
+follow the same recipe — sample up to *k* fire units, match each against
+simulator ground truth by IoU, count errors — and Figure 3 reuses the
+same matching predicates to decide which flagged boxes are *true*
+errors. The shared pieces live here so each judge is only the
+domain-specific part.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.iou import iou_matrix
+
+
+def sample_units(rng, units: list, k: int) -> list:
+    """Sample up to ``k`` fire units without replacement (all if fewer)."""
+    if len(units) <= k:
+        return list(units)
+    picks = rng.choice(len(units), size=k, replace=False)
+    return [units[int(i)] for i in picks]
+
+
+def box_is_error(box, frame_gt, claimed: set, iou_threshold: float = 0.5) -> bool:
+    """True when ``box`` has no unclaimed ground-truth match.
+
+    ``claimed`` accumulates matched ground-truth indices across calls so
+    a duplicate detection cannot "re-claim" an already-matched object —
+    callers iterate boxes in detection-score order.
+    """
+    if not frame_gt:
+        return True
+    ious = iou_matrix([box], frame_gt)[0]
+    order = np.argsort(-ious)
+    for j in order:
+        if ious[j] < iou_threshold:
+            break
+        if j not in claimed:
+            claimed.add(int(j))
+            return False
+    return True
+
+
+def gt_vehicle_at(frames, pos, box, iou_threshold=0.3):
+    """The ground-truth vehicle overlapping ``box`` in frame ``pos``."""
+    best = None
+    best_iou = iou_threshold
+    for vehicle in frames[pos].vehicles:
+        value = iou_matrix([box], [vehicle.box])[0, 0]
+        if value >= best_iou:
+            best, best_iou = vehicle, value
+    return best
+
+
+def detected_at(items, pos, box, exclude_track=None, iou_threshold=0.3):
+    """Whether any detection overlaps ``box`` in frame ``pos``."""
+    for output in items[pos].outputs:
+        if exclude_track is not None and output.get("track_id") == exclude_track:
+            continue
+        if iou_matrix([box], [output["box"]])[0, 0] >= iou_threshold:
+            return True
+    return False

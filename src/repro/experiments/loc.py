@@ -14,6 +14,10 @@ import inspect
 import io
 import textwrap
 import tokenize
+from dataclasses import dataclass, field
+
+from repro.experiments.reporting import register_result_type
+from repro.experiments.runner import register_experiment
 
 
 def effective_loc(obj) -> int:
@@ -58,3 +62,88 @@ def loc_with_helpers(bodies: list, helpers: list) -> tuple[int, int]:
     body = sum(effective_loc(obj) for obj in bodies)
     helper = sum(effective_loc(obj) for obj in helpers)
     return body, body + helper
+
+
+# ----------------------------------------------------------------------
+# The "loc" experiment: harness LOC per registered experiment
+# ----------------------------------------------------------------------
+@register_result_type
+@dataclass(frozen=True)
+class LocRow:
+    experiment: str
+    artifact: str
+    loc_body: int
+
+
+@register_result_type
+@dataclass
+class LocResult:
+    """Effective LOC of every registered experiment's execution body.
+
+    The registry's counterpart to Table 2: assertions are a few dozen
+    lines, and so is each experiment body once the runner owns seed
+    fan-out, trial parallelism, caching, and reporting.
+    """
+
+    rows: list = field(default_factory=list)
+
+    def row(self, experiment: str) -> LocRow:
+        for row in self.rows:
+            if row.experiment == experiment:
+                return row
+        raise KeyError(experiment)
+
+    @property
+    def max_body_loc(self) -> int:
+        return max(r.loc_body for r in self.rows)
+
+    def format_table(self) -> str:
+        from repro.experiments.reporting import format_table
+
+        return format_table(
+            ["Experiment", "Paper artifact", "Body LOC"],
+            [(r.experiment, r.artifact, r.loc_body) for r in self.rows],
+            title="Experiment-body LOC under the registry runner",
+        )
+
+
+def _spec_body_loc(spec) -> int:
+    """Sum the effective LOC of a spec's execution callables."""
+    bodies = [
+        fn
+        for fn in (spec.run_single, spec.make_units, spec.run_unit, spec.combine)
+        if fn is not None
+    ]
+    return sum(effective_loc(fn) for fn in bodies)
+
+
+def run_loc() -> LocResult:
+    """Count each registered experiment's execution-body LOC."""
+    from repro.experiments.runner import list_experiments
+
+    rows = [
+        LocRow(
+            experiment=spec.name,
+            artifact=spec.artifact,
+            loc_body=_spec_body_loc(spec),
+        )
+        for spec in list_experiments()
+        if spec.name != "loc"  # counting oneself is circular, not informative
+    ]
+    return LocResult(rows=rows)
+
+
+@dataclass(frozen=True)
+class LocConfig:
+    """The LOC census counts source as written; it has no knobs."""
+
+
+@register_experiment(
+    "loc",
+    config=LocConfig,
+    artifact="Table 2 companion",
+    description="Effective LOC of each registered experiment body",
+    cacheable=False,  # result derives from the source tree, not the config
+)
+def _run_loc(config: LocConfig) -> LocResult:
+    return run_loc()

@@ -1,0 +1,300 @@
+"""Registry-driven experiment runner: one subsystem for every table/figure.
+
+Before this module each experiment hand-rolled its own seed fan-out,
+trial loop, and formatting; reproducing the paper meant invoking twelve
+sibling drivers strictly serially. The runner replaces that with four
+orthogonal pieces:
+
+**Registry.** Each experiment registers once::
+
+    @register_experiment("fig5", config=Fig5Config, artifact="Figure 5")
+    def _run(config) -> Fig4Result: ...
+
+declaring a *frozen* config dataclass (seed, trials, pool/test sizes —
+the experiment's entire input surface) and a pure ``run(config)`` body.
+:func:`get_experiment` / :func:`list_experiments` expose the catalog to
+the ``python -m repro`` CLI, the benchmarks, and future scenario PRs —
+adding an experiment is one decorated function, not a new driver module.
+
+**Trial executor.** Experiments whose result averages independent units
+(trials × strategies, or per-domain sub-experiments) register a
+``units``/``combine`` pair instead of a monolithic body. Units draw
+their randomness from :mod:`repro.core.seeding` child seeds — a pure
+function of ``(root seed, unit path)`` — so the executor can run them
+in-process or fan them across a :class:`~concurrent.futures.ProcessPoolExecutor`
+(``jobs > 1``) and the combined result is bit-identical either way.
+
+**Artifact cache.** ``run_experiment`` content-addresses each run by
+``sha256(experiment name + canonical config JSON)`` and persists the
+result as JSON under ``.repro-cache/`` (override with ``cache_dir=`` or
+``$REPRO_CACHE_DIR``). A warm hit skips recomputation entirely; pass
+``force=True`` to recompute and overwrite.
+
+**Uniform reporting.** Results round-trip through
+:mod:`repro.experiments.reporting`'s JSON codec and render through the
+same ``format_table()`` path whether fresh or cached.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+from repro.experiments.reporting import (
+    from_jsonable,
+    register_result_type,
+    to_jsonable,
+)
+
+#: Bumped when the cache payload layout changes; part of the cache key.
+CACHE_SCHEMA = 1
+
+#: Registration-ordered experiment catalog.
+_REGISTRY: dict = {}
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: config surface + pure execution body.
+
+    Exactly one of two shapes:
+
+    - **single-unit** — ``run_single(config) -> result``;
+    - **unit-decomposed** — ``make_units(config) -> [unit, ...]``,
+      ``run_unit(config, unit) -> partial``, and
+      ``combine(config, units, partials) -> result``. Units must be
+      independent (their randomness derived per-unit, never threaded
+      through a shared generator) so the executor may run them in any
+      placement.
+    """
+
+    name: str
+    config_type: type
+    artifact: str
+    description: str = ""
+    run_single: "object" = None
+    make_units: "object" = None
+    run_unit: "object" = None
+    combine: "object" = None
+    #: False for experiments whose result derives from the source tree
+    #: itself (LOC counts, static tables): their config can never
+    #: fingerprint a code change, so a cache entry would be forever stale.
+    cacheable: bool = True
+
+    def default_config(self, **overrides):
+        """Instantiate the config dataclass with ``overrides`` applied."""
+        return self.config_type(**overrides)
+
+    def run(self, config=None, *, jobs: int = 1):
+        """Execute the experiment body (no cache) and return its result."""
+        if config is None:
+            config = self.config_type()
+        if self.run_single is not None:
+            return self.run_single(config)
+        units = self.make_units(config)
+        if jobs > 1 and len(units) > 1:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(units))) as pool:
+                partials = list(
+                    pool.map(_run_unit_in_worker, [(self.name, config, u) for u in units])
+                )
+        else:
+            partials = [self.run_unit(config, unit) for unit in units]
+        return self.combine(config, units, partials)
+
+
+def _run_unit_in_worker(payload):
+    """Process-pool entry point: resolve the spec by name and run one unit."""
+    name, config, unit = payload
+    import repro.experiments  # noqa: F401  (populates the registry in spawned workers)
+
+    return get_experiment(name).run_unit(config, unit)
+
+
+def register_experiment(
+    name: str,
+    *,
+    config: type,
+    artifact: str,
+    description: str = "",
+    units=None,
+    combine=None,
+    cacheable: bool = True,
+):
+    """Class decorator registering an experiment body under ``name``.
+
+    The decorated function is the single-unit body, or — when ``units``
+    and ``combine`` are given — the per-unit body. The config dataclass
+    is registered with the JSON codec automatically (it is part of every
+    cache payload).
+    """
+    if not (dataclasses.is_dataclass(config) and config.__dataclass_params__.frozen):
+        raise TypeError(f"config for {name!r} must be a frozen dataclass")
+    if (units is None) != (combine is None):
+        raise TypeError(f"{name!r}: units and combine must be given together")
+    register_result_type(config)
+
+    def decorator(fn):
+        if name in _REGISTRY:
+            raise ValueError(f"experiment {name!r} already registered")
+        doc = (fn.__doc__ or "").strip()
+        _REGISTRY[name] = ExperimentSpec(
+            name=name,
+            config_type=config,
+            artifact=artifact,
+            description=description or (doc.splitlines()[0] if doc else ""),
+            run_single=None if units is not None else fn,
+            make_units=units,
+            run_unit=fn if units is not None else None,
+            combine=combine,
+            cacheable=cacheable,
+        )
+        return fn
+
+    return decorator
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Look up a registered experiment; raise ``KeyError`` with the catalog."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"no experiment named {name!r}; registered: {known}") from None
+
+
+def list_experiments() -> list:
+    """All registered specs, in registration order."""
+    return list(_REGISTRY.values())
+
+
+# ----------------------------------------------------------------------
+# Artifact cache
+# ----------------------------------------------------------------------
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``.repro-cache`` in the cwd."""
+    return Path(os.environ.get("REPRO_CACHE_DIR") or ".repro-cache")
+
+
+def config_fingerprint(name: str, config) -> str:
+    """Content address of (experiment, config): 16 hex chars of SHA-256."""
+    canonical = json.dumps(
+        {"schema": CACHE_SCHEMA, "experiment": name, "config": to_jsonable(config)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def cache_path(name: str, config, cache_dir=None) -> Path:
+    """Where ``run_experiment`` persists this (experiment, config) result."""
+    directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    return directory / f"{name}-{config_fingerprint(name, config)}.json"
+
+
+@dataclasses.dataclass
+class ExperimentRun:
+    """Outcome of :func:`run_experiment`: the result plus cache provenance."""
+
+    name: str
+    config: "object"
+    result: "object"
+    cached: bool
+    path: "Path | None"
+    elapsed_s: float
+
+    @property
+    def spec(self) -> ExperimentSpec:
+        return get_experiment(self.name)
+
+
+def run_experiment(
+    name: str,
+    config=None,
+    *,
+    jobs: int = 1,
+    force: bool = False,
+    cache: bool = True,
+    cache_dir=None,
+    **overrides,
+) -> ExperimentRun:
+    """Run ``name`` through the registry, with the artifact cache.
+
+    ``config`` may be a ready config instance; otherwise one is built
+    from the spec's defaults plus ``overrides`` (field-name keywords).
+    On a warm cache hit the stored JSON result is decoded and returned
+    (``run.cached`` is True) without recomputation, unless ``force``.
+    """
+    spec = get_experiment(name)
+    if config is None:
+        config = spec.default_config(**overrides)
+    elif overrides:
+        config = dataclasses.replace(config, **overrides)
+
+    cache = cache and spec.cacheable
+    path = cache_path(name, config, cache_dir) if cache else None
+    if cache and not force and path.is_file():
+        try:
+            payload = json.loads(path.read_text())
+            result = from_jsonable(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            pass  # unreadable/corrupt artifact: fall through and recompute
+        else:
+            return ExperimentRun(
+                name=name,
+                config=config,
+                result=result,
+                cached=True,
+                path=path,
+                elapsed_s=0.0,
+            )
+
+    start = time.perf_counter()
+    result = spec.run(config, jobs=jobs)
+    elapsed = time.perf_counter() - start
+
+    if cache:
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "experiment": name,
+            "artifact": spec.artifact,
+            "config": to_jsonable(config),
+            "result": to_jsonable(result),
+            "elapsed_s": elapsed,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Per-process tmp name: concurrent runs of the same (experiment,
+        # config) each write whole files and the last rename wins.
+        tmp = path.with_suffix(f".json.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        tmp.replace(path)
+
+    return ExperimentRun(
+        name=name, config=config, result=result, cached=False, path=path, elapsed_s=elapsed
+    )
+
+
+def load_cached(name: str, cache_dir=None) -> list:
+    """All cached payloads for ``name``, newest first.
+
+    Returns ``(payload_dict, path)`` pairs; results stay JSON-encoded
+    (``payload["result"]``) — decode with
+    :func:`repro.experiments.reporting.from_jsonable` when needed, so
+    callers that only want the newest entry don't pay for the rest.
+    """
+    directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    entries = []
+    for path in sorted(
+        directory.glob(f"{name}-*.json"),
+        key=lambda p: p.stat().st_mtime,
+        reverse=True,
+    ):
+        payload = json.loads(path.read_text())
+        if payload.get("experiment") != name:
+            continue
+        entries.append((payload, path))
+    return entries

@@ -8,9 +8,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import format_table, register_result_type
+from repro.experiments.runner import get_experiment, register_experiment
 
 
+@register_result_type
 @dataclass(frozen=True)
 class Table1Row:
     task: str
@@ -18,6 +20,7 @@ class Table1Row:
     assertions: str
 
 
+@register_result_type
 @dataclass
 class Table1Result:
     rows: list = field(default_factory=list)
@@ -30,7 +33,19 @@ class Table1Result:
         )
 
 
-def run_table1() -> Table1Result:
+@dataclass(frozen=True)
+class Table1Config:
+    """Table 1 is descriptive; it has no knobs."""
+
+
+@register_experiment(
+    "table1",
+    config=Table1Config,
+    artifact="Table 1",
+    description="Summary of tasks, models, and assertions per domain",
+    cacheable=False,  # result derives from the source tree, not the config
+)
+def _run_table1(config: Table1Config) -> Table1Result:
     """Assemble Table 1 from the per-domain pipelines."""
     from repro.domains.av.pipeline import AVPipeline
     from repro.domains.ecg.assertions import make_ecg_assertion
@@ -67,3 +82,8 @@ def run_table1() -> Table1Result:
         ),
     ]
     return Table1Result(rows=rows)
+
+
+def run_table1() -> Table1Result:
+    """Assemble Table 1 from the per-domain pipelines."""
+    return get_experiment("table1").run(Table1Config())

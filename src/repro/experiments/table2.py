@@ -10,9 +10,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.experiments.loc import loc_with_helpers
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import format_table, register_result_type
+from repro.experiments.runner import get_experiment, register_experiment
 
 
+@register_result_type
 @dataclass(frozen=True)
 class Table2Row:
     assertion: str
@@ -21,6 +23,7 @@ class Table2Row:
     kind: str  # "consistency" or "custom"
 
 
+@register_result_type
 @dataclass
 class Table2Result:
     rows: list = field(default_factory=list)
@@ -47,7 +50,19 @@ class Table2Result:
         )
 
 
-def run_table2() -> Table2Result:
+@dataclass(frozen=True)
+class Table2Config:
+    """Table 2 counts source as written; it has no knobs."""
+
+
+@register_experiment(
+    "table2",
+    config=Table2Config,
+    artifact="Table 2",
+    description="Lines of code per deployed assertion",
+    cacheable=False,  # result derives from the source tree, not the config
+)
+def _run_table2(config: Table2Config) -> Table2Result:
     """Count LOC of the six deployed assertions (Table 2 rows)."""
     from repro.domains.av.assertions import sensor_agreement
     from repro.domains.ecg.assertions import ecg_consistency_spec, make_ecg_assertion
@@ -88,3 +103,8 @@ def run_table2() -> Table2Result:
         body, total = loc_with_helpers(bodies, helpers)
         rows.append(Table2Row(assertion=name, loc_body=body, loc_with_helpers=total, kind=kind))
     return Table2Result(rows=rows)
+
+
+def run_table2() -> Table2Result:
+    """Count LOC of the six deployed assertions (Table 2 rows)."""
+    return get_experiment("table2").run(Table2Config())

@@ -28,6 +28,9 @@ Fire units per assertion:
 - ``news``: a deviating face output; a model error when the predicted
   attribute differs from ground truth; an identifier error when the scene
   cluster mixes two true people.
+
+The shared sampling and IoU ground-truth matching live in
+:mod:`repro.experiments.judging`.
 """
 
 from __future__ import annotations
@@ -36,11 +39,22 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.experiments.reporting import format_float, format_table
-from repro.geometry.iou import iou_matrix, match_boxes
+from repro.geometry.iou import iou_matrix
+from repro.experiments.judging import (
+    box_is_error,
+    detected_at,
+    gt_vehicle_at,
+    sample_units,
+)
+from repro.experiments.reporting import (
+    format_table,
+    register_result_type,
+)
+from repro.experiments.runner import get_experiment, register_experiment
 from repro.utils.rng import as_generator
 
 
+@register_result_type
 @dataclass(frozen=True)
 class PrecisionRow:
     """One Table 3 row."""
@@ -51,6 +65,7 @@ class PrecisionRow:
     precision_output_only: float
 
 
+@register_result_type
 @dataclass
 class Table3Result:
     rows: list = field(default_factory=list)
@@ -75,31 +90,25 @@ class Table3Result:
         )
 
 
-def _sample(rng, units: list, k: int) -> list:
-    if len(units) <= k:
-        return list(units)
-    picks = rng.choice(len(units), size=k, replace=False)
-    return [units[int(i)] for i in picks]
+def _row(
+    assertion: str, n: int, output_errors: int, either_errors: "int | None" = None
+) -> PrecisionRow:
+    """Build a row from error counts (``either_errors=None`` → custom, N/A)."""
+    if either_errors is None:
+        either = None
+    else:
+        either = either_errors / n if n else 0.0
+    return PrecisionRow(
+        assertion=assertion,
+        n_sampled=n,
+        precision_id_and_output=either,
+        precision_output_only=output_errors / n if n else 0.0,
+    )
 
 
 # ----------------------------------------------------------------------
 # Video: multibox / flicker / appear
 # ----------------------------------------------------------------------
-def _box_is_error(box, frame_gt, claimed: set, iou_threshold: float = 0.5) -> bool:
-    """True when ``box`` has no unclaimed ground-truth match."""
-    if not frame_gt:
-        return True
-    ious = iou_matrix([box], frame_gt)[0]
-    order = np.argsort(-ious)
-    for j in order:
-        if ious[j] < iou_threshold:
-            break
-        if j not in claimed:
-            claimed.add(int(j))
-            return False
-    return True
-
-
 def judge_multibox(pipeline, items, frames, rng, n_samples: int = 50) -> PrecisionRow:
     """Judge sampled multibox fires (frames) against ground truth.
 
@@ -108,7 +117,7 @@ def judge_multibox(pipeline, items, frames, rng, n_samples: int = 50) -> Precisi
     contains a duplicate or spurious detection.
     """
     units = [pos for pos, item in enumerate(items) if pipeline.multibox.flagged_output_indices(item)]
-    sampled = _sample(rng, units, n_samples)
+    sampled = sample_units(rng, units, n_samples)
     errors = 0
     for pos in sampled:
         item = items[pos]
@@ -122,37 +131,10 @@ def judge_multibox(pipeline, items, frames, rng, n_samples: int = 50) -> Precisi
             range(len(item.outputs)), key=lambda i: -item.outputs[i]["score"]
         ):
             box = item.outputs[out_idx]["box"]
-            if _box_is_error(box, gt, claimed) and out_idx in flagged:
+            if box_is_error(box, gt, claimed) and out_idx in flagged:
                 frame_has_error = True
         errors += frame_has_error
-    n = len(sampled)
-    return PrecisionRow(
-        assertion="multibox",
-        n_sampled=n,
-        precision_id_and_output=None,
-        precision_output_only=errors / n if n else 0.0,
-    )
-
-
-def _gt_vehicle_at(frames, pos, box, iou_threshold=0.3):
-    """The ground-truth vehicle overlapping ``box`` in frame ``pos``."""
-    best = None
-    best_iou = iou_threshold
-    for vehicle in frames[pos].vehicles:
-        value = iou_matrix([box], [vehicle.box])[0, 0]
-        if value >= best_iou:
-            best, best_iou = vehicle, value
-    return best
-
-
-def _detected_at(items, pos, box, exclude_track=None, iou_threshold=0.3):
-    """Whether any detection overlaps ``box`` in frame ``pos``."""
-    for output in items[pos].outputs:
-        if exclude_track is not None and output.get("track_id") == exclude_track:
-            continue
-        if iou_matrix([box], [output["box"]])[0, 0] >= iou_threshold:
-            return True
-    return False
+    return _row("multibox", len(sampled), errors)
 
 
 def judge_flicker(pipeline, items, frames, rng, n_samples: int = 50) -> PrecisionRow:
@@ -161,7 +143,7 @@ def judge_flicker(pipeline, items, frames, rng, n_samples: int = 50) -> Precisio
 
     violations = pipeline.flicker.violations(items)
     groups = group_observations(pipeline.spec, items)
-    sampled = _sample(rng, violations, n_samples)
+    sampled = sample_units(rng, violations, n_samples)
     output_errors = 0
     either_errors = 0
     for violation in sampled:
@@ -176,11 +158,11 @@ def judge_flicker(pipeline, items, frames, rng, n_samples: int = 50) -> Precisio
             reference = imputed["box"]
         if reference is None:
             continue
-        gt_vehicle = _gt_vehicle_at(frames, mid, reference)
+        gt_vehicle = gt_vehicle_at(frames, mid, reference)
         if gt_vehicle is not None:
             # A real object sits in the gap: either it went undetected
             # (model miss) or it was detected under another identifier.
-            if _detected_at(items, mid, gt_vehicle.box, exclude_track=violation.identifier):
+            if detected_at(items, mid, gt_vehicle.box, exclude_track=violation.identifier):
                 either_errors += 1  # identifier error only
             else:
                 output_errors += 1
@@ -190,25 +172,19 @@ def judge_flicker(pipeline, items, frames, rng, n_samples: int = 50) -> Precisio
             # which is itself a model error (its detections are FPs).
             track_boxes = [o.output["box"] for o in observations[-2:]]
             spurious = all(
-                _gt_vehicle_at(frames, o.item_index, b, iou_threshold=0.5) is None
+                gt_vehicle_at(frames, o.item_index, b, iou_threshold=0.5) is None
                 for o, b in zip(observations[-2:], track_boxes)
             )
             if spurious:
                 output_errors += 1
                 either_errors += 1
-    n = len(sampled)
-    return PrecisionRow(
-        assertion="flicker",
-        n_sampled=n,
-        precision_id_and_output=either_errors / n if n else 0.0,
-        precision_output_only=output_errors / n if n else 0.0,
-    )
+    return _row("flicker", len(sampled), output_errors, either_errors)
 
 
 def judge_appear(pipeline, items, frames, rng, n_samples: int = 50) -> PrecisionRow:
     """Judge sampled appear (short-run) violations."""
     violations = pipeline.appear.violations(items)
-    sampled = _sample(rng, violations, n_samples)
+    sampled = sample_units(rng, violations, n_samples)
     output_errors = 0
     either_errors = 0
     for violation in sampled:
@@ -220,7 +196,7 @@ def judge_appear(pipeline, items, frames, rng, n_samples: int = 50) -> Precision
         if not run_boxes:
             continue
         mid_pos, mid_box = run_boxes[len(run_boxes) // 2]
-        gt_vehicle = _gt_vehicle_at(frames, mid_pos, mid_box, iou_threshold=0.5)
+        gt_vehicle = gt_vehicle_at(frames, mid_pos, mid_box, iou_threshold=0.5)
         if gt_vehicle is None:
             output_errors += 1  # spurious short-lived detection
             either_errors += 1
@@ -235,7 +211,7 @@ def judge_appear(pipeline, items, frames, rng, n_samples: int = 50) -> Precision
             same = [v for v in frames[pos].vehicles if v.object_id == gt_vehicle.object_id]
             if same:
                 persisted = True
-                if not _detected_at(items, pos, same[0].box, iou_threshold=0.3):
+                if not detected_at(items, pos, same[0].box, iou_threshold=0.3):
                     missed = True
         if persisted and missed:
             output_errors += 1  # the model lost a persistent object
@@ -243,13 +219,7 @@ def judge_appear(pipeline, items, frames, rng, n_samples: int = 50) -> Precision
         elif persisted:
             either_errors += 1  # detected under a different id: identifier error
         # else: the object genuinely appeared briefly — a false fire.
-    n = len(sampled)
-    return PrecisionRow(
-        assertion="appear",
-        n_sampled=n,
-        precision_id_and_output=either_errors / n if n else 0.0,
-        precision_output_only=output_errors / n if n else 0.0,
-    )
+    return _row("appear", len(sampled), output_errors, either_errors)
 
 
 # ----------------------------------------------------------------------
@@ -261,7 +231,7 @@ def judge_agree(pipeline, items, samples, rng, n_samples: int = 50) -> Precision
     for pos, item in enumerate(items):
         for out_idx in pipeline.agree.disagreeing_outputs(item):
             units.append((pos, out_idx))
-    sampled = _sample(rng, units, n_samples)
+    sampled = sample_units(rng, units, n_samples)
     errors = 0
     for pos, out_idx in sampled:
         item = items[pos]
@@ -302,13 +272,7 @@ def judge_agree(pipeline, items, samples, rng, n_samples: int = 50) -> Precision
                 ]
                 if gt3:
                     errors += 1
-    n = len(sampled)
-    return PrecisionRow(
-        assertion="agree",
-        n_sampled=n,
-        precision_id_and_output=None,
-        precision_output_only=errors / n if n else 0.0,
-    )
+    return _row("agree", len(sampled), errors)
 
 
 # ----------------------------------------------------------------------
@@ -320,20 +284,14 @@ def judge_ecg(model, records, rng, n_samples: int = 50, temporal_threshold: floa
 
     severities = record_severities(model, records, temporal_threshold=temporal_threshold)[:, 0]
     flagged = np.flatnonzero(severities > 0)
-    sampled = _sample(rng, flagged.tolist(), n_samples)
+    sampled = sample_units(rng, flagged.tolist(), n_samples)
     errors = 0
     for idx in sampled:
         record = records[idx]
         classes, _ = model.predict_windows(record)
         if np.any(classes != record.label):
             errors += 1
-    n = len(sampled)
-    return PrecisionRow(
-        assertion="ECG",
-        n_sampled=n,
-        precision_id_and_output=errors / n if n else 0.0,
-        precision_output_only=errors / n if n else 0.0,
-    )
+    return _row("ECG", len(sampled), errors, errors)
 
 
 # ----------------------------------------------------------------------
@@ -355,7 +313,7 @@ def judge_news(pipeline, items, rng, n_samples: int = 50) -> PrecisionRow:
         key = assertion.attr_key
         for obs, identifier, _majority in assertion._deviations(items):
             units.append((key, obs.output, identifier))
-    sampled = _sample(rng, units, n_samples)
+    sampled = sample_units(rng, units, n_samples)
     output_errors = 0
     either_errors = 0
     for key, output, identifier in sampled:
@@ -367,29 +325,41 @@ def judge_news(pipeline, items, rng, n_samples: int = 50) -> PrecisionRow:
             either_errors += 1
         elif impure:
             either_errors += 1
-    n = len(sampled)
-    return PrecisionRow(
-        assertion="news",
-        n_sampled=n,
-        precision_id_and_output=either_errors / n if n else 0.0,
-        precision_output_only=output_errors / n if n else 0.0,
-    )
+    return _row("news", len(sampled), output_errors, either_errors)
 
 
 # ----------------------------------------------------------------------
 # Orchestration
 # ----------------------------------------------------------------------
-def run_table3(
-    seed: int = 0,
-    *,
-    n_samples: int = 50,
-    n_video_pool: int = 400,
-    n_news_videos: int = 3,
-    news_video_seconds: float = 1800.0,
-    n_ecg_pool: int = 500,
-    n_av_pool_scenes: int = 10,
-) -> Table3Result:
-    """Run every domain pipeline and measure assertion precision."""
+@dataclass(frozen=True)
+class Table3Config:
+    """Table 3 configuration: sample size and per-domain pool sizes."""
+
+    seed: int = 0
+    n_samples: int = 50
+    n_video_pool: int = 400
+    n_news_videos: int = 3
+    news_video_seconds: float = 1800.0
+    n_ecg_pool: int = 500
+    n_av_pool_scenes: int = 10
+
+
+@register_experiment(
+    "table3",
+    config=Table3Config,
+    artifact="Table 3",
+    description="Assertion precision on sampled fires, judged against ground truth",
+)
+def _run_table3(config: Table3Config) -> Table3Result:
+    """Run every domain pipeline and measure assertion precision.
+
+    Single-unit on purpose: the four domains deliberately share one
+    sequential rng stream, which keeps the sampled fires (and therefore
+    the reported precisions) bit-identical to the pre-refactor
+    ``run_table3`` — fire-level precision here is sensitive to the world
+    seed (tracker fragmentation varies per world), so the stream is part
+    of the reproduced configuration.
+    """
     from repro.domains.av import AVPipeline, bootstrap_av_models, make_av_task_data
     from repro.domains.ecg import bootstrap_ecg_classifier, make_ecg_task_data
     from repro.domains.tvnews import TVNewsPipeline
@@ -401,25 +371,26 @@ def run_table3(
     from repro.worlds.av import AVWorldConfig
     from repro.worlds.tvnews import TVNewsWorld
 
-    rng = as_generator(seed)
+    rng = as_generator(config.seed)
+    n_samples = config.n_samples
 
     # --- TV news ---
     news_world = TVNewsWorld(seed=rng.spawn(1)[0])
-    scenes = news_world.generate_videos(n_news_videos, news_video_seconds)
+    scenes = news_world.generate_videos(config.n_news_videos, config.news_video_seconds)
     news_pipeline = TVNewsPipeline()
     _, news_items = news_pipeline.monitor(scenes)
     news_row = judge_news(news_pipeline, news_items, rng, n_samples)
 
     # --- ECG ---
     ecg_data = make_ecg_task_data(
-        int(rng.integers(2**31 - 1)), n_train=120, n_pool=n_ecg_pool, n_test=50
+        int(rng.integers(2**31 - 1)), n_train=120, n_pool=config.n_ecg_pool, n_test=50
     )
     ecg_model = bootstrap_ecg_classifier(ecg_data, seed=rng.spawn(1)[0])
     ecg_row = judge_ecg(ecg_model, ecg_data.pool, rng, n_samples)
 
     # --- Video ---
     video_data = make_video_task_data(
-        int(rng.integers(2**31 - 1)), n_pool=n_video_pool, n_test=50
+        int(rng.integers(2**31 - 1)), n_pool=config.n_video_pool, n_test=50
     )
     detector = bootstrap_detector(video_data, seed=rng.spawn(1)[0])
     video_pipeline = VideoPipeline()
@@ -433,7 +404,7 @@ def run_table3(
     av_data = make_av_task_data(
         int(rng.integers(2**31 - 1)),
         n_bootstrap_scenes=8,
-        n_pool_scenes=n_av_pool_scenes,
+        n_pool_scenes=config.n_av_pool_scenes,
         n_test_scenes=2,
     )
     camera, lidar = bootstrap_av_models(av_data, seed=rng.spawn(1)[0])
@@ -446,3 +417,26 @@ def run_table3(
     return Table3Result(
         rows=[news_row, ecg_row, flicker_row, appear_row, multibox_row, agree_row]
     )
+
+
+def run_table3(
+    seed: int = 0,
+    *,
+    n_samples: int = 50,
+    n_video_pool: int = 400,
+    n_news_videos: int = 3,
+    news_video_seconds: float = 1800.0,
+    n_ecg_pool: int = 500,
+    n_av_pool_scenes: int = 10,
+) -> Table3Result:
+    """Run every domain pipeline and measure assertion precision."""
+    config = Table3Config(
+        seed=seed,
+        n_samples=n_samples,
+        n_video_pool=n_video_pool,
+        n_news_videos=n_news_videos,
+        news_video_seconds=news_video_seconds,
+        n_ecg_pool=n_ecg_pool,
+        n_av_pool_scenes=n_av_pool_scenes,
+    )
+    return get_experiment("table3").run(config)

@@ -10,10 +10,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.experiments.reporting import format_float, format_table
-from repro.utils.rng import as_generator
+from repro.core.seeding import derive_rng
+from repro.core.weak_supervision import WeakSupervisionResult
+from repro.experiments.reporting import (
+    format_float,
+    format_table,
+    register_result_type,
+)
+from repro.experiments.runner import get_experiment, register_experiment
+
+register_result_type(WeakSupervisionResult)
 
 
+@register_result_type
 @dataclass
 class Table4Result:
     results: list = field(default_factory=list)  # WeakSupervisionResult per domain
@@ -41,6 +50,84 @@ class Table4Result:
         )
 
 
+@dataclass(frozen=True)
+class Table4Config:
+    """Table 4 configuration: per-domain pool and weak-label sizes."""
+
+    seed: int = 0
+    n_video_pool: int = 800
+    n_video_test: int = 200
+    n_video_flagged: int = 600
+    n_video_random: int = 200
+    n_av_bootstrap_scenes: int = 10
+    n_av_pool_scenes: int = 16
+    n_av_test_scenes: int = 6
+    n_ecg_pool: int = 1500
+    n_ecg_weak: int = 1000
+
+
+def _weak_video(config, rng) -> WeakSupervisionResult:
+    from repro.domains.video import make_video_task_data, run_video_weak_supervision
+
+    data = make_video_task_data(
+        int(rng.integers(2**31 - 1)), n_pool=config.n_video_pool, n_test=config.n_video_test
+    )
+    return run_video_weak_supervision(
+        data,
+        n_flagged=config.n_video_flagged,
+        n_random=config.n_video_random,
+        seed=rng.spawn(1)[0],
+    )
+
+
+def _weak_av(config, rng) -> WeakSupervisionResult:
+    from repro.domains.av import make_av_task_data, run_av_weak_supervision
+
+    data = make_av_task_data(
+        int(rng.integers(2**31 - 1)),
+        n_bootstrap_scenes=config.n_av_bootstrap_scenes,
+        n_pool_scenes=config.n_av_pool_scenes,
+        n_test_scenes=config.n_av_test_scenes,
+    )
+    return run_av_weak_supervision(data, seed=rng.spawn(1)[0])
+
+
+def _weak_ecg(config, rng) -> WeakSupervisionResult:
+    from repro.domains.ecg import make_ecg_task_data, run_ecg_weak_supervision
+
+    data = make_ecg_task_data(
+        int(rng.integers(2**31 - 1)), n_train=120, n_pool=config.n_ecg_pool, n_test=500
+    )
+    return run_ecg_weak_supervision(data, n_weak=config.n_ecg_weak, seed=rng.spawn(1)[0])
+
+
+#: Unit order == the paper's row order.
+_WEAK_DOMAINS = (("video", _weak_video), ("av", _weak_av), ("ecg", _weak_ecg))
+
+
+def _table4_units(config) -> list:
+    return [{"domain": name} for name, _fn in _WEAK_DOMAINS]
+
+
+def _table4_combine(config, units, partials) -> Table4Result:
+    return Table4Result(results=list(partials))
+
+
+@register_experiment(
+    "table4",
+    config=Table4Config,
+    artifact="Table 4",
+    description="Weak supervision improves the pretrained models, no human labels",
+    units=_table4_units,
+    combine=_table4_combine,
+)
+def _table4_unit(config, unit) -> WeakSupervisionResult:
+    """One §5.5 weak-supervision domain with its own derived seed."""
+    domain = unit["domain"]
+    fn = dict(_WEAK_DOMAINS)[domain]
+    return fn(config, derive_rng(config.seed, "table4", domain))
+
+
 def run_table4(
     seed: int = 0,
     *,
@@ -53,35 +140,19 @@ def run_table4(
     n_av_test_scenes: int = 6,
     n_ecg_pool: int = 1500,
     n_ecg_weak: int = 1000,
+    jobs: int = 1,
 ) -> Table4Result:
     """Run the three §5.5 weak-supervision experiments."""
-    from repro.domains.av import make_av_task_data, run_av_weak_supervision
-    from repro.domains.ecg import make_ecg_task_data, run_ecg_weak_supervision
-    from repro.domains.video import make_video_task_data, run_video_weak_supervision
-
-    rng = as_generator(seed)
-
-    video_data = make_video_task_data(
-        int(rng.integers(2**31 - 1)), n_pool=n_video_pool, n_test=n_video_test
+    config = Table4Config(
+        seed=seed,
+        n_video_pool=n_video_pool,
+        n_video_test=n_video_test,
+        n_video_flagged=n_video_flagged,
+        n_video_random=n_video_random,
+        n_av_bootstrap_scenes=n_av_bootstrap_scenes,
+        n_av_pool_scenes=n_av_pool_scenes,
+        n_av_test_scenes=n_av_test_scenes,
+        n_ecg_pool=n_ecg_pool,
+        n_ecg_weak=n_ecg_weak,
     )
-    video = run_video_weak_supervision(
-        video_data,
-        n_flagged=n_video_flagged,
-        n_random=n_video_random,
-        seed=rng.spawn(1)[0],
-    )
-
-    av_data = make_av_task_data(
-        int(rng.integers(2**31 - 1)),
-        n_bootstrap_scenes=n_av_bootstrap_scenes,
-        n_pool_scenes=n_av_pool_scenes,
-        n_test_scenes=n_av_test_scenes,
-    )
-    av = run_av_weak_supervision(av_data, seed=rng.spawn(1)[0])
-
-    ecg_data = make_ecg_task_data(
-        int(rng.integers(2**31 - 1)), n_train=120, n_pool=n_ecg_pool, n_test=500
-    )
-    ecg = run_ecg_weak_supervision(ecg_data, n_weak=n_ecg_weak, seed=rng.spawn(1)[0])
-
-    return Table4Result(results=[video, av, ecg])
+    return get_experiment("table4").run(config, jobs=jobs)

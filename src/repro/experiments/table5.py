@@ -4,9 +4,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.taxonomy import ASSERTION_CLASSES, TAXONOMY, format_taxonomy_table
+from repro.core.taxonomy import (
+    ASSERTION_CLASSES,
+    TAXONOMY,
+    TaxonomyEntry,
+    format_taxonomy_table,
+)
+from repro.experiments.reporting import register_result_type
+from repro.experiments.runner import get_experiment, register_experiment
+
+register_result_type(TaxonomyEntry)
 
 
+@register_result_type
 @dataclass
 class Table5Result:
     entries: tuple = TAXONOMY
@@ -24,6 +34,23 @@ class Table5Result:
         return format_taxonomy_table()
 
 
-def run_table5() -> Table5Result:
+@dataclass(frozen=True)
+class Table5Config:
+    """Table 5 is the static taxonomy; it has no knobs."""
+
+
+@register_experiment(
+    "table5",
+    config=Table5Config,
+    artifact="Table 5",
+    description="The assertion-class taxonomy (Appendix B)",
+    cacheable=False,  # result derives from the source tree, not the config
+)
+def _run_table5(config: Table5Config) -> Table5Result:
     """Return the taxonomy table (pure data; included for bench symmetry)."""
     return Table5Result()
+
+
+def run_table5() -> Table5Result:
+    """Return the taxonomy table (pure data; included for bench symmetry)."""
+    return get_experiment("table5").run(Table5Config())

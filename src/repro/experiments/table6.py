@@ -24,13 +24,15 @@ import numpy as np
 
 from repro.core.consistency import AttributeConsistencyAssertion, ConsistencySpec
 from repro.core.types import StreamItem
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import format_table, register_result_type
+from repro.experiments.runner import get_experiment, register_experiment
 from repro.labeling.human import HumanLabeler
 from repro.tracking.tracker import IoUTracker
 from repro.utils.rng import as_generator
 from repro.worlds.traffic import TrafficWorld, TrafficWorldConfig
 
 
+@register_result_type
 @dataclass
 class Table6Result:
     n_labels: int = 0
@@ -60,25 +62,35 @@ class Table6Result:
         )
 
 
-def run_table6(
-    seed: int = 0,
-    *,
-    n_video_frames: int = 2000,
-    label_stride: int = 10,
-    class_error_rate: float = 0.068,
-    tracker_iou: float = 0.25,
-) -> Table6Result:
-    """Label every ``label_stride``-th frame and check track consistency."""
-    rng = as_generator(seed)
-    world = TrafficWorld(TrafficWorldConfig(profile="night"), seed=int(rng.integers(2**31 - 1)))
-    video = world.generate(n_video_frames)
-    annotated = video[::label_stride]
+@dataclass(frozen=True)
+class Table6Config:
+    """Table 6 configuration (paper: 1,000 frames, ~6.8% error rate)."""
 
-    labeler = HumanLabeler(class_error_rate=class_error_rate, seed=rng.spawn(1)[0])
+    seed: int = 0
+    n_video_frames: int = 2000
+    label_stride: int = 10
+    class_error_rate: float = 0.068
+    tracker_iou: float = 0.25
+
+
+@register_experiment(
+    "table6",
+    config=Table6Config,
+    artifact="Table 6 / Appendix E",
+    description="Model assertions catch human-label errors via track consistency",
+)
+def _run_table6(config: Table6Config) -> Table6Result:
+    """Label every ``label_stride``-th frame and check track consistency."""
+    rng = as_generator(config.seed)
+    world = TrafficWorld(TrafficWorldConfig(profile="night"), seed=int(rng.integers(2**31 - 1)))
+    video = world.generate(config.n_video_frames)
+    annotated = video[:: config.label_stride]
+
+    labeler = HumanLabeler(class_error_rate=config.class_error_rate, seed=rng.spawn(1)[0])
     labels_per_frame = labeler.label_frames(annotated)
 
     # The automated tracker links labeled boxes across annotated frames.
-    tracker = IoUTracker(iou_threshold=tracker_iou, max_age=1)
+    tracker = IoUTracker(iou_threshold=config.tracker_iou, max_age=1)
     items = []
     label_lookup: dict = {}
     for frame_pos, labels in enumerate(labels_per_frame):
@@ -117,4 +129,24 @@ def run_table6(
         n_errors=len(errors),
         n_errors_caught=caught,
         n_fires=n_fires,
+    )
+
+
+def run_table6(
+    seed: int = 0,
+    *,
+    n_video_frames: int = 2000,
+    label_stride: int = 10,
+    class_error_rate: float = 0.068,
+    tracker_iou: float = 0.25,
+) -> Table6Result:
+    """Label every ``label_stride``-th frame and check track consistency."""
+    return get_experiment("table6").run(
+        Table6Config(
+            seed=seed,
+            n_video_frames=n_video_frames,
+            label_stride=label_stride,
+            class_error_rate=class_error_rate,
+            tracker_iou=tracker_iou,
+        )
     )

@@ -1,0 +1,142 @@
+"""Subprocess tests for the ``python -m repro`` CLI.
+
+``test_list_shows_every_registered_experiment`` is the fast-tier smoke
+test CI relies on: if an experiment module forgets to register, the
+catalog shrinks and this fails.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.experiments import list_experiments
+
+SRC = str(Path(repro.__file__).resolve().parent.parent)
+
+
+def run_cli(*args, cwd=None, check=True):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd,
+    )
+    if check and proc.returncode != 0:
+        raise AssertionError(
+            f"CLI failed ({proc.returncode}): {' '.join(args)}\n{proc.stderr}"
+        )
+    return proc
+
+
+class TestList:
+    def test_list_shows_every_registered_experiment(self):
+        out = run_cli("list").stdout
+        for spec in list_experiments():
+            assert spec.name in out, f"{spec.name} missing from `python -m repro list`"
+            assert spec.artifact in out
+
+    def test_list_json(self):
+        payload = json.loads(run_cli("list", "--json").stdout)
+        assert {e["name"] for e in payload} >= {"table1", "fig4_video", "fig5", "loc"}
+
+
+TINY_TABLE6 = ("--set", "n_video_frames=300")
+
+
+class TestRunAndReport:
+    def test_run_writes_artifact_then_hits_cache(self, tmp_path):
+        first = run_cli("run", "table6", *TINY_TABLE6, "--cache-dir", str(tmp_path))
+        assert "ran in" in first.stdout
+        assert "Errors caught" in first.stdout  # rendered text table
+        assert list(tmp_path.glob("table6-*.json")), "no JSON artifact written"
+
+        second = run_cli("run", "table6", *TINY_TABLE6, "--cache-dir", str(tmp_path))
+        assert "cache hit" in second.stdout
+
+    def test_run_with_overrides_and_json(self, tmp_path):
+        out = run_cli(
+            "run", "table6",
+            "--seed", "5",
+            "--set", "n_video_frames=300",
+            "--cache-dir", str(tmp_path),
+            "--json",
+        ).stdout
+        payload = json.loads(out)
+        assert payload["experiment"] == "table6"
+        assert payload["config"]["fields"]["seed"] == 5
+        assert payload["config"]["fields"]["n_video_frames"] == 300
+
+    def test_report_renders_cached_without_recompute(self, tmp_path):
+        run_cli("run", "table6", *TINY_TABLE6, "--cache-dir", str(tmp_path))
+        out = run_cli("report", "table6", "--cache-dir", str(tmp_path)).stdout
+        assert "cached at" in out
+        assert "Errors caught" in out
+
+    def test_multi_name_json_is_one_document(self, tmp_path):
+        out = run_cli(
+            "run", "table5", "table1", "--json", "--cache-dir", str(tmp_path)
+        ).stdout
+        payload = json.loads(out)  # an array, parseable as a single document
+        assert [p["experiment"] for p in payload] == ["table5", "table1"]
+
+    def test_bad_name_fails_before_any_experiment_runs(self, tmp_path):
+        proc = run_cli(
+            "run", "table5", "nope", "--cache-dir", str(tmp_path), check=False
+        )
+        assert proc.returncode != 0
+        # Validation happens up front: table5 never produced output.
+        assert "Sub-class" not in proc.stdout
+
+    def test_report_empty_cache_errors(self, tmp_path):
+        proc = run_cli("report", "--cache-dir", str(tmp_path), check=False)
+        assert proc.returncode != 0
+        assert "cache is empty" in proc.stderr
+
+    def test_unknown_experiment_errors(self, tmp_path):
+        proc = run_cli("run", "not-an-experiment", check=False)
+        assert proc.returncode != 0
+        assert "no experiment named" in proc.stderr
+
+    def test_seed_override_rejected_for_knobless_experiment(self):
+        proc = run_cli("run", "table5", "--seed", "1", "--no-cache", check=False)
+        assert proc.returncode != 0
+        assert "takes no seed" in proc.stderr
+
+    def test_unknown_set_field_lists_fields(self):
+        proc = run_cli("run", "table6", "--set", "bogus=1", check=False)
+        assert proc.returncode != 0
+        assert "n_video_frames" in proc.stderr  # catalog of valid fields
+
+
+class TestAllModeOverrides:
+    def test_overrides_apply_only_where_fields_exist(self):
+        """`run --all --seed 7` must not abort on knobless experiments."""
+        from argparse import Namespace
+
+        from repro.__main__ import _config_overrides
+        from repro.experiments import get_experiment
+
+        args = Namespace(seed=7, trials=None, set=["n_video_frames=300"], all=True)
+        assert _config_overrides(get_experiment("table5"), args, strict=False) == {}
+        assert _config_overrides(get_experiment("table6"), args, strict=False) == {
+            "seed": 7,
+            "n_video_frames": 300,
+        }
+        # Explicitly named experiments keep the strict error.
+        with pytest.raises(SystemExit):
+            _config_overrides(get_experiment("table5"), args, strict=True)
+
+    def test_report_json_multiple_names_is_one_document(self, tmp_path):
+        run_cli("run", "table6", *TINY_TABLE6, "--cache-dir", str(tmp_path))
+        run_cli("run", "fig3", "--set", "n_pool=150", "--cache-dir", str(tmp_path))
+        out = run_cli("report", "--cache-dir", str(tmp_path), "--json").stdout
+        payload = json.loads(out)
+        assert {p["experiment"] for p in payload} == {"table6", "fig3"}

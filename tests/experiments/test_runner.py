@@ -1,0 +1,211 @@
+"""Tests for the registry-driven experiment runner (tentpole).
+
+Covers registry completeness, the artifact cache, config overrides, and
+the core determinism contract: for a fixed seed an experiment produces
+bit-identical results run directly, through the registry, serially, or
+with a process pool (``jobs > 1``).
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+import repro.experiments as experiments
+from repro.experiments import (
+    get_experiment,
+    list_experiments,
+    run_experiment,
+    run_fig4_video,
+    run_fig5,
+    run_loc,
+    run_table1,
+    run_table5,
+)
+from repro.experiments.fig4 import Fig4VideoConfig
+from repro.experiments.fig5 import Fig5Config
+from repro.experiments.reporting import from_jsonable, to_jsonable
+from repro.experiments.runner import config_fingerprint
+
+#: Every paper artifact the registry must expose (ISSUE acceptance).
+EXPECTED = {
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "fig3",
+    "fig4_video",
+    "fig4_av",
+    "fig5",
+    "loc",
+}
+
+#: Small-but-real fig4 configuration for equivalence runs.
+TINY_FIG4 = dict(n_rounds=2, budget_per_round=10, n_pool=60, n_test=30, n_trials=2, fine_tune_epochs=1)
+TINY_FIG5 = dict(n_rounds=2, budget_per_round=20, n_pool=120, n_test=40, n_trials=2, fine_tune_epochs=2)
+
+
+class TestRegistry:
+    def test_every_experiment_registered(self):
+        names = {spec.name for spec in list_experiments()}
+        assert EXPECTED <= names
+
+    def test_specs_have_frozen_configs_and_artifacts(self):
+        for spec in list_experiments():
+            assert dataclasses.is_dataclass(spec.config_type)
+            assert spec.config_type.__dataclass_params__.frozen, spec.name
+            assert spec.artifact, spec.name
+            assert spec.description, spec.name
+
+    def test_unknown_name_raises_with_catalog(self):
+        with pytest.raises(KeyError, match="table1"):
+            get_experiment("nope")
+
+    def test_run_functions_reachable_via_registry(self):
+        """Direct run_* call == registry run for the cheap experiments."""
+        assert get_experiment("table1").run() == run_table1()
+        assert get_experiment("table5").run() == run_table5()
+        assert get_experiment("loc").run() == run_loc()
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_experiment("table1")
+        from repro.experiments.runner import register_experiment
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_experiment(
+                "table1", config=spec.config_type, artifact="Table 1"
+            )(lambda config: None)
+
+
+#: Cheap seeded config for cache tests (table5/loc are uncacheable now).
+TINY_TABLE6 = dict(n_video_frames=300)
+
+
+class TestArtifactCache:
+    def test_miss_then_hit(self, tmp_path):
+        first = run_experiment("table6", cache_dir=tmp_path, **TINY_TABLE6)
+        assert not first.cached
+        assert first.path.is_file()
+        second = run_experiment("table6", cache_dir=tmp_path, **TINY_TABLE6)
+        assert second.cached
+        assert second.result == first.result
+
+    def test_force_recomputes(self, tmp_path):
+        run_experiment("table6", cache_dir=tmp_path, **TINY_TABLE6)
+        forced = run_experiment("table6", cache_dir=tmp_path, force=True, **TINY_TABLE6)
+        assert not forced.cached
+
+    def test_no_cache_leaves_no_artifact(self, tmp_path):
+        run = run_experiment("table6", cache=False, cache_dir=tmp_path, **TINY_TABLE6)
+        assert run.path is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_source_derived_experiments_never_cache(self, tmp_path):
+        """table1/table2/table5/loc results derive from the source tree:
+        a (name, config) fingerprint cannot see code changes, so their
+        specs opt out of caching entirely."""
+        for name in ("table1", "table2", "table5", "loc"):
+            assert not get_experiment(name).cacheable, name
+            run = run_experiment(name, cache_dir=tmp_path)
+            assert not run.cached
+            assert run.path is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_cached_payload_round_trips_bit_exactly(self, tmp_path):
+        fresh = run_experiment(
+            "table6", cache_dir=tmp_path, seed=3, n_video_frames=300
+        )
+        warm = run_experiment(
+            "table6", cache_dir=tmp_path, seed=3, n_video_frames=300
+        )
+        assert warm.cached
+        assert warm.result == fresh.result  # floats exact through JSON
+
+    def test_fingerprint_is_config_sensitive(self):
+        spec = get_experiment("table6")
+        base = config_fingerprint("table6", spec.default_config())
+        assert base == config_fingerprint("table6", spec.default_config())
+        assert base != config_fingerprint("table6", spec.default_config(seed=1))
+
+    def test_cache_key_ignores_jobs(self, tmp_path):
+        """Parallelism is a placement choice, not part of the result identity."""
+        run_experiment("fig5", cache_dir=tmp_path, jobs=1, **TINY_FIG5)
+        warm = run_experiment("fig5", cache_dir=tmp_path, jobs=2, **TINY_FIG5)
+        assert warm.cached
+
+    def test_env_var_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        run = run_experiment("table6", **TINY_TABLE6)
+        assert run.path.parent == tmp_path / "env-cache"
+
+
+class TestOverrides:
+    def test_field_overrides_build_config(self):
+        run = run_experiment("table6", cache=False, seed=9, n_video_frames=300)
+        assert run.config.seed == 9
+        assert run.config.n_video_frames == 300
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeError):
+            run_experiment("table6", cache=False, not_a_field=1)
+
+
+class TestSerialParallelEquivalence:
+    """Acceptance: fixed seed ⇒ bit-identical serially vs --jobs vs direct."""
+
+    def test_fig4_video_direct_vs_registry_vs_jobs(self, tmp_path):
+        direct = run_fig4_video(seed=5, **{k: v for k, v in TINY_FIG4.items()})
+        config = Fig4VideoConfig(seed=5, **TINY_FIG4)
+        serial = get_experiment("fig4_video").run(config)
+        parallel = get_experiment("fig4_video").run(config, jobs=4)
+        via_cache_layer = run_experiment(
+            "fig4_video", config, cache_dir=tmp_path, jobs=2
+        ).result
+        assert direct == serial == parallel == via_cache_layer
+
+    def test_fig5_serial_vs_jobs(self):
+        config = Fig5Config(seed=2, n_train=60, **TINY_FIG5)
+        serial = get_experiment("fig5").run(config)
+        parallel = get_experiment("fig5").run(config, jobs=3)
+        assert serial == parallel
+        assert set(serial.curves) == {"random", "uncertainty", "bal"}
+
+    def test_trial_units_are_independent_of_execution_order(self):
+        """Any single unit recomputed in isolation matches the batch run."""
+        spec = get_experiment("fig5")
+        config = Fig5Config(seed=2, n_train=60, **TINY_FIG5)
+        units = spec.make_units(config)
+        batch = [spec.run_unit(config, unit) for unit in units]
+        # Re-run the last unit alone — no shared generator state involved.
+        assert spec.run_unit(config, units[-1]) == batch[-1]
+
+
+class TestResultCodec:
+    def test_round_trip_through_json_text(self):
+        result = run_table1()
+        payload = json.dumps(to_jsonable(result))
+        assert from_jsonable(json.loads(payload)) == result
+
+    def test_module_all_exports_runner_api(self):
+        for name in ("run_experiment", "get_experiment", "list_experiments"):
+            assert name in experiments.__all__
+
+
+class TestCacheRobustness:
+    def test_corrupt_artifact_recomputed_not_crashed(self, tmp_path):
+        first = run_experiment("table6", cache_dir=tmp_path, **TINY_TABLE6)
+        first.path.write_text("{ not json")
+        recovered = run_experiment("table6", cache_dir=tmp_path, **TINY_TABLE6)
+        assert not recovered.cached  # fell through to recompute
+        assert recovered.result == first.result
+        # ... and the artifact was rewritten, so the next run hits again.
+        assert run_experiment("table6", cache_dir=tmp_path, **TINY_TABLE6).cached
+
+    def test_unknown_payload_class_recomputed(self, tmp_path):
+        first = run_experiment("table6", cache_dir=tmp_path, **TINY_TABLE6)
+        payload = json.loads(first.path.read_text())
+        payload["result"]["__dataclass__"] = "NoSuchResult"
+        first.path.write_text(json.dumps(payload))
+        assert not run_experiment("table6", cache_dir=tmp_path, **TINY_TABLE6).cached

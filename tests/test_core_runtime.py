@@ -164,3 +164,53 @@ class TestConsistencyRegistration:
         omg.add_assertion(Broken("broken"))
         with pytest.raises(ValueError, match="shape"):
             omg.monitor(make_stream([[1], [2]]))
+
+
+class TestMonitoringReportEdgeCases:
+    """Satellite coverage: empty reports, unknown names, reset semantics."""
+
+    def _empty_report(self):
+        omg = OMG()
+        omg.add_assertion(count_assertion, "many")
+        omg.add_assertion(lambda i, o: float(len(o) == 0), "empty")
+        return omg.monitor(make_stream([]))
+
+    def test_empty_report_shape(self):
+        report = self._empty_report()
+        assert report.n_items == 0
+        assert report.severities.shape == (0, 2)
+        assert report.records == []
+
+    def test_empty_report_fire_counts_all_zero(self):
+        report = self._empty_report()
+        assert report.fire_counts() == {"many": 0, "empty": 0}
+        assert report.total_fires() == 0
+
+    def test_empty_report_flagged_indices_empty(self):
+        report = self._empty_report()
+        assert report.flagged_indices().tolist() == []
+        assert report.flagged_indices("many").tolist() == []
+        assert report.column("empty").shape == (0,)
+
+    def test_empty_report_unknown_name_still_raises(self):
+        report = self._empty_report()
+        with pytest.raises(KeyError, match="nope"):
+            report.column("nope")
+        with pytest.raises(KeyError, match="nope"):
+            report.flagged_indices("nope")
+
+    def test_fire_counts_after_reset(self):
+        omg = OMG()
+        omg.add_assertion(count_assertion, "many")
+        omg.observe(None, [1, 2, 3])
+        assert omg.online_report().fire_counts() == {"many": 1}
+        omg.reset()
+        # Post-reset the online report is empty: counts drop to zero.
+        report = omg.online_report()
+        assert report.n_items == 0
+        assert report.fire_counts() == {"many": 0}
+        # New observations count from scratch, not cumulatively.
+        omg.observe(None, [1])
+        omg.observe(None, [1, 2, 3])
+        assert omg.online_report().fire_counts() == {"many": 1}
+        assert omg.online_report().flagged_indices("many").tolist() == [1]
