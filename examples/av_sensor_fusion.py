@@ -10,12 +10,11 @@ Run:  python examples/av_sensor_fusion.py
 """
 
 from repro.domains.av import (
-    AVPipeline,
     bootstrap_av_models,
     make_av_task_data,
     run_av_weak_supervision,
 )
-from repro.worlds.av import AVWorldConfig
+from repro.domains.registry import get_domain
 
 
 def main() -> None:
@@ -25,7 +24,7 @@ def main() -> None:
     )
     camera, lidar = bootstrap_av_models(data, seed=0)
 
-    pipeline = AVPipeline(AVWorldConfig().camera)
+    pipeline = get_domain("av").build_pipeline()
     samples = data.pool_samples[:60]
     camera_dets, lidar_dets = pipeline.run_models(samples, camera, lidar)
     report, items = pipeline.monitor(samples, camera_dets, lidar_dets)

@@ -1,74 +1,73 @@
-"""Streaming deployment: OMG's incremental online engine on the AV world.
+"""Streaming deployment: one AV stream served through ``MonitorService``.
 
 The offline :meth:`OMG.monitor` pass (see ``av_sensor_fusion.py``) is
 what active learning consumes; a *deployed* monitor instead sees one
-model invocation at a time. This example drives the AV pipeline the way
-a car would: scenes stream out of the simulator lazily
-(:meth:`AVWorld.iter_scenes`), both detectors run per scene, and fused
-outputs are fed to the streaming engine scene-by-scene via
-:meth:`AVPipeline.observe_batch`. A corrective-action callback fires the
-moment an assertion trips — the paper's "shutting down an autopilot"
-hook (§1) — and at the end the accumulated online report is checked
-against a full offline pass: identical, by the streaming-equivalence
-invariant.
+model invocation at a time. This example drives the AV domain the way a
+car would, through the unified serving contract: ``get_domain("av")``
+builds the world (simulator + both bootstrapped detectors), raw fused
+samples stream out of :meth:`Domain.iter_stream`, and
+:class:`~repro.serve.MonitorService` ingests them into a keyed session.
+A corrective-action callback fires the moment an assertion trips — the
+paper's "shutting down an autopilot" hook (§1), now tagged with the
+stream it came from — and at the end the accumulated online report is
+checked against a full offline pass: identical, by the
+streaming-equivalence invariant.
 
 Run:  python examples/streaming_monitor.py
 """
 
+import itertools
 import time
 
 import numpy as np
 
-from repro.domains.av import AVPipeline, bootstrap_av_models, make_av_task_data
-from repro.worlds.av import AVWorld, AVWorldConfig
+from repro.serve import MonitorService
 
 
 def main() -> None:
-    print("Bootstrapping the two AV detectors (LIDAR + camera) ...")
-    data = make_av_task_data(
-        seed=0, n_bootstrap_scenes=10, n_pool_scenes=4, n_test_scenes=2
-    )
-    camera_model, lidar_model = bootstrap_av_models(data, seed=0)
-
-    config = AVWorldConfig()
-    pipeline = AVPipeline(config.camera)
+    service = MonitorService("av")
+    domain = service.domain
 
     # Corrective action: a real deployment might disengage the autopilot;
-    # we just collect alerts as they stream in.
+    # we just collect alerts (with stream provenance) as they stream in.
     alerts = []
-    pipeline.omg.on_fire(alerts.append)
+    service.on_fire(alerts.append)
 
-    print("Streaming fresh scenes through the online engine ...\n")
-    all_samples = []
-    n_processed = 0
+    print("Bootstrapping the two AV detectors (LIDAR + camera) ...")
+    world = domain.build_world(seed=7)
+
+    print("Streaming fresh samples through the serving layer ...\n")
+    raws = []
     started = time.perf_counter()
-    for scene in AVWorld(config, seed=7).iter_scenes(12):
-        samples = list(scene.samples)
-        camera_dets, lidar_dets = pipeline.run_models(samples, camera_model, lidar_model)
-        report = pipeline.observe_batch(samples, camera_dets, lidar_dets)
-        n_processed += report.n_items
-        all_samples.extend(samples)
+    for raw in itertools.islice(domain.iter_stream(world), 240):
+        service.ingest("car-0", raw)
+        raws.append(raw)
     elapsed = time.perf_counter() - started
 
-    online = pipeline.omg.online_report()
+    online = service.report("car-0")
     print(
-        f"Observed {n_processed} samples in {elapsed:.2f}s "
-        f"({n_processed / elapsed:,.0f} samples/s, detectors included)"
+        f"Observed {online.n_items} samples in {elapsed:.2f}s "
+        f"({online.n_items / elapsed:,.0f} samples/s, detectors included)"
     )
     for name, count in online.fire_counts().items():
         print(f"  {name:<9} fired on {count} samples")
     if alerts:
         first = alerts[0]
         print(
-            f"\nFirst corrective action: sample {first.item_index}, "
-            f"{first.assertion_name} severity {first.severity:.0f}"
+            f"\nFirst corrective action: stream {first.stream_id!r}, sample "
+            f"{first.record.item_index}, {first.record.assertion_name} "
+            f"severity {first.record.severity:.0f}"
         )
 
-    # The invariant that makes the streaming engine trustworthy: the
-    # online severity matrix equals a full offline monitoring pass.
-    camera_dets, lidar_dets = pipeline.run_models(all_samples, camera_model, lidar_model)
-    offline, _ = AVPipeline(config.camera).monitor(all_samples, camera_dets, lidar_dets)
-    assert np.array_equal(online.severities, offline.severities)
+    # The invariant that makes the serving layer trustworthy: the online
+    # severity matrix equals a full offline monitoring pass.
+    pipeline = domain.build_pipeline()
+    offline = pipeline.monitor(
+        [raw["sample"] for raw in raws],
+        [raw["camera"] for raw in raws],
+        [raw["lidar"] for raw in raws],
+    )
+    assert np.array_equal(online.severities, offline.report.severities)
     print("\nOnline report == offline monitor pass: exact match.")
 
 

@@ -10,11 +10,8 @@ Run:  python examples/video_analytics.py
 """
 
 from repro.core import harvest_weak_labels
-from repro.domains.video import (
-    VideoPipeline,
-    bootstrap_detector,
-    make_video_task_data,
-)
+from repro.domains.registry import get_domain
+from repro.domains.video import bootstrap_detector, make_video_task_data
 from repro.geometry.box2d import Box2D
 from repro.metrics import evaluate_detections
 
@@ -24,7 +21,7 @@ def main() -> None:
     data = make_video_task_data(seed=0, n_pool=300, n_test=100)
     detector = bootstrap_detector(data, seed=0)
 
-    pipeline = VideoPipeline()
+    pipeline = get_domain("video").build_pipeline()
     frames = data.pool
     detections = detector.detect_frames([f.image for f in frames])
 

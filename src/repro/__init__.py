@@ -59,6 +59,20 @@ guaranteed to equal an offline :meth:`~repro.core.runtime.OMG.monitor`
 pass over the same stream exactly (the differential invariant enforced
 by ``tests/core/test_streaming_equivalence.py``). Example:
 ``examples/streaming_monitor.py``.
+
+Serving API
+-----------
+All four workloads implement one :class:`~repro.domains.registry.Domain`
+contract (``build_monitor`` / ``build_world`` / ``iter_stream`` /
+``item_from_raw``), resolved by name through
+:func:`~repro.domains.registry.get_domain`.
+:class:`~repro.serve.MonitorService` serves many keyed streams of a
+domain at once — batched thread fan-out, LRU/TTL session eviction,
+per-stream and fleet-aggregate reports, ``on_fire`` routing with stream
+provenance, and bit-exact JSON snapshot/restore of the whole fleet
+(``python -m repro stream DOMAIN --streams N --items M
+[--snapshot PATH]``). See the README's "Serving API" section and
+``examples/multi_stream_service.py``.
 """
 
 from repro.core import (
@@ -72,18 +86,24 @@ from repro.core import (
     StreamItem,
     harvest_weak_labels,
 )
+from repro.domains.registry import Domain, get_domain
+from repro.serve import MonitorService, ServiceConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "OMG",
     "BAL",
     "AssertionDatabase",
     "ConsistencySpec",
+    "Domain",
     "FunctionAssertion",
     "ModelAssertion",
+    "MonitorService",
     "MonitoringReport",
+    "ServiceConfig",
     "StreamItem",
+    "get_domain",
     "harvest_weak_labels",
     "__version__",
 ]

@@ -6,6 +6,9 @@ Subcommands:
 - ``run NAME... | --all`` — execute experiments through the registry
   runner, with the artifact cache and ``--jobs N`` trial parallelism.
 - ``report`` — render cached results without recomputation.
+- ``stream DOMAIN`` — serve interleaved monitored streams of one domain
+  through :class:`~repro.serve.MonitorService`, with optional
+  checkpoint/resume via ``--snapshot``.
 
 Examples
 --------
@@ -16,6 +19,8 @@ Examples
    $ python -m repro run table6 --seed 7 --set n_video_frames=600
    $ python -m repro run --all --jobs 2
    $ python -m repro report fig4_video
+   $ python -m repro stream tvnews --streams 4 --items 8
+   $ python -m repro stream ecg --streams 2 --items 3 --snapshot fleet.json
 """
 
 from __future__ import annotations
@@ -199,6 +204,145 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    """Serve ``--streams`` interleaved monitored streams of one domain.
+
+    Each stream gets its own seeded world; every round ingests one raw
+    unit per stream through :meth:`MonitorService.ingest_batch` (thread
+    fan-out unless ``--serial``). With ``--snapshot PATH``: an existing
+    file is restored first (the fleet resumes where it checkpointed —
+    each stream's world is fast-forwarded by replaying the units already
+    consumed), and the final state is written back to PATH. The replay
+    makes resume cost linear in a stream's total history (including
+    model inference for av/video); snapshotting world RNG state for an
+    O(1) resume is future work.
+    """
+    import os
+
+    from repro.core.seeding import derive_seed
+    from repro.domains.registry import domain_names
+    from repro.serve import MonitorService, ServiceConfig
+    from repro.serve.snapshot import load_snapshot_payload, save_service_snapshot
+
+    if args.domain not in domain_names():
+        raise SystemExit(
+            f"error: unknown domain {args.domain!r}; "
+            f"registered domains: {', '.join(domain_names())}"
+        )
+    if args.streams is not None and args.streams < 1:
+        raise SystemExit("error: --streams must be >= 1")
+    if args.items < 1:
+        raise SystemExit("error: --items must be >= 1")
+
+    service = MonitorService(
+        args.domain, config=ServiceConfig(parallel=not args.serial)
+    )
+    seed = args.seed if args.seed is not None else 0
+    n_streams = args.streams if args.streams is not None else 2
+    resumed = False
+    if args.snapshot and os.path.exists(args.snapshot):
+        try:
+            payload = load_snapshot_payload(args.snapshot)
+            service.restore(payload)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        provenance = payload.get("cli")
+        if provenance is None:
+            # Library-written snapshots carry no world seeds, so the CLI
+            # cannot rebuild matching worlds — resuming would bolt fresh
+            # default-seeded streams onto an unrelated fleet.
+            raise SystemExit(
+                f"error: {args.snapshot} was not written by `python -m repro "
+                "stream` (no CLI provenance); restore it with "
+                "repro.serve.load_service_snapshot instead"
+            )
+        # The snapshot pins seed/streams: the worlds replay from those
+        # seeds, so conflicting explicit flags would silently corrupt
+        # the resumed streams — reject them instead.
+        for flag, given, pinned in (
+            ("--seed", args.seed, provenance.get("seed")),
+            ("--streams", args.streams, provenance.get("streams")),
+        ):
+            if given is not None and pinned is not None and given != pinned:
+                raise SystemExit(
+                    f"error: {flag} {given} conflicts with the snapshot "
+                    f"({args.snapshot} was written with {flag[2:]}={pinned}); "
+                    "drop the flag to resume, or delete the snapshot to start over"
+                )
+        seed = provenance.get("seed", seed)
+        n_streams = provenance.get("streams", n_streams)
+        resumed = True
+
+    stream_ids = [f"{args.domain}-{k}" for k in range(n_streams)]
+    iterators = {}
+    for k, stream_id in enumerate(stream_ids):
+        world = service.domain.build_world(derive_seed(seed, "stream", k))
+        iterator = service.domain.iter_stream(world)
+        # Resumed streams replay the deterministic world up to where the
+        # checkpoint left off, so ingestion continues with fresh units.
+        for _ in range(service.session(stream_id).n_raw):
+            next(iterator)
+        iterators[stream_id] = iterator
+
+    for _ in range(args.items):
+        service.ingest_batch(
+            [(stream_id, next(iterators[stream_id])) for stream_id in stream_ids]
+        )
+
+    fleet = service.fleet_report()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "domain": args.domain,
+                    "seed": seed,
+                    "resumed": resumed,
+                    "streams": {
+                        stream_id: {
+                            "n_raw": service.session(stream_id).n_raw,
+                            "n_items": report.n_items,
+                            "fire_counts": report.fire_counts(),
+                            "total_fires": report.total_fires(),
+                        }
+                        for stream_id, report in fleet.stream_reports.items()
+                    },
+                    "fleet": {
+                        "n_items": fleet.aggregate.n_items,
+                        "fire_counts": fleet.fire_counts(),
+                        "total_fires": fleet.aggregate.total_fires(),
+                    },
+                },
+                indent=2,
+            )
+        )
+    else:
+        mode = "serial" if args.serial else "interleaved, thread fan-out"
+        print(
+            f"[{args.domain}] {n_streams} stream(s) × {args.items} raw unit(s)"
+            f" this run (seed {seed}, {mode})"
+            + (" — resumed from snapshot" if resumed else "")
+        )
+        print(fleet.format_table())
+        if fleet.aggregate.records:
+            first = fleet.aggregate.records[0]
+            print(
+                f"First fire: stream {first.context}, {first.assertion_name} "
+                f"severity {first.severity:g}"
+            )
+    if args.snapshot:
+        save_service_snapshot(
+            service,
+            args.snapshot,
+            extra={"cli": {"seed": seed, "streams": n_streams}},
+        )
+        if not args.json:
+            print(
+                f"Snapshot written to {args.snapshot} "
+                "(re-run the same command to resume)"
+            )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -229,6 +373,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--cache-dir", default=None, help="artifact cache directory")
     p_report.add_argument("--json", action="store_true", help="machine-readable output")
     p_report.set_defaults(fn=_cmd_report)
+
+    p_stream = sub.add_parser(
+        "stream", help="serve interleaved monitored streams of one domain"
+    )
+    p_stream.add_argument("domain", help="registered domain (av, ecg, tvnews, video)")
+    p_stream.add_argument("--streams", type=int, default=None,
+                          help="number of keyed streams (default 2; pinned by --snapshot on resume)")
+    p_stream.add_argument("--items", type=int, default=4,
+                          help="raw units ingested per stream this run")
+    p_stream.add_argument("--seed", type=int, default=None,
+                          help="root seed for the stream worlds (default 0; pinned by --snapshot on resume)")
+    p_stream.add_argument("--snapshot", default=None, metavar="PATH",
+                          help="checkpoint file: restored first if it exists, written on exit")
+    p_stream.add_argument("--serial", action="store_true",
+                          help="disable the ingest_batch thread fan-out")
+    p_stream.add_argument("--json", action="store_true", help="machine-readable output")
+    p_stream.set_defaults(fn=_cmd_stream)
 
     return parser
 

@@ -51,7 +51,11 @@ class AssertionDatabase:
         """Register an assertion; returns it for chaining."""
         name = assertion.name
         if name in self._entries and not replace:
-            raise ValueError(f"assertion {name!r} is already registered")
+            raise ValueError(
+                f"an assertion named {name!r} is already registered; "
+                "assertion names must be unique — pick another name, or pass "
+                "replace=True to overwrite the existing registration"
+            )
         if name not in self._entries:
             self._order.append(name)
         self._entries[name] = AssertionEntry(

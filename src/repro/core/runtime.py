@@ -48,6 +48,10 @@ from repro.core.consistency import (
 from repro.core.database import AssertionDatabase
 from repro.core.streaming import StreamingEngine
 from repro.core.types import AssertionRecord, StreamItem, make_stream
+from repro.utils.codec import from_jsonable, to_jsonable
+
+#: Version tag of the :meth:`OMG.snapshot` payload layout.
+SNAPSHOT_FORMAT = 1
 
 
 @dataclass
@@ -384,6 +388,68 @@ class OMG:
         self._next_index = 0
         self._online_records = []
         self._streaming.reset()
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Checkpoint the full online monitoring state as a JSON payload.
+
+        Captures everything :meth:`observe` accumulates — the streaming
+        evaluators' rolling state, the sparse severity log, the bounded
+        recent-item window, the item counter, and the online records — as
+        primitives the :mod:`repro.utils.codec` round-trips bit-exactly
+        through ``json.dumps``/``loads``. A monitor restored from the
+        payload (:meth:`restore`) continues the stream as if it had never
+        stopped: subsequent reports are bit-identical to an uninterrupted
+        run.
+
+        Stream items must hold codec-encodable inputs/outputs (the
+        built-in domains' outputs all are); corrective-action callbacks
+        are not part of the payload and must be re-registered by the
+        owner. Only available on the streaming engine.
+        """
+        if self.engine == "legacy":
+            raise RuntimeError("snapshot requires the streaming engine")
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "window_size": self.window_size,
+            "assertions": self.database.names(),
+            "next_index": self._next_index,
+            "online_records": to_jsonable(self._online_records),
+            "streaming": self._streaming.get_state(),
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Restore monitoring state captured by :meth:`snapshot`.
+
+        The runtime must be configured like the one that took the
+        snapshot: same ``window_size`` and the same enabled assertion
+        names in the same order (build it the same way — e.g. via the
+        same :class:`~repro.domains.registry.Domain` — then restore).
+        """
+        if self.engine == "legacy":
+            raise RuntimeError("restore requires the streaming engine")
+        fmt = snapshot.get("format")
+        if fmt != SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"unsupported snapshot format {fmt!r} (expected {SNAPSHOT_FORMAT})"
+            )
+        if int(snapshot["window_size"]) != self.window_size:
+            raise ValueError(
+                f"snapshot window_size {snapshot['window_size']} != "
+                f"runtime window_size {self.window_size}"
+            )
+        names = self.database.names()
+        if list(snapshot["assertions"]) != names:
+            raise ValueError(
+                f"snapshot assertions {list(snapshot['assertions'])!r} do not match "
+                f"the registered assertions {names!r}"
+            )
+        self.reset()
+        self._next_index = int(snapshot["next_index"])
+        self._online_records = list(from_jsonable(snapshot["online_records"]))
+        self._streaming.set_state(snapshot["streaming"])
 
     # ------------------------------------------------------------------
     # Batch monitoring

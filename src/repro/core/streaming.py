@@ -64,6 +64,7 @@ from repro.core.consistency import (
     TemporalConsistencyAssertion,
 )
 from repro.core.types import AssertionRecord, StreamItem
+from repro.utils.codec import from_jsonable, to_jsonable
 
 
 class StreamingEvaluator(abc.ABC):
@@ -89,6 +90,19 @@ class StreamingEvaluator(abc.ABC):
     @abc.abstractmethod
     def reset(self) -> None:
         """Drop all rolling state (the assertion itself is stateless)."""
+
+    def get_state(self) -> dict:
+        """JSON-encodable rolling state (see :meth:`OMG.snapshot`).
+
+        The payload uses the :mod:`repro.utils.codec` encoding for
+        non-primitive leaves and pair lists wherever keys are not
+        strings, so ``json.dumps`` round-trips it bit-exactly. Stateless
+        evaluators return ``{}``.
+        """
+        return {}
+
+    def set_state(self, state: dict) -> None:
+        """Restore rolling state captured by :meth:`get_state`."""
 
     def _check_severity(self, value: Any) -> float:
         severity = float(value)
@@ -141,6 +155,17 @@ class RollingWindowEvaluator(StreamingEvaluator):
         self._inputs.clear()
         self._outputs.clear()
 
+    def get_state(self) -> dict:
+        return {
+            "inputs": to_jsonable(list(self._inputs)),
+            "outputs": to_jsonable(list(self._outputs)),
+        }
+
+    def set_state(self, state: dict) -> None:
+        self.reset()
+        self._inputs.extend(from_jsonable(state["inputs"]))
+        self._outputs.extend(from_jsonable(state["outputs"]))
+
 
 class WindowedReplayEvaluator(StreamingEvaluator):
     """Legacy fallback: re-evaluate the full window, keep the newest score.
@@ -168,6 +193,13 @@ class WindowedReplayEvaluator(StreamingEvaluator):
 
     def reset(self) -> None:
         self._window.clear()
+
+    def get_state(self) -> dict:
+        return {"window": to_jsonable(list(self._window))}
+
+    def set_state(self, state: dict) -> None:
+        self.reset()
+        self._window.extend(from_jsonable(state["window"]))
 
 
 class _AttrGroup:
@@ -206,6 +238,40 @@ class AttributeConsistencyEvaluator(StreamingEvaluator):
     def reset(self) -> None:
         self._groups = {}
         self._item_sev = Counter()
+
+    def get_state(self) -> dict:
+        # Per-group observation lists are the whole truth: counts,
+        # first-seen order, the majority (most common, first occurrence
+        # wins ties), per-item contributions, and the item severity
+        # counter are all pure functions of them, recomputed on restore.
+        return {
+            "groups": [
+                [
+                    to_jsonable(identifier),
+                    [[int(idx), to_jsonable(value)] for idx, value in group.observations],
+                ]
+                for identifier, group in self._groups.items()
+            ]
+        }
+
+    def set_state(self, state: dict) -> None:
+        self.reset()
+        for encoded_id, observations in state["groups"]:
+            identifier = from_jsonable(encoded_id)
+            group = self._groups[identifier] = _AttrGroup()
+            for idx, encoded_value in observations:
+                value = from_jsonable(encoded_value)
+                group.observations.append((int(idx), value))
+                group.counts[value] += 1
+                group.first_seen.setdefault(value, len(group.observations) - 1)
+            if group.counts:
+                group.majority = max(
+                    group.counts,
+                    key=lambda v: (group.counts[v], -group.first_seen[v]),
+                )
+            group.contrib = self._group_deviations(group)
+            for idx, n in group.contrib.items():
+                self._item_sev[idx] += n
 
     def _group_deviations(self, group: _AttrGroup) -> dict:
         """item_index → deviation count under the group's current majority."""
@@ -323,6 +389,33 @@ class TemporalConsistencyEvaluator(StreamingEvaluator):
         self._next_pos = 0
         self._item_sev = Counter()
         self._index_of = {}
+
+    def get_state(self) -> dict:
+        return {
+            "states": [
+                [
+                    to_jsonable(identifier),
+                    [s.run_start, s.run_end, s.run_start_ts, s.run_end_ts],
+                ]
+                for identifier, s in self._states.items()
+            ],
+            "present_prev": [to_jsonable(i) for i in self._present_prev],
+            "next_pos": self._next_pos,
+            "item_sev": [[int(i), int(c)] for i, c in sorted(self._item_sev.items())],
+            "index_of": [[int(p), int(i)] for p, i in sorted(self._index_of.items())],
+        }
+
+    def set_state(self, state: dict) -> None:
+        self.reset()
+        for encoded_id, (start, end, start_ts, end_ts) in state["states"]:
+            presence = _PresenceState(int(start), float(start_ts))
+            presence.run_end = int(end)
+            presence.run_end_ts = float(end_ts)
+            self._states[from_jsonable(encoded_id)] = presence
+        self._present_prev = {from_jsonable(i) for i in state["present_prev"]}
+        self._next_pos = int(state["next_pos"])
+        self._item_sev = Counter({int(i): int(c) for i, c in state["item_sev"]})
+        self._index_of = {int(p): int(i) for p, i in state["index_of"]}
 
     def _flag_span(self, start_pos: int, end_pos: int, changed: dict) -> None:
         for pos in range(start_pos, end_pos + 1):
@@ -517,6 +610,51 @@ class StreamingEngine:
             for evaluator, changes in zip(evaluators, per_evaluator):
                 self._merge(evaluator.assertion.name, changes[item_pos], records)
         return records
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """JSON-encodable engine state: log, recent window, evaluators.
+
+        Evaluators for every enabled assertion are synced first, so a
+        snapshot taken right after registering assertions (before any
+        item) is restorable too.
+        """
+        evaluators = self._sync()
+        return {
+            "n_items": self._n_items,
+            "recent": to_jsonable(list(self._recent)),
+            "log": {
+                name: [[int(i), float(s)] for i, s in sorted(log.items())]
+                for name, log in self._log.items()
+                if log
+            },
+            "evaluators": {
+                evaluator.assertion.name: evaluator.get_state()
+                for evaluator in evaluators
+            },
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`get_state`.
+
+        The current database must hold the same enabled assertions the
+        snapshot was taken with (validated by :meth:`OMG.restore`).
+        """
+        self.reset()
+        evaluators = self._sync()
+        self._n_items = int(state["n_items"])
+        self._recent.extend(from_jsonable(state["recent"]))
+        self._log = {
+            name: {int(i): float(s) for i, s in pairs}
+            for name, pairs in state["log"].items()
+        }
+        saved = state["evaluators"]
+        for evaluator in evaluators:
+            name = evaluator.assertion.name
+            if name in saved:
+                evaluator.set_state(saved[name])
 
     # ------------------------------------------------------------------
     def severity_matrix(self, n_items: "int | None" = None) -> tuple:

@@ -14,4 +14,27 @@ Table 2 LOC bench), an end-to-end pipeline producing
 :class:`~repro.core.runtime.MonitoringReport` s, and — where the paper had
 training access — an :class:`~repro.core.active_learning.ActiveLearningTask`
 plus a weak-supervision entry point.
+
+All four serve through one contract: the :class:`Domain` protocol in
+:mod:`repro.domains.registry` (``get_domain("av"|"video"|"tvnews"|"ecg")``),
+which :class:`~repro.serve.MonitorService` drives for multi-stream
+deployments.
 """
+
+from repro.domains.registry import (
+    Domain,
+    MonitorRun,
+    RawItem,
+    domain_names,
+    get_domain,
+    register_domain,
+)
+
+__all__ = [
+    "Domain",
+    "MonitorRun",
+    "RawItem",
+    "domain_names",
+    "get_domain",
+    "register_domain",
+]

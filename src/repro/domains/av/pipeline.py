@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -9,6 +10,7 @@ import numpy as np
 from repro.core.database import AssertionDatabase
 from repro.core.runtime import OMG, MonitoringReport
 from repro.core.types import StreamItem
+from repro.domains.registry import MonitorRun
 from repro.detection.detector import Detector
 from repro.domains.av.assertions import AgreeAssertion
 from repro.domains.video.assertions import MultiboxAssertion
@@ -98,16 +100,34 @@ class AVPipeline:
 
     def monitor(
         self, samples: list, camera_dets: list, lidar_dets: list
-    ) -> tuple[MonitoringReport, list]:
-        """Full pass over fused samples."""
+    ) -> MonitorRun:
+        """Full pass over fused samples.
+
+        Returns a :class:`~repro.domains.registry.MonitorRun`
+        (``.report`` + ``.items``; unpacks like the old 2-tuple).
+        """
         items = self.to_stream(samples, camera_dets, lidar_dets)
-        return self.omg.monitor(items), items
+        return MonitorRun(report=self.omg.monitor(items), items=items)
 
     # ------------------------------------------------------------------
     # Online / streaming path
     # ------------------------------------------------------------------
     def observe_sample(self, sample, cam_boxes: list, lidar_boxes: list) -> list:
-        """Ingest one fused sample through the streaming engine."""
+        """Ingest one fused sample through the streaming engine.
+
+        .. deprecated:: PR 3
+            Serve streams through the unified contract instead:
+            ``get_domain("av")`` with
+            :class:`~repro.serve.MonitorService`, or this pipeline's
+            :meth:`observe_batch`. This shim will be removed next PR.
+        """
+        warnings.warn(
+            "AVPipeline.observe_sample is deprecated; serve streams via "
+            "repro.domains.registry.get_domain('av') and "
+            "repro.serve.MonitorService",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.omg.observe(
             None, self.fuse_outputs(cam_boxes, lidar_boxes), timestamp=sample.timestamp
         )

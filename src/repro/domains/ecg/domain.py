@@ -1,0 +1,108 @@
+"""``ecg`` domain adapter: AF-classification monitoring via the registry.
+
+Raw unit: one record's window predictions —
+``{"record": ECGRecord, "classes": ndarray}``. A serving stream is the
+concatenation of successive records' windows; per-stream state is the
+running time offset, which pads ``temporal_threshold`` seconds between
+records so the 30 s oscillation assertion never fires *across* a record
+boundary (a gap must be strictly shorter than ``T`` to fire). A run that
+reaches a record's edge can still be judged short once the next record
+opens with a different class — the price of one continuous stream; the
+per-record experiment path (:func:`repro.domains.ecg.task.record_severities`)
+keeps its reset-per-record semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.database import AssertionDatabase
+from repro.core.runtime import OMG
+from repro.core.seeding import derive_seed
+from repro.domains.ecg.assertions import make_ecg_assertion
+from repro.domains.registry import Domain, RawItem, register_domain
+from repro.worlds.ecg import ECGWorld, ECGWorldConfig
+
+
+@dataclass(frozen=True)
+class EcgDomainConfig:
+    """Serving config: assertion threshold plus demo world/model sizes."""
+
+    temporal_threshold: float = 30.0
+    world: ECGWorldConfig = field(default_factory=ECGWorldConfig)
+    #: Bootstrap size for the demo classifier built by :meth:`build_world`.
+    n_train: int = 80
+
+
+class _ECGWorld:
+    """An ECG record generator plus the classifier that reads it."""
+
+    def __init__(self, world: ECGWorld, model) -> None:
+        self.world = world
+        self.model = model
+
+
+@register_domain("ecg")
+class EcgDomain(Domain):
+    """ECG: the single 30 s oscillation-consistency assertion."""
+
+    @classmethod
+    def default_config(cls) -> EcgDomainConfig:
+        return EcgDomainConfig()
+
+    def build_monitor(self, config: "EcgDomainConfig | None" = None) -> OMG:
+        cfg = self._config(config)
+        database = AssertionDatabase()
+        database.add(make_ecg_assertion(cfg.temporal_threshold), domain="ecg")
+        return OMG(database)
+
+    def build_world(self, seed: int = 0) -> _ECGWorld:
+        from repro.domains.ecg.task import bootstrap_ecg_classifier, make_ecg_task_data
+
+        cfg = self.config
+        data = make_ecg_task_data(
+            derive_seed(seed, "ecg", "bootstrap"),
+            n_train=cfg.n_train,
+            n_pool=1,
+            n_test=1,
+            world_config=cfg.world,
+        )
+        model = bootstrap_ecg_classifier(data, seed=derive_seed(seed, "ecg", "model"))
+        world = ECGWorld(cfg.world, seed=derive_seed(seed, "ecg", "world"))
+        return _ECGWorld(world, model)
+
+    def iter_stream(self, world: _ECGWorld):
+        while True:
+            record = world.world.generate_record()
+            classes, _probs = world.model.predict_windows(record)
+            yield {"record": record, "classes": classes}
+
+    def new_state(self, config: "EcgDomainConfig | None" = None) -> dict:
+        return {"offset": 0.0}
+
+    def item_from_raw(self, raw, state=None) -> list:
+        if state is None:
+            # The running offset keeps record timestamps monotonic; without
+            # it the oscillation assertion fires spuriously across records.
+            raise ValueError(
+                "the ecg domain is stateful: thread the object returned by "
+                "new_state() through every item_from_raw call (MonitorService "
+                "does this per session)"
+            )
+        record, classes = raw["record"], raw["classes"]
+        offset = state["offset"]
+        items = [
+            RawItem([{"class": int(c)}], offset + float(t))
+            for c, t in zip(classes, record.window_times)
+        ]
+        if items:
+            # Next record starts a full threshold after this one ends, so
+            # inter-record gaps can never register as oscillations.
+            state["offset"] = items[-1].timestamp + self.config.temporal_threshold
+        return items
+
+    def state_snapshot(self, state) -> dict:
+        return {"offset": state["offset"]}
+
+    def state_restore(self, payload, config=None) -> dict:
+        return {"offset": float(payload["offset"])}

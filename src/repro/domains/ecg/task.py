@@ -7,16 +7,15 @@ records per round (Appendix C) and a single deployed assertion.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.active_learning import ActiveLearningTask
-from repro.core.database import AssertionDatabase
 from repro.core.runtime import OMG
 from repro.core.types import StreamItem
 from repro.core.weak_supervision import WeakSupervisionResult
-from repro.domains.ecg.assertions import make_ecg_assertion
 from repro.domains.ecg.model import ECGClassifier
 from repro.ml.losses import one_hot
 from repro.utils.rng import as_generator
@@ -72,16 +71,17 @@ def record_stream(record, predicted_classes: np.ndarray) -> list:
     ]
 
 
-def make_ecg_monitor(temporal_threshold: float = 30.0) -> OMG:
-    """One-assertion streaming runtime, reusable across records."""
-    database = AssertionDatabase()
-    database.add(make_ecg_assertion(temporal_threshold), domain="ecg")
-    return OMG(database)
+def _build_ecg_monitor(temporal_threshold: float = 30.0) -> OMG:
+    """The registry entry point: a fresh one-assertion ECG runtime."""
+    from repro.domains.ecg.domain import EcgDomainConfig
+    from repro.domains.registry import get_domain
+
+    return get_domain("ecg").build_monitor(
+        EcgDomainConfig(temporal_threshold=temporal_threshold)
+    )
 
 
-def stream_record_severity(
-    omg, record, predicted_classes: np.ndarray
-) -> float:
+def _record_severity(omg: OMG, record, predicted_classes: np.ndarray) -> float:
     """Total oscillation severity of one record via the streaming engine.
 
     Each record is its own stream: the runtime is reset, the record's
@@ -100,15 +100,52 @@ def stream_record_severity(
     return float(report.severities.sum())
 
 
+def make_ecg_monitor(temporal_threshold: float = 30.0) -> OMG:
+    """One-assertion streaming runtime, reusable across records.
+
+    .. deprecated:: PR 3
+        Use ``get_domain("ecg").build_monitor(...)`` from
+        :mod:`repro.domains.registry` (or serve continuous streams with
+        :class:`~repro.serve.MonitorService`). This shim will be removed
+        next PR.
+    """
+    warnings.warn(
+        "make_ecg_monitor is deprecated; use "
+        "repro.domains.registry.get_domain('ecg').build_monitor(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _build_ecg_monitor(temporal_threshold)
+
+
+def stream_record_severity(
+    omg, record, predicted_classes: np.ndarray
+) -> float:
+    """Total oscillation severity of one record (deprecated shim).
+
+    .. deprecated:: PR 3
+        Use :func:`record_severities` for experiment pools, or serve
+        continuous streams with :class:`~repro.serve.MonitorService`.
+        This shim will be removed next PR.
+    """
+    warnings.warn(
+        "stream_record_severity is deprecated; use record_severities or "
+        "repro.serve.MonitorService",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _record_severity(omg, record, predicted_classes)
+
+
 def record_severities(
     model: ECGClassifier, records: list, *, temporal_threshold: float = 30.0
 ) -> np.ndarray:
     """``(n_records, 1)`` oscillation severities under the ECG assertion."""
     severities = np.zeros((len(records), 1), dtype=np.float64)
-    monitor = make_ecg_monitor(temporal_threshold)
+    monitor = _build_ecg_monitor(temporal_threshold)
     for i, record in enumerate(records):
         classes, _ = model.predict_windows(record)
-        severities[i, 0] = stream_record_severity(monitor, record, classes)
+        severities[i, 0] = _record_severity(monitor, record, classes)
     return severities
 
 
@@ -145,10 +182,10 @@ class ECGActiveLearningTask(ActiveLearningTask):
 
     def severities(self, predictions) -> np.ndarray:
         _, window_preds = predictions
-        monitor = make_ecg_monitor(self.temporal_threshold)
+        monitor = _build_ecg_monitor(self.temporal_threshold)
         severities = np.zeros((len(self.data.pool), 1), dtype=np.float64)
         for i, (record, (classes, _probs)) in enumerate(zip(self.data.pool, window_preds)):
-            severities[i, 0] = stream_record_severity(monitor, record, classes)
+            severities[i, 0] = _record_severity(monitor, record, classes)
         return severities
 
     def uncertainty(self, predictions) -> np.ndarray:

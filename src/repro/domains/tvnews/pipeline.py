@@ -14,6 +14,7 @@ exactly what Tables 2/3 report for ``news``.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -22,6 +23,7 @@ from repro.core.consistency import ConsistencySpec, generate_assertions
 from repro.core.database import AssertionDatabase
 from repro.core.runtime import OMG, MonitoringReport
 from repro.core.types import StreamItem
+from repro.domains.registry import MonitorRun
 from repro.tracking.tracker import IoUTracker
 
 #: The three checked attributes, in registration order.
@@ -117,19 +119,37 @@ class TVNewsPipeline:
                 index += 1
         return items
 
-    def monitor(self, scenes: list) -> tuple[MonitoringReport, list]:
-        """Cluster, build the stream, run the ``news`` assertions."""
+    def monitor(self, scenes: list) -> MonitorRun:
+        """Cluster, build the stream, run the ``news`` assertions.
+
+        Returns a :class:`~repro.domains.registry.MonitorRun` (``.report``
+        + ``.items``) — the same shape :meth:`AVPipeline.monitor` and
+        :meth:`VideoPipeline.monitor` return, instead of a bare tuple.
+        """
         items = self.to_stream(scenes)
-        return self.omg.monitor(items), items
+        return MonitorRun(report=self.omg.monitor(items), items=items)
 
     def observe_scenes(self, scenes: list, *, parallel: bool = False) -> MonitoringReport:
         """Streaming path: ingest scenes through ``observe_batch``.
+
+        .. deprecated:: PR 3
+            Serve streams through the unified contract instead:
+            ``get_domain("tvnews")`` with
+            :class:`~repro.serve.MonitorService`. This shim will be
+            removed next PR.
 
         Scene clustering is scene-local, so scenes can arrive in chunks
         as footage is processed; the accumulated
         :meth:`~repro.core.runtime.OMG.online_report` equals the offline
         :meth:`monitor` matrix over the same scenes.
         """
+        warnings.warn(
+            "TVNewsPipeline.observe_scenes is deprecated; serve streams via "
+            "repro.domains.registry.get_domain('tvnews') and "
+            "repro.serve.MonitorService",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         items = self.to_stream(scenes)
         # to_stream indexes from 0 per call; hand OMG the raw outputs so
         # the engine numbers them continuously across chunks.

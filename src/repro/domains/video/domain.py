@@ -1,0 +1,117 @@
+"""``video`` domain adapter: night-street detection through the registry.
+
+Raw unit: one frame's detection list (scored, labeled
+:class:`~repro.geometry.box2d.Box2D`). Per-stream state: a live greedy
+IoU tracker plus the frame counter, so identifiers persist across raw
+units exactly as :meth:`VideoPipeline.to_stream` assigns them offline.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+from repro.core.runtime import OMG
+from repro.core.seeding import derive_seed
+from repro.domains.registry import Domain, RawItem, register_domain
+from repro.domains.video.pipeline import VideoPipeline, VideoPipelineConfig
+from repro.tracking.tracker import IoUTracker
+from repro.worlds.traffic import TrafficWorld, TrafficWorldConfig
+
+
+@dataclass(frozen=True)
+class VideoDomainConfig:
+    """Serving config: pipeline knobs plus the demo world/model sizes."""
+
+    pipeline: VideoPipelineConfig = VideoPipelineConfig()
+    world: TrafficWorldConfig = field(
+        default_factory=lambda: TrafficWorldConfig(profile="night")
+    )
+    #: Bootstrap sizes for the demo detector built by :meth:`build_world`
+    #: (kept small: the serving demo needs a model that makes the
+    #: paper's systematic errors, not a well-trained one).
+    n_bootstrap_day: int = 30
+    n_bootstrap_night: int = 2
+
+
+class _VideoWorld:
+    """A traffic world plus the detector that watches it."""
+
+    def __init__(self, world: TrafficWorld, detector) -> None:
+        self.world = world
+        self.detector = detector
+
+
+@register_domain("video")
+class VideoDomain(Domain):
+    """Video analytics: ``multibox`` / ``flicker`` / ``appear``."""
+
+    @classmethod
+    def default_config(cls) -> VideoDomainConfig:
+        return VideoDomainConfig()
+
+    def build_pipeline(self, config: "VideoDomainConfig | None" = None) -> VideoPipeline:
+        """The offline pipeline (the registry entry point experiments use)."""
+        return VideoPipeline(self._config(config).pipeline)
+
+    def build_monitor(self, config: "VideoDomainConfig | None" = None) -> OMG:
+        return self.build_pipeline(config).omg
+
+    def build_world(self, seed: int = 0) -> _VideoWorld:
+        from repro.domains.video.task import bootstrap_detector, make_video_task_data
+
+        cfg = self.config
+        data = make_video_task_data(
+            derive_seed(seed, "video", "bootstrap"),
+            n_bootstrap_day=cfg.n_bootstrap_day,
+            n_bootstrap_night=cfg.n_bootstrap_night,
+            n_pool=1,
+            n_test=1,
+        )
+        detector = bootstrap_detector(data, seed=derive_seed(seed, "video", "detector"))
+        world = TrafficWorld(cfg.world, seed=derive_seed(seed, "video", "world"))
+        return _VideoWorld(world, detector)
+
+    def iter_stream(self, world: _VideoWorld):
+        for frame in world.world.stream(sys.maxsize):
+            yield world.detector.detect(frame.image)
+
+    def new_state(self, config: "VideoDomainConfig | None" = None) -> dict:
+        pipeline_cfg = self._config(config).pipeline
+        return {
+            "tracker": IoUTracker(
+                iou_threshold=pipeline_cfg.tracker_iou,
+                max_age=pipeline_cfg.tracker_max_age,
+            ),
+            "frame": 0,
+            "fps": pipeline_cfg.fps,
+        }
+
+    def item_from_raw(self, raw, state=None) -> list:
+        if state is None:
+            # Tracking accumulates across frames; a fresh tracker per call
+            # would silently produce wrong severities.
+            raise ValueError(
+                "the video domain is stateful: thread the object returned by "
+                "new_state() through every item_from_raw call (MonitorService "
+                "does this per session)"
+            )
+        frame = state["frame"]
+        state["frame"] = frame + 1
+        tracked = state["tracker"].update(frame, list(raw))
+        outputs = VideoPipeline._frame_outputs(tracked)
+        return [RawItem(list(outputs), frame / state["fps"])]
+
+    def state_snapshot(self, state) -> dict:
+        return {
+            "tracker": state["tracker"].get_state(),
+            "frame": state["frame"],
+            "fps": state["fps"],
+        }
+
+    def state_restore(self, payload, config=None) -> dict:
+        state = self.new_state(config)
+        state["tracker"].set_state(payload["tracker"])
+        state["frame"] = int(payload["frame"])
+        state["fps"] = float(payload["fps"])
+        return state

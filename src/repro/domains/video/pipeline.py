@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -9,6 +10,7 @@ import numpy as np
 from repro.core.database import AssertionDatabase
 from repro.core.runtime import OMG, MonitoringReport
 from repro.core.types import StreamItem
+from repro.domains.registry import MonitorRun
 from repro.domains.video.assertions import (
     MultiboxAssertion,
     make_appear_assertion,
@@ -92,10 +94,14 @@ class VideoPipeline:
             for t in tracked
         )
 
-    def monitor(self, detections_per_frame: list) -> tuple[MonitoringReport, list]:
-        """Full pass: track, build the stream, run all assertions."""
+    def monitor(self, detections_per_frame: list) -> MonitorRun:
+        """Full pass: track, build the stream, run all assertions.
+
+        Returns a :class:`~repro.domains.registry.MonitorRun`
+        (``.report`` + ``.items``; unpacks like the old 2-tuple).
+        """
         items = self.to_stream(detections_per_frame)
-        return self.omg.monitor(items), items
+        return MonitorRun(report=self.omg.monitor(items), items=items)
 
     # ------------------------------------------------------------------
     # Online / streaming path
@@ -115,11 +121,24 @@ class VideoPipeline:
     def observe_frame(self, detections: list) -> list:
         """Ingest one frame's detections through the streaming engine.
 
+        .. deprecated:: PR 3
+            Serve streams through the unified contract instead:
+            ``get_domain("video")`` with
+            :class:`~repro.serve.MonitorService`, or this pipeline's
+            :meth:`observe_batch`. This shim will be removed next PR.
+
         Tracking is incremental (the same greedy IoU matcher the offline
         pass uses frame-by-frame), so feeding every frame of a video
         through here produces exactly the :meth:`monitor` severities —
         see ``tests/test_domains_video.py``.
         """
+        warnings.warn(
+            "VideoPipeline.observe_frame is deprecated; serve streams via "
+            "repro.domains.registry.get_domain('video') and "
+            "repro.serve.MonitorService",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         tracker = self._require_tracker()
         frame_index = self.omg.n_observed
         tracked = tracker.update(frame_index, detections)

@@ -73,16 +73,17 @@ class Fig3Config:
 def _run_fig3(config: Fig3Config) -> Fig3Result:
     """Collect assertion-flagged *true* errors and rank them by confidence."""
     from repro.core.consistency import group_observations
-    from repro.domains.video import VideoPipeline, bootstrap_detector, make_video_task_data
+    from repro.domains.registry import get_domain
+    from repro.domains.video import bootstrap_detector, make_video_task_data
     from repro.utils.rng import as_generator
 
     seed, n_pool, top_k = config.seed, config.n_pool, config.top_k
     rng = as_generator(seed)
     data = make_video_task_data(int(rng.integers(2**31 - 1)), n_pool=n_pool, n_test=50)
     detector = bootstrap_detector(data, seed=rng.spawn(1)[0])
-    pipeline = VideoPipeline()
+    pipeline = get_domain("video").build_pipeline()
     detections = detector.detect_frames([f.image for f in data.pool])
-    _, items = pipeline.monitor(detections)
+    items = pipeline.monitor(detections).items
     frames = data.pool
 
     all_scores = np.array([o["score"] for item in items for o in item.outputs])

@@ -11,121 +11,22 @@ Every experiment result renders two ways through this module:
 
 Result dataclasses opt in with :func:`register_result_type` (usually as a
 class decorator); nested dataclasses, tuples, and numpy arrays/scalars
-are handled transparently.
+are handled transparently. The codec itself lives in
+:mod:`repro.utils.codec` (it also backs the serving layer's monitor
+snapshots); this module re-exports it so existing imports keep working.
 """
 
 from __future__ import annotations
 
-import dataclasses
-
-import numpy as np
-
-#: Registered dataclass types, by class name — the JSON codec's universe.
-_RESULT_TYPES: dict = {}
-
-
-def register_result_type(cls):
-    """Register ``cls`` (a dataclass) with the JSON codec; returns it."""
-    if not dataclasses.is_dataclass(cls):
-        raise TypeError(f"{cls!r} is not a dataclass")
-    _RESULT_TYPES[cls.__name__] = cls
-    return cls
-
-
-def registered_result_types() -> dict:
-    """Name → class for every codec-registered result dataclass."""
-    return dict(_RESULT_TYPES)
-
-
-def to_jsonable(obj):
-    """Encode ``obj`` into JSON-serializable primitives, losslessly.
-
-    Handles registered dataclasses (tagged with ``__dataclass__``),
-    tuples (tagged, so they decode back as tuples), numpy arrays and
-    scalars, and plain dict/list/str/int/float/bool/None.
-    """
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        name = type(obj).__name__
-        if name not in _RESULT_TYPES:
-            raise TypeError(
-                f"{name} is not registered with the result codec; "
-                "decorate it with @register_result_type"
-            )
-        return {
-            "__dataclass__": name,
-            "fields": {
-                f.name: to_jsonable(getattr(obj, f.name))
-                for f in dataclasses.fields(obj)
-            },
-        }
-    if isinstance(obj, np.ndarray):
-        return {
-            "__ndarray__": {"dtype": str(obj.dtype), "data": obj.tolist()},
-        }
-    if isinstance(obj, (np.integer, np.floating, np.bool_)):
-        return obj.item()
-    if isinstance(obj, tuple):
-        return {"__tuple__": [to_jsonable(v) for v in obj]}
-    if isinstance(obj, list):
-        return [to_jsonable(v) for v in obj]
-    if isinstance(obj, dict):
-        encoded = {}
-        for key, value in obj.items():
-            if not isinstance(key, str):
-                raise TypeError(f"JSON object keys must be str, got {key!r}")
-            encoded[key] = to_jsonable(value)
-        return encoded
-    if obj is None or isinstance(obj, (str, int, float, bool)):
-        return obj
-    raise TypeError(f"cannot encode {type(obj).__name__} for the result codec")
-
-
-def from_jsonable(obj):
-    """Inverse of :func:`to_jsonable`."""
-    if isinstance(obj, dict):
-        if "__dataclass__" in obj:
-            name = obj["__dataclass__"]
-            cls = _RESULT_TYPES.get(name)
-            if cls is None:
-                raise TypeError(f"unknown result dataclass {name!r} in payload")
-            fields = {k: from_jsonable(v) for k, v in obj["fields"].items()}
-            return cls(**fields)
-        if "__ndarray__" in obj:
-            spec = obj["__ndarray__"]
-            return np.asarray(spec["data"], dtype=np.dtype(spec["dtype"]))
-        if "__tuple__" in obj:
-            return tuple(from_jsonable(v) for v in obj["__tuple__"])
-        return {k: from_jsonable(v) for k, v in obj.items()}
-    if isinstance(obj, list):
-        return [from_jsonable(v) for v in obj]
-    return obj
+from repro.utils.codec import (  # noqa: F401  (re-exported API)
+    from_jsonable,
+    register_result_type,
+    registered_result_types,
+    to_jsonable,
+)
+from repro.utils.tables import format_float, format_table  # noqa: F401
 
 
 def render_result(result) -> str:
     """The unified text rendering: every result's ``format_table()``."""
     return result.format_table()
-
-
-def format_table(headers: list, rows: list, title: str = "") -> str:
-    """Render rows as an aligned, pipe-free text table.
-
-    ``rows`` is a list of tuples/lists; every cell is ``str()``-ed.
-    """
-    table = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
-    widths = [max(len(row[col]) for row in table) for col in range(len(headers))]
-    lines = []
-    if title:
-        lines.append(title)
-    header_line = "  ".join(h.ljust(w) for h, w in zip(table[0], widths))
-    lines.append(header_line)
-    lines.append("-" * len(header_line))
-    for row in table[1:]:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
-    return "\n".join(lines)
-
-
-def format_float(value: float, digits: int = 1) -> str:
-    """Fixed-point formatting that tolerates None/NaN."""
-    if value is None or value != value:
-        return "n/a"
-    return f"{value:.{digits}f}"

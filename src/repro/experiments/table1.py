@@ -46,16 +46,15 @@ class Table1Config:
     cacheable=False,  # result derives from the source tree, not the config
 )
 def _run_table1(config: Table1Config) -> Table1Result:
-    """Assemble Table 1 from the per-domain pipelines."""
-    from repro.domains.av.pipeline import AVPipeline
+    """Assemble Table 1 from the per-domain registry entry points."""
+    from repro.domains.av.domain import AVDomainConfig
     from repro.domains.ecg.assertions import make_ecg_assertion
-    from repro.domains.tvnews.pipeline import TVNewsPipeline
-    from repro.domains.video.pipeline import VideoPipeline
+    from repro.domains.registry import get_domain
     from repro.geometry.camera import PinholeCamera
 
-    video = VideoPipeline()
-    av = AVPipeline(PinholeCamera())
-    news = TVNewsPipeline()
+    video = get_domain("video").build_pipeline()
+    av = get_domain("av", AVDomainConfig(camera=PinholeCamera())).build_pipeline()
+    news = get_domain("tvnews").build_pipeline()
     ecg = make_ecg_assertion()
 
     rows = [

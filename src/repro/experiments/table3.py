@@ -360,15 +360,10 @@ def _run_table3(config: Table3Config) -> Table3Result:
     seed (tracker fragmentation varies per world), so the stream is part
     of the reproduced configuration.
     """
-    from repro.domains.av import AVPipeline, bootstrap_av_models, make_av_task_data
+    from repro.domains.av import bootstrap_av_models, make_av_task_data
     from repro.domains.ecg import bootstrap_ecg_classifier, make_ecg_task_data
-    from repro.domains.tvnews import TVNewsPipeline
-    from repro.domains.video import (
-        VideoPipeline,
-        bootstrap_detector,
-        make_video_task_data,
-    )
-    from repro.worlds.av import AVWorldConfig
+    from repro.domains.registry import get_domain
+    from repro.domains.video import bootstrap_detector, make_video_task_data
     from repro.worlds.tvnews import TVNewsWorld
 
     rng = as_generator(config.seed)
@@ -377,8 +372,8 @@ def _run_table3(config: Table3Config) -> Table3Result:
     # --- TV news ---
     news_world = TVNewsWorld(seed=rng.spawn(1)[0])
     scenes = news_world.generate_videos(config.n_news_videos, config.news_video_seconds)
-    news_pipeline = TVNewsPipeline()
-    _, news_items = news_pipeline.monitor(scenes)
+    news_pipeline = get_domain("tvnews").build_pipeline()
+    news_items = news_pipeline.monitor(scenes).items
     news_row = judge_news(news_pipeline, news_items, rng, n_samples)
 
     # --- ECG ---
@@ -393,9 +388,9 @@ def _run_table3(config: Table3Config) -> Table3Result:
         int(rng.integers(2**31 - 1)), n_pool=config.n_video_pool, n_test=50
     )
     detector = bootstrap_detector(video_data, seed=rng.spawn(1)[0])
-    video_pipeline = VideoPipeline()
+    video_pipeline = get_domain("video").build_pipeline()
     detections = detector.detect_frames([f.image for f in video_data.pool])
-    _, video_items = video_pipeline.monitor(detections)
+    video_items = video_pipeline.monitor(detections).items
     flicker_row = judge_flicker(video_pipeline, video_items, video_data.pool, rng, n_samples)
     appear_row = judge_appear(video_pipeline, video_items, video_data.pool, rng, n_samples)
     multibox_row = judge_multibox(video_pipeline, video_items, video_data.pool, rng, n_samples)
@@ -408,9 +403,9 @@ def _run_table3(config: Table3Config) -> Table3Result:
         n_test_scenes=2,
     )
     camera, lidar = bootstrap_av_models(av_data, seed=rng.spawn(1)[0])
-    av_pipeline = AVPipeline(AVWorldConfig().camera)
+    av_pipeline = get_domain("av").build_pipeline()
     cam_dets, lidar_dets = av_pipeline.run_models(av_data.pool_samples, camera, lidar)
-    _, av_items = av_pipeline.monitor(av_data.pool_samples, cam_dets, lidar_dets)
+    av_items = av_pipeline.monitor(av_data.pool_samples, cam_dets, lidar_dets).items
     agree_row = judge_agree(av_pipeline, av_items, av_data.pool_samples, rng, n_samples)
 
     # Consistency assertions first, as in the paper's table.

@@ -12,7 +12,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.utils.codec import register_result_type
 
+
+@register_result_type
 @dataclass(frozen=True)
 class Box2D:
     """A single 2-D box with optional class label and confidence score.

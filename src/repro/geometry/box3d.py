@@ -11,7 +11,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.utils.codec import register_result_type
 
+
+@register_result_type
 @dataclass(frozen=True)
 class Box3D:
     """A 3-D box with class label and confidence.

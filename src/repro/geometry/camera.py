@@ -13,8 +13,10 @@ import numpy as np
 
 from repro.geometry.box2d import Box2D
 from repro.geometry.box3d import Box3D, box3d_corners
+from repro.utils.codec import register_result_type
 
 
+@register_result_type
 @dataclass(frozen=True)
 class PinholeCamera:
     """A forward-facing pinhole camera in the ego frame.

@@ -1,0 +1,35 @@
+"""The serving layer: many monitored streams over one ``Domain`` contract.
+
+- :class:`MonitorService` — keyed multi-stream sessions with batched
+  thread fan-out, LRU/TTL eviction, fleet reporting, fire routing with
+  stream provenance, and bit-exact snapshot/restore;
+- :func:`save_service_snapshot` / :func:`load_service_snapshot` — JSON
+  checkpoint files (what ``python -m repro stream --snapshot`` writes).
+
+See :mod:`repro.domains.registry` for the per-domain contract this layer
+drives, and the README's "Serving API" section for a quickstart.
+"""
+
+from repro.serve.service import (
+    FleetReport,
+    MonitorService,
+    ServiceConfig,
+    StreamFire,
+    StreamSession,
+)
+from repro.serve.snapshot import (
+    load_service_snapshot,
+    load_snapshot_payload,
+    save_service_snapshot,
+)
+
+__all__ = [
+    "FleetReport",
+    "MonitorService",
+    "ServiceConfig",
+    "StreamFire",
+    "StreamSession",
+    "load_service_snapshot",
+    "load_snapshot_payload",
+    "save_service_snapshot",
+]

@@ -1,0 +1,565 @@
+"""``MonitorService``: many keyed assertion-monitored streams, one process.
+
+The ROADMAP's north star is serving "heavy traffic from millions of
+users"; the runtime so far monitored exactly one stream per
+:class:`~repro.core.runtime.OMG` instance. This module adds the serving
+layer on top of the :mod:`repro.domains.registry` contract:
+
+- ``service.session(stream_id)`` — an independent streaming session per
+  key (its own runtime, its own per-stream adapter state), created on
+  first use;
+- ``service.ingest(stream_id, raw)`` / ``service.ingest_batch(pairs)`` —
+  raw domain units in, fresh fire records out, with the batch form
+  fanning independent streams across a thread pool (results are
+  bit-identical to the serial path);
+- LRU capacity bounds and TTL idle expiry with an ``on_evict`` hook;
+- per-stream and fleet-aggregate :class:`MonitoringReport` s;
+- ``on_fire`` routing that tags every record with its stream id;
+- ``snapshot()`` / ``restore()`` — the whole fleet's evaluator state as
+  one JSON payload, so sessions checkpoint and resume bit-identically
+  (see :meth:`repro.core.runtime.OMG.snapshot`).
+
+Determinism contract: an interleaved multi-stream ingest produces, per
+stream, exactly the report a solo run over that stream's items produces
+— which by the streaming-equivalence invariant equals an offline
+:meth:`OMG.monitor` pass — including across a snapshot/restore cycle
+(``tests/serve/test_service.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.runtime import MonitoringReport
+from repro.core.types import AssertionRecord
+from repro.domains.registry import Domain, get_domain
+
+#: Version tag of the :meth:`MonitorService.snapshot` payload layout.
+SERVICE_SNAPSHOT_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class StreamFire:
+    """An assertion fire with stream provenance (``on_fire`` payload)."""
+
+    stream_id: str
+    record: AssertionRecord
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service-level knobs (domain knobs live in the domain's config).
+
+    Attributes
+    ----------
+    max_sessions:
+        LRU bound on live sessions; ``None`` = unbounded. When a new
+        session would exceed it, the least-recently-used session is
+        evicted (``on_evict`` hooks fire first, e.g. to checkpoint it).
+    session_ttl:
+        Idle expiry in seconds (measured on the service clock); ``None``
+        = never. Expired sessions are purged (``on_evict`` hooks firing)
+        on the next service access — ``session``/``ingest``/``report``/
+        ``fleet_report``/``snapshot``.
+    parallel:
+        Default for :meth:`MonitorService.ingest_batch`'s thread fan-out.
+    max_workers:
+        Thread-pool width for the batch fan-out; ``None`` lets the
+        executor pick.
+    """
+
+    max_sessions: "int | None" = None
+    session_ttl: "float | None" = None
+    parallel: bool = True
+    max_workers: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.max_sessions is not None and self.max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {self.max_sessions}")
+        if self.session_ttl is not None and self.session_ttl <= 0:
+            raise ValueError(f"session_ttl must be > 0, got {self.session_ttl}")
+
+
+class StreamSession:
+    """One keyed stream: a fresh runtime plus per-stream adapter state.
+
+    Ingestion is fail-stop: an exception while normalizing or observing
+    a unit can leave adapter state and monitor state half-advanced, so
+    the session marks itself **broken** and every later ``ingest`` /
+    ``report`` / ``snapshot`` raises, rather than silently reporting
+    severities no solo run over the same valid units would produce.
+    Evict a broken session and start the stream fresh.
+    """
+
+    def __init__(self, stream_id: str, domain: Domain, now: float) -> None:
+        self.stream_id = stream_id
+        self.domain = domain
+        self.monitor = domain.build_monitor()
+        self.state = domain.new_state()
+        self.created_at = now
+        self.last_used = now
+        #: Raw units consumed (≠ items when a unit expands to many).
+        self.n_raw = 0
+        #: The exception that broke this session, if any.
+        self.broken: "Exception | None" = None
+
+    @property
+    def n_items(self) -> int:
+        return self.monitor.n_observed
+
+    def _check_usable(self) -> None:
+        if self.broken is not None:
+            raise RuntimeError(
+                f"stream {self.stream_id!r} is broken after a failed unit "
+                f"({self.broken!r}); evict it and start a fresh session"
+            ) from self.broken
+
+    def ingest(self, raw: Any) -> list:
+        """Normalize one raw unit and observe its items; fresh records."""
+        self._check_usable()
+        fresh: list = []
+        try:
+            for outputs, timestamp in self.domain.item_from_raw(raw, self.state):
+                fresh.extend(
+                    self.monitor.observe(None, outputs, timestamp=timestamp)
+                )
+        except Exception as exc:
+            self.broken = exc
+            raise
+        self.n_raw += 1
+        return fresh
+
+    def report(self) -> MonitoringReport:
+        """This stream's accumulated online report."""
+        self._check_usable()
+        return self.monitor.online_report()
+
+    def snapshot(self) -> dict:
+        """JSON-encodable checkpoint of this session."""
+        self._check_usable()
+        return {
+            "monitor": self.monitor.snapshot(),
+            "state": self.domain.state_snapshot(self.state),
+            "n_raw": self.n_raw,
+        }
+
+    @classmethod
+    def restore(
+        cls, stream_id: str, domain: Domain, payload: dict, now: float
+    ) -> "StreamSession":
+        """Rebuild a session from :meth:`snapshot` output."""
+        session = cls(stream_id, domain, now)
+        session.monitor.restore(payload["monitor"])
+        session.state = domain.state_restore(payload["state"])
+        session.n_raw = int(payload["n_raw"])
+        return session
+
+
+@dataclass
+class FleetReport:
+    """Per-stream reports plus their fleet-wide aggregate.
+
+    ``aggregate`` stacks every stream's severity matrix (rows in session
+    creation/LRU-touch order, the order of ``stream_reports``); its
+    records carry row indices offset per ``row_offsets`` so they stay
+    unambiguous fleet-wide.
+    """
+
+    domain: str
+    stream_reports: "OrderedDict[str, MonitoringReport]"
+    aggregate: MonitoringReport
+    row_offsets: dict = field(default_factory=dict)
+
+    def fire_counts(self) -> dict:
+        """Fleet-wide assertion name → items with positive severity."""
+        return self.aggregate.fire_counts()
+
+    def format_table(self) -> str:
+        from repro.utils.tables import format_table
+
+        names = self.aggregate.assertion_names
+        rows = []
+        for stream_id, report in self.stream_reports.items():
+            counts = report.fire_counts()
+            rows.append(
+                (stream_id, report.n_items, *(counts[n] for n in names),
+                 report.total_fires())
+            )
+        totals = self.aggregate.fire_counts()
+        rows.append(
+            ("TOTAL", self.aggregate.n_items,
+             *(totals[n] for n in names),
+             self.aggregate.total_fires())
+        )
+        return format_table(
+            ["Stream", "Items", *names, "Fires"],
+            rows,
+            title=f"Fleet report — domain {self.domain!r}, "
+            f"{len(self.stream_reports)} stream(s)",
+        )
+
+
+class MonitorService:
+    """Serve many independent monitored streams of one domain.
+
+    Parameters
+    ----------
+    domain:
+        A registry name (``"av" | "video" | "tvnews" | "ecg"`` or any
+        :func:`~repro.domains.registry.register_domain` name) or a
+        ready-made :class:`~repro.domains.registry.Domain` instance.
+    domain_config:
+        The domain's config dataclass; only valid with a name (an
+        instance already carries its config).
+    config:
+        :class:`ServiceConfig`; ``None`` = defaults.
+    clock:
+        Monotonic time source for LRU/TTL bookkeeping (injectable for
+        tests); defaults to :func:`time.monotonic`.
+
+    Examples
+    --------
+    >>> service = MonitorService("ecg")
+    >>> world = service.domain.build_world(seed=0)
+    >>> stream = service.domain.iter_stream(world)
+    >>> fires = service.ingest("patient-7", next(stream))
+    >>> service.report("patient-7").n_items > 0
+    True
+    """
+
+    def __init__(
+        self,
+        domain: "Domain | str",
+        *,
+        domain_config: Any = None,
+        config: "ServiceConfig | None" = None,
+        clock: "Callable[[], float] | None" = None,
+    ) -> None:
+        if isinstance(domain, str):
+            domain = get_domain(domain, domain_config)
+        elif domain_config is not None:
+            raise ValueError(
+                "domain_config is only valid with a domain name; a Domain "
+                "instance already carries its config"
+            )
+        self.domain = domain
+        self.config = config if config is not None else ServiceConfig()
+        self._clock = clock if clock is not None else time.monotonic
+        self._sessions: "OrderedDict[str, StreamSession]" = OrderedDict()
+        self._fire_actions: list = []
+        self._evict_actions: list = []
+        self._executor: "ThreadPoolExecutor | None" = None
+
+    # ------------------------------------------------------------------
+    # Sessions and eviction
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, stream_id: str) -> bool:
+        return stream_id in self._sessions
+
+    def stream_ids(self) -> list:
+        """Live stream ids, least- to most-recently used."""
+        return list(self._sessions)
+
+    def session(self, stream_id: str) -> StreamSession:
+        """The session for ``stream_id``, created on first use.
+
+        Accessing a session marks it most-recently used; TTL-expired
+        sessions are purged first and, if creating this session pushes
+        the count past ``max_sessions``, the least-recently-used other
+        session is evicted.
+        """
+        now = self._clock()
+        self._purge_expired(now)
+        session = self._sessions.get(stream_id)
+        if session is None:
+            session = StreamSession(stream_id, self.domain, now)
+            self._sessions[stream_id] = session
+            self._enforce_capacity()
+        else:
+            self._sessions.move_to_end(stream_id)
+        session.last_used = now
+        return session
+
+    def evict(self, stream_id: str) -> StreamSession:
+        """Drop a session (KeyError if absent); returns it after firing
+        ``on_evict`` hooks, so callers can checkpoint it."""
+        session = self._sessions.pop(stream_id)
+        for action in self._evict_actions:
+            action(session)
+        return session
+
+    def _purge_expired(self, now: float) -> None:
+        ttl = self.config.session_ttl
+        if ttl is None:
+            return
+        expired = [
+            stream_id
+            for stream_id, session in self._sessions.items()
+            if now - session.last_used > ttl
+        ]
+        for stream_id in expired:
+            self.evict(stream_id)
+
+    def _enforce_capacity(self) -> None:
+        limit = self.config.max_sessions
+        if limit is None:
+            return
+        while len(self._sessions) > limit:
+            oldest = next(iter(self._sessions))
+            self.evict(oldest)
+
+    # ------------------------------------------------------------------
+    # Callbacks
+    # ------------------------------------------------------------------
+    def on_fire(self, action: "Callable[[StreamFire], None]") -> Callable:
+        """Register a corrective-action hook; called once per fresh
+        record, with stream provenance (:class:`StreamFire`)."""
+        self._fire_actions.append(action)
+        return action
+
+    def on_evict(self, action: "Callable[[StreamSession], None]") -> Callable:
+        """Register an eviction hook (e.g. snapshot the session)."""
+        self._evict_actions.append(action)
+        return action
+
+    def _dispatch(self, fires: list) -> None:
+        # Always runs on the caller's thread (batch workers only collect;
+        # fires dispatch after the pool joins), so callbacks may safely
+        # re-enter the service — e.g. a corrective action that ingests a
+        # derived event into another stream.
+        for fire in fires:
+            for action in self._fire_actions:
+                action(fire)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, stream_id: str, raw: Any) -> list:
+        """Feed one raw unit to one stream; returns :class:`StreamFire` s."""
+        records = self.session(stream_id).ingest(raw)
+        fires = [StreamFire(stream_id, record) for record in records]
+        self._dispatch(fires)
+        return fires
+
+    def ingest_batch(
+        self, pairs: list, *, parallel: "bool | None" = None
+    ) -> list:
+        """Feed many ``(stream_id, raw)`` pairs; returns fires in pair order.
+
+        Pairs are grouped by stream (preserving each stream's arrival
+        order); with ``parallel`` (default: the service config) the
+        groups fan out over a shared thread pool — sessions are
+        independent, so results are bit-identical to serial ingestion.
+        ``on_fire`` hooks run after the whole batch, in pair order.
+        """
+        pairs = list(pairs)
+        if parallel is None:
+            parallel = self.config.parallel
+        groups: "OrderedDict[str, list]" = OrderedDict()
+        for position, (stream_id, raw) in enumerate(pairs):
+            groups.setdefault(stream_id, []).append((position, raw))
+        limit = self.config.max_sessions
+        if limit is not None and len(groups) > limit:
+            raise ValueError(
+                f"batch touches {len(groups)} distinct streams but "
+                f"max_sessions={limit}; the LRU bound would evict sessions "
+                "mid-batch"
+            )
+        # Create/touch serially (the LRU map is not thread-safe), then
+        # fan out: each worker owns exactly one session. Existing batch
+        # members are touched *before* any new session is created, so a
+        # creation-triggered LRU eviction can only hit non-members — a
+        # batch within the size guard never evicts its own sessions.
+        sessions = {
+            stream_id: self.session(stream_id)
+            for stream_id in groups
+            if stream_id in self._sessions
+        }
+        for stream_id in groups:
+            if stream_id not in sessions:
+                sessions[stream_id] = self.session(stream_id)
+
+        def run_group(stream_id: str) -> tuple:
+            # Errors are captured, not raised, so one malformed unit on
+            # one stream cannot suppress the corrective-action dispatch
+            # for sibling streams whose units were already observed.
+            done: list = []
+            try:
+                for position, raw in groups[stream_id]:
+                    done.append((position, sessions[stream_id].ingest(raw)))
+            except Exception as exc:  # re-raised below, after dispatch
+                return done, exc
+            return done, None
+
+        if parallel and len(groups) > 1:
+            if self._executor is None:
+                # Reused across batches; idle workers are joined at
+                # interpreter exit, so no explicit shutdown is needed.
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.config.max_workers,
+                    thread_name_prefix="monitor-service",
+                )
+            per_group = list(self._executor.map(run_group, groups))
+        else:
+            per_group = [run_group(stream_id) for stream_id in groups]
+
+        by_position: dict = {}
+        errors: list = []
+        for done, error in per_group:
+            for position, records in done:
+                by_position[position] = records
+            if error is not None:
+                errors.append(error)
+        fires = [
+            StreamFire(stream_id, record)
+            for position, (stream_id, _raw) in enumerate(pairs)
+            for record in by_position.get(position, ())
+        ]
+        self._dispatch(fires)
+        if errors:
+            raise errors[0]
+        return fires
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self, stream_id: str) -> MonitoringReport:
+        """One stream's accumulated online report.
+
+        Raises KeyError when the stream is absent — including when it
+        just TTL-expired (reading a report does not count as use).
+        """
+        self._purge_expired(self._clock())
+        return self._sessions[stream_id].report()
+
+    def fleet_report(self) -> FleetReport:
+        """Every live stream's report plus the stacked fleet aggregate.
+
+        Broken sessions (see :class:`StreamSession`) are excluded — their
+        state is indeterminate; evict them to clear the slot.
+        """
+        self._purge_expired(self._clock())
+        stream_reports: "OrderedDict[str, MonitoringReport]" = OrderedDict()
+        for stream_id, session in self._sessions.items():
+            if session.broken is None:
+                stream_reports[stream_id] = session.report()
+        if stream_reports:
+            names = next(iter(stream_reports.values())).assertion_names
+        else:
+            names = self.domain.build_monitor().database.names()
+        row_offsets: dict = {}
+        offset = 0
+        matrices = []
+        records: list = []
+        for stream_id, report in stream_reports.items():
+            row_offsets[stream_id] = offset
+            matrices.append(report.severities)
+            for record in report.records:
+                records.append(
+                    AssertionRecord(
+                        assertion_name=record.assertion_name,
+                        item_index=record.item_index + offset,
+                        severity=record.severity,
+                        context=stream_id,
+                    )
+                )
+            offset += report.n_items
+        severities = (
+            np.vstack(matrices)
+            if matrices
+            else np.zeros((0, len(names)), dtype=np.float64)
+        )
+        aggregate = MonitoringReport(
+            assertion_names=list(names), severities=severities, records=records
+        )
+        return FleetReport(
+            domain=self.domain.name,
+            stream_reports=stream_reports,
+            aggregate=aggregate,
+            row_offsets=row_offsets,
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Checkpoint every live session as one JSON payload.
+
+        TTL-expired sessions are purged first (their ``on_evict`` hooks
+        fire), so a checkpoint can never resurrect a session the TTL
+        already retired. Broken sessions are excluded — their state is
+        indeterminate and must not be persisted.
+        """
+        self._purge_expired(self._clock())
+        return {
+            "format": SERVICE_SNAPSHOT_FORMAT,
+            "domain": self.domain.name,
+            "sessions": [
+                [stream_id, session.snapshot()]
+                for stream_id, session in self._sessions.items()
+                if session.broken is None
+            ],
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Replace live sessions with the fleet captured by :meth:`snapshot`.
+
+        The service must be built for the same domain (same name, same
+        config) the snapshot was taken with. Live sessions the snapshot
+        replaces are evicted first (``on_evict`` hooks fire), so an
+        on-evict persistence layer sees them before they are dropped.
+        """
+        fmt = payload.get("format")
+        if fmt != SERVICE_SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"unsupported service snapshot format {fmt!r} "
+                f"(expected {SERVICE_SNAPSHOT_FORMAT})"
+            )
+        if "domain" not in payload or "sessions" not in payload:
+            raise ValueError(
+                "not a MonitorService snapshot: payload lacks domain/sessions "
+                "(an OMG-level snapshot restores via OMG.restore, not here)"
+            )
+        if payload["domain"] != self.domain.name:
+            raise ValueError(
+                f"snapshot is for domain {payload['domain']!r}, this service "
+                f"serves {self.domain.name!r}"
+            )
+        now = self._clock()
+        restored: "OrderedDict[str, StreamSession]" = OrderedDict()
+        for stream_id, session_payload in payload["sessions"]:
+            restored[stream_id] = StreamSession.restore(
+                stream_id, self.domain, session_payload, now
+            )
+        for stream_id in list(self._sessions):
+            self.evict(stream_id)
+        self._sessions = restored
+        # A snapshot may hold more sessions than this service's LRU bound
+        # allows; evict from the least-recently-used end (snapshot order)
+        # so the configured memory bound holds immediately.
+        self._enforce_capacity()
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        payload: dict,
+        *,
+        domain_config: Any = None,
+        config: "ServiceConfig | None" = None,
+        clock: "Callable[[], float] | None" = None,
+    ) -> "MonitorService":
+        """Build a service for the payload's domain and restore into it."""
+        service = cls(
+            payload["domain"], domain_config=domain_config, config=config, clock=clock
+        )
+        service.restore(payload)
+        return service

@@ -1,0 +1,86 @@
+"""File persistence for :class:`~repro.serve.MonitorService` snapshots.
+
+A service snapshot is already plain JSON-encodable primitives (every
+float round-trips bit-exactly; see :mod:`repro.utils.codec`), so
+persistence is just ``json.dump``/``load`` plus a tiny header check.
+Writes are atomic (temp file + rename) so a crash mid-checkpoint never
+leaves a truncated snapshot behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from repro.serve.service import (
+    SERVICE_SNAPSHOT_FORMAT,
+    MonitorService,
+    ServiceConfig,
+)
+
+
+def save_service_snapshot(
+    service: MonitorService, path: str, *, extra: "dict | None" = None
+) -> dict:
+    """Snapshot ``service`` and write it to ``path`` atomically.
+
+    ``extra`` keys are merged into the payload top level (callers stash
+    provenance there, e.g. the CLI's seed); :meth:`MonitorService.restore`
+    ignores keys it does not know. Returns the payload that was written.
+    """
+    payload = service.snapshot()
+    if extra:
+        for key in extra:
+            if key in payload:
+                raise ValueError(f"extra key {key!r} collides with the payload")
+        payload.update(extra)
+    # Per-PID temp name: concurrent checkpointers to the same path must
+    # not interleave writes into one temp file (same pattern as the
+    # experiment artifact cache).
+    tmp_path = f"{path}.{os.getpid()}.tmp"
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.remove(tmp_path)
+    return payload
+
+
+def load_snapshot_payload(path: str) -> dict:
+    """Read and validate a snapshot payload from ``path``.
+
+    Checks the structural keys too, not just the format tag — an
+    :meth:`OMG.snapshot` payload also carries ``format`` but has no
+    ``domain``/``sessions``, and must be rejected cleanly here rather
+    than crash deeper in :meth:`MonitorService.restore`.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format") != SERVICE_SNAPSHOT_FORMAT
+        or "domain" not in payload
+        or "sessions" not in payload
+    ):
+        raise ValueError(
+            f"{path} is not a MonitorService snapshot "
+            f"(format {SERVICE_SNAPSHOT_FORMAT} with domain/sessions)"
+        )
+    return payload
+
+
+def load_service_snapshot(
+    path: str,
+    *,
+    domain_config: Any = None,
+    config: "ServiceConfig | None" = None,
+    clock=None,
+) -> MonitorService:
+    """Rebuild a service (and its whole fleet) from a snapshot file."""
+    payload = load_snapshot_payload(path)
+    return MonitorService.from_snapshot(
+        payload, domain_config=domain_config, config=config, clock=clock
+    )

@@ -109,6 +109,37 @@ class IoUTracker:
             result.append(obs)
         return result
 
+    def get_state(self) -> dict:
+        """JSON-encodable matching state (for monitor snapshots).
+
+        Captures the next track id and the active tracks' last boxes —
+        everything :meth:`update` reads — as primitives. The accumulated
+        per-track observation history (:attr:`tracks`) is *not* included:
+        it grows with the stream and never influences matching, so a
+        restored tracker assigns bit-identical ids while starting a fresh
+        history.
+        """
+        return {
+            "next_id": self._next_id,
+            "active": [
+                [
+                    int(tid),
+                    int(last),
+                    [box.x1, box.y1, box.x2, box.y2, box.label, box.score],
+                ]
+                for tid, (last, box) in self._active.items()
+            ],
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore matching state captured by :meth:`get_state`."""
+        self.reset()
+        self._next_id = int(state["next_id"])
+        for tid, last, (x1, y1, x2, y2, label, score) in state["active"]:
+            box = Box2D(float(x1), float(y1), float(x2), float(y2), str(label), float(score))
+            self._active[int(tid)] = (int(last), box)
+            self.tracks[int(tid)] = Track(track_id=int(tid))
+
     def run(self, frames: list) -> list:
         """Track a whole video: ``frames`` is a list of per-frame box lists.
 

@@ -1,0 +1,33 @@
+"""Aligned text tables (shared by experiment reports and fleet reports).
+
+Lives in :mod:`repro.utils` so both :mod:`repro.experiments` and the
+serving layer can render tables without importing each other;
+:mod:`repro.experiments.reporting` re-exports both helpers.
+"""
+
+from __future__ import annotations
+
+
+def format_table(headers: list, rows: list, title: str = "") -> str:
+    """Render rows as an aligned, pipe-free text table.
+
+    ``rows`` is a list of tuples/lists; every cell is ``str()``-ed.
+    """
+    table = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[col]) for row in table) for col in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(table[0], widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in table[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_float(value: float, digits: int = 1) -> str:
+    """Fixed-point formatting that tolerates None/NaN."""
+    if value is None or value != value:
+        return "n/a"
+    return f"{value:.{digits}f}"

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.geometry.box2d import Box2D, make_box
+from repro.utils.codec import register_result_type
 from repro.utils.rng import as_generator
 
 GENDERS = ("female", "male")
@@ -36,6 +37,7 @@ class CastMember:
     hair_color: str
 
 
+@register_result_type
 @dataclass(frozen=True)
 class FaceObservation:
     """One face detection at one sample time, with model predictions.

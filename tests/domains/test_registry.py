@@ -1,0 +1,202 @@
+"""The unified ``Domain`` contract: registry resolution and per-domain
+conformance (build_monitor / build_world / iter_stream / item_from_raw)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.domains.registry import (
+    Domain,
+    MonitorRun,
+    RawItem,
+    domain_names,
+    get_domain,
+    register_domain,
+)
+
+
+class TestRegistry:
+    def test_all_four_domains_registered(self):
+        assert domain_names() == ["av", "ecg", "tvnews", "video"]
+
+    def test_get_domain_returns_instances(self):
+        for name in domain_names():
+            domain = get_domain(name)
+            assert isinstance(domain, Domain)
+            assert domain.name == name
+
+    def test_unknown_domain_is_a_keyerror_listing_known_names(self):
+        with pytest.raises(KeyError, match="tvnews"):
+            get_domain("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_domain("video")
+            class Impostor(Domain):  # pragma: no cover - never used
+                def build_monitor(self, config=None):
+                    raise NotImplementedError
+
+                def build_world(self, seed=0):
+                    raise NotImplementedError
+
+                def iter_stream(self, world):
+                    raise NotImplementedError
+
+                def item_from_raw(self, raw, state=None):
+                    raise NotImplementedError
+
+    def test_register_domain_rejects_non_domain(self):
+        with pytest.raises(TypeError):
+            register_domain("thing")(object)
+
+    def test_build_monitor_assertion_sets(self):
+        expected = {
+            "video": ["multibox", "flicker", "appear"],
+            "av": ["agree", "multibox"],
+            "tvnews": ["news:attr:identity", "news:attr:gender", "news:attr:hair"],
+            "ecg": ["ECG"],
+        }
+        for name, names in expected.items():
+            assert get_domain(name).build_monitor().database.names() == names
+
+    def test_build_monitor_returns_fresh_runtimes(self):
+        domain = get_domain("video")
+        assert domain.build_monitor() is not domain.build_monitor()
+
+    def test_build_pipeline_contract(self):
+        # part of the declared contract: pipeline-backed domains return
+        # their offline pipeline; the ecg domain (runtime-only) says so.
+        for name in ("av", "video", "tvnews"):
+            assert get_domain(name).build_pipeline() is not None
+        with pytest.raises(NotImplementedError, match="build_monitor"):
+            get_domain("ecg").build_pipeline()
+
+
+class TestMonitorRunShape:
+    """Satellite: every pipeline's monitor returns report + details."""
+
+    def test_tvnews_monitor_matches_av_shape(self):
+        from repro.worlds.tvnews import TVNewsWorld
+
+        scenes = TVNewsWorld(seed=5).generate_video(0, 120.0)
+        run = get_domain("tvnews").build_pipeline().monitor(scenes)
+        assert isinstance(run, MonitorRun)
+        assert run.report.n_items == len(run.items)
+        # the old tuple-unpacking call sites keep working
+        report, items = run
+        assert report is run.report and items is run.items
+
+    def test_video_monitor_is_a_monitor_run(self):
+        from repro.geometry.box2d import make_box
+
+        frames = [[make_box(10 + t, 20, 10, 8, label="car", score=0.9)] for t in range(4)]
+        run = get_domain("video").build_pipeline().monitor(frames)
+        assert isinstance(run, MonitorRun)
+        assert run.report.severities.shape == (4, 3)
+
+
+class TestTVNewsDomainStream:
+    def test_item_from_raw_expands_scenes_and_matches_offline(self):
+        domain = get_domain("tvnews")
+        world = domain.build_world(seed=11)
+        raws = list(itertools.islice(domain.iter_stream(world), 8))
+
+        monitor = domain.build_monitor()
+        state = domain.new_state()
+        expanded = []
+        for raw in raws:
+            for outputs, timestamp in domain.item_from_raw(raw, state):
+                monitor.observe(None, outputs, timestamp=timestamp)
+                expanded.append((outputs, timestamp))
+        online = monitor.online_report()
+        assert online.n_items == len(expanded) > len(raws)  # scenes expand
+
+        # offline monitor over the same normalized items: bit-identical
+        from repro.core.types import StreamItem
+
+        items = [
+            StreamItem(index=i, timestamp=ts, outputs=tuple(outputs))
+            for i, (outputs, ts) in enumerate(expanded)
+        ]
+        offline = domain.build_monitor().monitor(items)
+        np.testing.assert_array_equal(online.severities, offline.severities)
+
+    def test_streams_are_deterministic_per_seed(self):
+        domain = get_domain("tvnews")
+        first = list(itertools.islice(domain.iter_stream(domain.build_world(3)), 3))
+        second = list(itertools.islice(domain.iter_stream(domain.build_world(3)), 3))
+        for a, b in zip(first, second):
+            assert len(a.observations) == len(b.observations)
+            assert a.start_time == b.start_time
+
+
+class TestEcgDomainStream:
+    def test_records_concatenate_with_threshold_padding(self):
+        domain = get_domain("ecg")
+        world = domain.build_world(seed=2)
+        raws = list(itertools.islice(domain.iter_stream(world), 3))
+        state = domain.new_state()
+        all_items = [domain.item_from_raw(raw, state) for raw in raws]
+        # the padding keeps records from overlapping in time
+        for previous, current in zip(all_items, all_items[1:]):
+            gap = current[0].timestamp - previous[-1].timestamp
+            assert gap >= domain.config.temporal_threshold
+
+    def test_stateful_domains_reject_missing_state(self):
+        # A silently-fresh tracker/offset per call would corrupt results;
+        # the stateful domains refuse instead.
+        with pytest.raises(ValueError, match="stateful"):
+            get_domain("video").item_from_raw([])
+        with pytest.raises(ValueError, match="stateful"):
+            get_domain("ecg").item_from_raw({"record": None, "classes": []})
+
+    def test_outputs_are_window_classes(self):
+        domain = get_domain("ecg")
+        world = domain.build_world(seed=2)
+        raw = next(iter(domain.iter_stream(world)))
+        items = domain.item_from_raw(raw, domain.new_state())
+        assert len(items) == raw["record"].n_windows
+        assert all(isinstance(item, RawItem) for item in items)
+        assert set(items[0].outputs[0]) == {"class"}
+
+
+class TestDeprecatedShims:
+    """The old bespoke surfaces still work, loudly, for one PR."""
+
+    def test_video_observe_frame_warns(self):
+        from repro.domains.video import VideoPipeline
+
+        pipeline = VideoPipeline()
+        pipeline.start_stream()
+        with pytest.deprecated_call():
+            pipeline.observe_frame([])
+
+    def test_av_observe_sample_warns(self):
+        from repro.domains.av import AVPipeline
+        from repro.geometry.camera import PinholeCamera
+
+        pipeline = AVPipeline(PinholeCamera())
+        sample = type("S", (), {"timestamp": 0.0})()
+        with pytest.deprecated_call():
+            pipeline.observe_sample(sample, [], [])
+
+    def test_tvnews_observe_scenes_warns(self):
+        from repro.domains.tvnews import TVNewsPipeline
+
+        with pytest.deprecated_call():
+            TVNewsPipeline().observe_scenes([])
+
+    def test_ecg_free_functions_warn_and_delegate(self):
+        from repro.domains.ecg.task import make_ecg_monitor, stream_record_severity
+        from repro.worlds.ecg import ECGWorld
+
+        with pytest.deprecated_call():
+            monitor = make_ecg_monitor(30.0)
+        assert monitor.database.names() == ["ECG"]
+        record = ECGWorld(seed=0).generate_record()
+        classes = np.zeros(record.n_windows, dtype=int)
+        with pytest.deprecated_call():
+            severity = stream_record_severity(monitor, record, classes)
+        assert severity == 0.0

@@ -79,10 +79,34 @@ class TestAssertionDatabase:
     def test_duplicate_rejected_unless_replace(self):
         db = AssertionDatabase()
         db.add(self.make("x"))
-        with pytest.raises(ValueError):
+        # The error must name the duplicate and point at replace=True —
+        # never silently overwrite.
+        with pytest.raises(ValueError, match=r"'x'.*replace=True"):
             db.add(self.make("x"))
+        assert db.get("x") is not None  # original registration untouched
         db.add(self.make("x"), replace=True)
         assert len(db) == 1
+
+    def test_duplicate_rejected_through_omg_entry_points(self):
+        from repro.core.runtime import OMG
+
+        omg = OMG()
+        omg.add_assertion(lambda i, o: 0.0, name="dup")
+        with pytest.raises(ValueError, match="'dup'"):
+            omg.add_assertion(lambda i, o: 1.0, name="dup")
+        omg.add_consistency_assertion(
+            id_fn=lambda o: o.get("id"),
+            attrs_fn=lambda o: {"c": o.get("c")},
+            attr_keys=["c"],
+            name="spec",
+        )
+        with pytest.raises(ValueError, match="spec:attr:c"):
+            omg.add_consistency_assertion(
+                id_fn=lambda o: o.get("id"),
+                attrs_fn=lambda o: {"c": o.get("c")},
+                attr_keys=["c"],
+                name="spec",
+            )
 
     def test_disable_hides_from_iteration(self):
         db = AssertionDatabase()

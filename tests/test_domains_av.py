@@ -153,7 +153,8 @@ class TestAVStreamingPath:
         chunk = online.observe_batch(samples[:6], cam_dets[:6], lidar_dets[:6])
         assert chunk.n_items == 6
         for sample, cam, lidar in zip(samples[6:], cam_dets[6:], lidar_dets[6:]):
-            online.observe_sample(sample, cam, lidar)
+            with pytest.deprecated_call():
+                online.observe_sample(sample, cam, lidar)
         report = online.omg.online_report()
         assert report.assertion_names == offline.assertion_names
         np.testing.assert_array_equal(report.severities, offline.severities)

@@ -160,28 +160,42 @@ class TestTVNewsPipeline:
 
 
 class TestStreamingPaths:
-    def test_tvnews_observe_scenes_matches_monitor(self):
+    def test_tvnews_observe_scenes_shim_matches_monitor(self):
         scenes = TVNewsWorld(seed=0).generate_videos(2, 1200)
         offline, _ = TVNewsPipeline().monitor(scenes)
         online = TVNewsPipeline()
-        online.observe_scenes(scenes[: len(scenes) // 2])
-        online.observe_scenes(scenes[len(scenes) // 2 :])
+        with pytest.deprecated_call():
+            online.observe_scenes(scenes[: len(scenes) // 2])
+        with pytest.deprecated_call():
+            online.observe_scenes(scenes[len(scenes) // 2 :])
         report = online.omg.online_report()
         assert report.assertion_names == offline.assertion_names
         np.testing.assert_array_equal(report.severities, offline.severities)
 
-    def test_ecg_stream_record_severity_matches_offline(self, ecg_data, ecg_model):
+    def test_tvnews_served_stream_matches_monitor(self):
+        from repro.serve import MonitorService
+
+        scenes = TVNewsWorld(seed=0).generate_videos(2, 1200)
+        offline = TVNewsPipeline().monitor(scenes)
+        service = MonitorService("tvnews")
+        for scene in scenes:
+            service.ingest("feed", scene)
+        report = service.report("feed")
+        assert report.assertion_names == offline.report.assertion_names
+        np.testing.assert_array_equal(report.severities, offline.report.severities)
+
+    def test_ecg_record_severity_matches_offline(self, ecg_data, ecg_model):
         from repro.domains.ecg.assertions import make_ecg_assertion
         from repro.domains.ecg.task import (
-            make_ecg_monitor,
+            _build_ecg_monitor,
+            _record_severity,
             record_stream,
-            stream_record_severity,
         )
 
         assertion = make_ecg_assertion(30.0)
-        monitor = make_ecg_monitor(30.0)
+        monitor = _build_ecg_monitor(30.0)
         for record in ecg_data.pool[:20]:
             classes, _ = ecg_model.predict_windows(record)
             offline = float(assertion.evaluate_stream(record_stream(record, classes)).sum())
-            online = stream_record_severity(monitor, record, classes)
+            online = _record_severity(monitor, record, classes)
             assert online == offline

@@ -161,7 +161,7 @@ class TestVideoStreamingPath:
             + [[make_box(14 + t, 20, 10, 8, label="car", score=0.9)] for t in range(3)]
         )
 
-    def test_observe_frame_matches_monitor(self):
+    def test_observe_frame_shim_matches_monitor(self):
         config = VideoPipelineConfig(fps=1.0, temporal_threshold=3.0)
         frames = self.flicker_frames()
         offline, _ = VideoPipeline(config).monitor(frames)
@@ -169,7 +169,8 @@ class TestVideoStreamingPath:
         online.start_stream()
         records = []
         for detections in frames:
-            records.extend(online.observe_frame(detections))
+            with pytest.deprecated_call():
+                records.extend(online.observe_frame(detections))
         report = online.omg.online_report()
         np.testing.assert_array_equal(report.severities, offline.severities)
         # the flicker record is attributed retroactively to the gap frame

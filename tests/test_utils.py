@@ -78,3 +78,23 @@ class TestValidation:
             check_finite(np.array([1.0, np.nan]), "a")
         with pytest.raises(ValueError):
             check_finite(np.array([np.inf]), "a")
+
+
+class TestCodecRegistry:
+    def test_reregistering_the_same_class_is_idempotent(self):
+        from repro.core.types import StreamItem
+        from repro.utils.codec import register_result_type
+
+        assert register_result_type(StreamItem) is StreamItem
+
+    def test_name_collision_with_a_different_class_is_rejected(self):
+        from dataclasses import dataclass
+
+        from repro.utils.codec import register_result_type
+
+        @dataclass
+        class StreamItem:  # collides with the registered core type
+            y: int = 0
+
+        with pytest.raises(ValueError, match="StreamItem"):
+            register_result_type(StreamItem)
