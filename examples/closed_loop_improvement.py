@@ -1,0 +1,83 @@
+"""The closed improvement loop: fires feed labels, labels feed models.
+
+The paper's second contribution is using assertion fires to *improve*
+models — bandit-driven active learning (§3) and consistency weak
+supervision (§4.2). This example runs that lifecycle live on the ECG
+domain:
+
+1. two monitored ECG streams flow through a ``MonitorService``; every
+   30 s-oscillation fire lands in the ``FireStore`` and scores the
+   record that caused it;
+2. each round, the BAL bandit spends a small oracle budget on the
+   records most likely to improve the model;
+3. a ``RetrainWorker`` fine-tunes the classifier on the growing labeled
+   set, the result is published to the ``ModelRegistry``, and the
+   serving fleet **hot-swaps** to the new version at a raw-unit
+   boundary — monitor state (the oscillation evaluator's temporal runs)
+   carries over untouched;
+4. mid-run, the whole loop (fleet, fire store, bandit posteriors,
+   labeled ledger, every model version) is checkpointed to JSON and
+   restored into a fresh loop, which finishes the run bit-identically.
+
+Run:  python examples/closed_loop_improvement.py
+"""
+
+import json
+
+from repro.improve import ImproveConfig, ImprovementLoop
+
+ROUNDS_BEFORE_SNAPSHOT = 2
+ROUNDS_AFTER_SNAPSHOT = 2
+
+
+def main() -> None:
+    config = ImproveConfig(
+        domain="ecg",
+        policy="bal",
+        n_streams=2,
+        items_per_round=8,
+        budget=8,
+        seed=0,
+        swap_tick=3,  # adopt new versions mid-stream, three units in
+    )
+    loop = ImprovementLoop(config)
+    print(
+        f"Bootstrap model v{loop.adopted_version}: "
+        f"{loop.initial_metric:.2f} {loop.adapter.metric_name} held out.\n"
+    )
+
+    for _ in range(ROUNDS_BEFORE_SNAPSHOT):
+        loop.run_round()
+
+    # Checkpoint the *entire* loop — serving fleet, fire store, bandit
+    # posteriors, labeled set, and every model version — as plain JSON.
+    payload = json.loads(json.dumps(loop.snapshot()))
+    resumed = ImprovementLoop.from_snapshot(payload)
+    print(
+        f"Checkpointed the loop after {len(loop.rounds)} rounds "
+        f"({len(json.dumps(payload)) / 1024:.0f} KiB of JSON: "
+        f"{len(loop.fire_store)} fires, {len(loop.queue)} labels, "
+        f"{len(loop.registry)} model versions) and restored it.\n"
+    )
+
+    # Both loops finish the run; the resumed one never misses a beat.
+    for driver in (loop, resumed):
+        for _ in range(ROUNDS_AFTER_SNAPSHOT):
+            driver.run_round()
+        driver.finish()
+    original, restored = loop.result(), resumed.result()
+    assert json.dumps(original.versions) == json.dumps(restored.versions)
+    print("Original and resumed loops agree bit-for-bit after resuming.\n")
+
+    print(original.format_table())
+    swaps = sum(1 for r in original.rounds if r.version_end != r.version_start)
+    print(
+        f"\n{original.metric_name}: {original.initial_metric:.2f} → "
+        f"{original.final_metric:.2f} with {original.n_labeled} oracle "
+        f"labels; {swaps} hot-swaps happened mid-stream (unit boundary "
+        f"{config.swap_tick}) without touching monitor state."
+    )
+
+
+if __name__ == "__main__":
+    main()

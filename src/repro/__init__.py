@@ -73,6 +73,22 @@ provenance, and bit-exact JSON snapshot/restore of the whole fleet
 (``python -m repro stream DOMAIN --streams N --items M
 [--snapshot PATH]``). See the README's "Serving API" section and
 ``examples/multi_stream_service.py``.
+
+Improvement loop
+----------------
+:mod:`repro.improve` closes the paper's monitor → label → retrain →
+redeploy lifecycle over the serving fleet:
+:class:`~repro.improve.ImprovementLoop` accumulates fires
+(:class:`~repro.improve.FireStore`), selects labeling candidates
+(random / uniform-assertion / BAL bandit), routes them to the oracle or
+consistency weak supervision (:class:`~repro.improve.LabelQueue`),
+retrains in the background (:class:`~repro.improve.RetrainWorker`), and
+hot-swaps monotonically versioned models
+(:class:`~repro.improve.ModelRegistry`) into live streams at raw-unit
+boundaries — with bit-exact snapshot/resume of the entire loop
+(``python -m repro improve DOMAIN --rounds R --budget B --policy
+bal|random|uniform [--snapshot PATH]``). See the README's "Improvement
+loop" section and ``examples/closed_loop_improvement.py``.
 """
 
 from repro.core import (
@@ -86,10 +102,11 @@ from repro.core import (
     StreamItem,
     harvest_weak_labels,
 )
-from repro.domains.registry import Domain, get_domain
+from repro.domains.registry import Domain, RetrainableModel, get_domain
+from repro.improve import ImproveConfig, ImprovementLoop
 from repro.serve import MonitorService, ServiceConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "OMG",
@@ -98,9 +115,12 @@ __all__ = [
     "ConsistencySpec",
     "Domain",
     "FunctionAssertion",
+    "ImproveConfig",
+    "ImprovementLoop",
     "ModelAssertion",
     "MonitorService",
     "MonitoringReport",
+    "RetrainableModel",
     "ServiceConfig",
     "StreamItem",
     "get_domain",

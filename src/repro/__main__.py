@@ -343,6 +343,147 @@ def _cmd_stream(args) -> int:
     return 0
 
 
+def _cmd_improve(args) -> int:
+    """Run the closed improvement loop over a serving fleet.
+
+    Fires from ``--streams`` monitored streams feed the labeling queue;
+    the ``--policy`` picks ``--budget`` units per round for the oracle;
+    retraining (inline, or a background process with ``--jobs 2``)
+    publishes versioned models that hot-swap into the fleet at a raw-unit
+    boundary. With ``--snapshot PATH`` the entire loop state (fleet,
+    fire store, bandit posteriors, labeled set, model versions) is
+    restored first if the file exists — ``--rounds`` then means
+    *additional* rounds — and written back on exit.
+    """
+    import os
+
+    from repro.domains.registry import domain_names
+    from repro.improve import ImproveConfig, ImprovementLoop
+    from repro.improve.snapshot import load_loop_payload, save_loop_snapshot
+
+    if args.domain not in domain_names():
+        raise SystemExit(
+            f"error: unknown domain {args.domain!r}; "
+            f"registered domains: {', '.join(domain_names())}"
+        )
+
+    resumed = False
+    if args.snapshot and os.path.exists(args.snapshot):
+        try:
+            payload = load_loop_payload(args.snapshot)
+            config = from_jsonable(payload["config"])
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        if config.domain != args.domain:
+            raise SystemExit(
+                f"error: {args.snapshot} is an improvement loop for domain "
+                f"{config.domain!r}, not {args.domain!r}"
+            )
+        # The snapshot pins the loop's configuration; conflicting flags
+        # would silently corrupt the resumed loop — reject them instead.
+        pinned = (
+            ("--policy", args.policy, config.policy),
+            ("--streams", args.streams, config.n_streams),
+            ("--items-per-round", args.items_per_round, config.items_per_round),
+            ("--budget", args.budget, config.budget),
+            ("--seed", args.seed, config.seed),
+            ("--jobs", args.jobs, config.jobs),
+            ("--swap-tick", args.swap_tick, config.swap_tick),
+        )
+        for flag, given, value in pinned:
+            if given is not None and given != value:
+                raise SystemExit(
+                    f"error: {flag} {given} conflicts with the snapshot "
+                    f"({args.snapshot} pins {flag[2:].replace('-', '_')}="
+                    f"{value}); drop the flag to resume, or delete the "
+                    "snapshot to start over"
+                )
+        if args.weak and not config.weak:
+            raise SystemExit(
+                f"error: --weak conflicts with the snapshot ({args.snapshot} "
+                "was started without weak supervision)"
+            )
+        loop = ImprovementLoop.from_snapshot(payload)
+        resumed = True
+    else:
+        overrides = {
+            key: value
+            for key, value in {
+                "policy": args.policy,
+                "n_streams": args.streams,
+                "items_per_round": args.items_per_round,
+                "budget": args.budget,
+                "n_rounds": args.rounds,
+                "seed": args.seed,
+                "jobs": args.jobs,
+                "swap_tick": args.swap_tick,
+            }.items()
+            if value is not None
+        }
+        if args.weak:
+            overrides["weak"] = True
+        try:
+            config = ImproveConfig(domain=args.domain, **overrides)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        loop = ImprovementLoop(config)
+
+    n_rounds = args.rounds if args.rounds is not None else loop.config.n_rounds
+    with loop:
+        result = loop.run(n_rounds)
+        if args.snapshot:
+            save_loop_snapshot(loop, args.snapshot)
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "domain": result.domain,
+                    "policy": result.policy,
+                    "budget": result.budget,
+                    "resumed": resumed,
+                    "metric_name": result.metric_name,
+                    "initial_metric": result.initial_metric,
+                    "final_metric": result.final_metric,
+                    "n_labeled": result.n_labeled,
+                    "n_weak": result.n_weak,
+                    "versions": [
+                        {"version": v, "metric": metric, "round": round_index}
+                        for v, metric, round_index in result.versions
+                    ],
+                    "rounds": [
+                        {
+                            "round": r.round_index,
+                            "version_start": r.version_start,
+                            "version_end": r.version_end,
+                            "items": r.n_items,
+                            "fires": r.n_fires,
+                            "fires_per_item": r.fires_per_item,
+                            "oracle_new": r.n_oracle_new,
+                            "weak_new": r.n_weak_new,
+                        }
+                        for r in result.rounds
+                    ],
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(result.format_table())
+        print(
+            f"{result.metric_name}: {result.initial_metric:.2f} → "
+            f"{result.final_metric:.2f} after {len(result.rounds)} round(s), "
+            f"{result.n_labeled} oracle label(s), {result.n_weak} weak"
+            + (" — resumed from snapshot" if resumed else "")
+        )
+        if args.snapshot:
+            print(
+                f"Snapshot written to {args.snapshot} "
+                "(re-run the same command for more rounds)"
+            )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -390,6 +531,34 @@ def build_parser() -> argparse.ArgumentParser:
                           help="disable the ingest_batch thread fan-out")
     p_stream.add_argument("--json", action="store_true", help="machine-readable output")
     p_stream.set_defaults(fn=_cmd_stream)
+
+    p_improve = sub.add_parser(
+        "improve",
+        help="close the loop: monitor → select → label → retrain → hot-swap",
+    )
+    p_improve.add_argument("domain", help="retrainable domain (ecg, video)")
+    p_improve.add_argument("--rounds", type=int, default=None,
+                           help="improvement rounds this run (additional rounds on resume)")
+    p_improve.add_argument("--budget", type=int, default=None,
+                           help="oracle labels per round (default 8)")
+    p_improve.add_argument("--policy", choices=["bal", "random", "uniform"], default=None,
+                           help="selection policy (default bal)")
+    p_improve.add_argument("--streams", type=int, default=None,
+                           help="monitored streams (default 2; pinned by --snapshot)")
+    p_improve.add_argument("--items-per-round", type=int, default=None,
+                           help="raw units per stream per round (default 8)")
+    p_improve.add_argument("--seed", type=int, default=None,
+                           help="root seed (default 0; pinned by --snapshot)")
+    p_improve.add_argument("--jobs", type=int, default=None,
+                           help="2+ retrains in a background process (bit-identical)")
+    p_improve.add_argument("--swap-tick", type=int, default=None,
+                           help="raw-unit boundary where a new version is adopted (default 0)")
+    p_improve.add_argument("--weak", action="store_true",
+                           help="also pseudo-label fired units via weak supervision")
+    p_improve.add_argument("--snapshot", default=None, metavar="PATH",
+                           help="loop checkpoint: restored first if it exists, written on exit")
+    p_improve.add_argument("--json", action="store_true", help="machine-readable output")
+    p_improve.set_defaults(fn=_cmd_improve)
 
     return parser
 

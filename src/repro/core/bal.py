@@ -109,6 +109,37 @@ class BAL:
         self._prev_fire_counts = None
         self._round = 0
 
+    def get_state(self) -> dict:
+        """JSON-encodable snapshot of the bandit's cross-round state.
+
+        Carries the posterior inputs (the previous round's fire counts),
+        the round counter, and the generator position, so a restored
+        bandit makes bit-identical selections to one that never paused —
+        the improvement loop persists this alongside its fire store.
+        """
+        from repro.utils.rng import generator_state
+
+        return {
+            "round": self._round,
+            "prev_fire_counts": (
+                None
+                if self._prev_fire_counts is None
+                else self._prev_fire_counts.copy()
+            ),
+            "rng": generator_state(self._rng),
+        }
+
+    def set_state(self, payload: dict) -> None:
+        """Restore :meth:`get_state` output (inverse, bit-exact)."""
+        from repro.utils.rng import generator_from_state
+
+        self._round = int(payload["round"])
+        prev = payload["prev_fire_counts"]
+        self._prev_fire_counts = (
+            None if prev is None else np.asarray(prev, dtype=np.float64)
+        )
+        self._rng = generator_from_state(payload["rng"])
+
     # ------------------------------------------------------------------
     def select(
         self,

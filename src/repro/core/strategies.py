@@ -61,6 +61,23 @@ class SelectionStrategy(abc.ABC):
     def reset(self) -> None:
         """Clear any cross-round state; default is stateless."""
 
+    def get_state(self) -> dict:
+        """JSON-encodable cross-round state; default is stateless ``{}``.
+
+        Stateful strategies (seeded sampling, the BAL bandit) override
+        this so the improvement loop can checkpoint selection state and
+        resume with bit-identical picks.
+        """
+        return {}
+
+    def set_state(self, payload: dict) -> None:
+        """Restore :meth:`get_state` output; default accepts only ``{}``."""
+        if payload:
+            raise ValueError(
+                f"strategy {self.name!r} is stateless but got state keys "
+                f"{sorted(payload)}"
+            )
+
 
 class RandomStrategy(SelectionStrategy):
     """Uniform random sampling from the unlabeled pool."""
@@ -69,6 +86,16 @@ class RandomStrategy(SelectionStrategy):
 
     def __init__(self, seed: "int | np.random.Generator | None" = None) -> None:
         self._rng = as_generator(seed)
+
+    def get_state(self) -> dict:
+        from repro.utils.rng import generator_state
+
+        return {"rng": generator_state(self._rng)}
+
+    def set_state(self, payload: dict) -> None:
+        from repro.utils.rng import generator_from_state
+
+        self._rng = generator_from_state(payload["rng"])
 
     def select(self, ctx: SelectionContext, budget: int) -> np.ndarray:
         candidates = np.flatnonzero(ctx.selectable)
@@ -103,6 +130,16 @@ class UniformAssertionStrategy(SelectionStrategy):
 
     def __init__(self, seed: "int | np.random.Generator | None" = None) -> None:
         self._rng = as_generator(seed)
+
+    def get_state(self) -> dict:
+        from repro.utils.rng import generator_state
+
+        return {"rng": generator_state(self._rng)}
+
+    def set_state(self, payload: dict) -> None:
+        from repro.utils.rng import generator_from_state
+
+        self._rng = generator_from_state(payload["rng"])
 
     def select(self, ctx: SelectionContext, budget: int) -> np.ndarray:
         n, d = ctx.severities.shape
@@ -164,6 +201,13 @@ class BALStrategy(SelectionStrategy):
 
     def reset(self) -> None:
         self.bal = BAL(seed=self._seed, **self._kwargs)
+        self.last_selection = None
+
+    def get_state(self) -> dict:
+        return {"bal": self.bal.get_state()}
+
+    def set_state(self, payload: dict) -> None:
+        self.bal.set_state(payload["bal"])
         self.last_selection = None
 
 

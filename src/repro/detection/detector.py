@@ -103,6 +103,42 @@ class Detector:
             )
         self.is_fitted = False
 
+    def get_state(self) -> dict:
+        """JSON-encodable snapshot for the model registry / retrain workers.
+
+        Carries scorer weights, optimizer moments, normalization, and
+        both generator positions, so ``set_state`` + :meth:`fine_tune` is
+        bit-identical to fine-tuning the original object.
+        """
+        from repro.utils.rng import generator_state
+
+        return {
+            "kind": "detector",
+            "scorer_type": self.config.scorer_type,
+            "scorer": self.scorer.get_state(),
+            "standardizer": self.standardizer.get_state(),
+            "rng": generator_state(self._rng),
+            "is_fitted": self.is_fitted,
+        }
+
+    def set_state(self, payload: dict) -> None:
+        """Restore :meth:`get_state` output into a same-configured detector."""
+        from repro.utils.rng import generator_from_state
+
+        if payload.get("kind") != "detector":
+            raise ValueError(
+                f"not a Detector state payload (kind={payload.get('kind')!r})"
+            )
+        if payload["scorer_type"] != self.config.scorer_type:
+            raise ValueError(
+                f"state is for a {payload['scorer_type']!r} scorer, this "
+                f"detector uses {self.config.scorer_type!r}"
+            )
+        self.scorer.set_state(payload["scorer"])
+        self.standardizer.set_state(payload["standardizer"])
+        self._rng = generator_from_state(payload["rng"])
+        self.is_fitted = bool(payload["is_fitted"])
+
     def clone(self) -> "Detector":
         """Deep copy (weights and normalization included)."""
         other = Detector(self.config, seed=self._rng.spawn(1)[0])

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -112,26 +111,6 @@ class AVPipeline:
     # ------------------------------------------------------------------
     # Online / streaming path
     # ------------------------------------------------------------------
-    def observe_sample(self, sample, cam_boxes: list, lidar_boxes: list) -> list:
-        """Ingest one fused sample through the streaming engine.
-
-        .. deprecated:: PR 3
-            Serve streams through the unified contract instead:
-            ``get_domain("av")`` with
-            :class:`~repro.serve.MonitorService`, or this pipeline's
-            :meth:`observe_batch`. This shim will be removed next PR.
-        """
-        warnings.warn(
-            "AVPipeline.observe_sample is deprecated; serve streams via "
-            "repro.domains.registry.get_domain('av') and "
-            "repro.serve.MonitorService",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.omg.observe(
-            None, self.fuse_outputs(cam_boxes, lidar_boxes), timestamp=sample.timestamp
-        )
-
     def observe_batch(
         self,
         samples: list,

@@ -16,14 +16,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.database import AssertionDatabase
 from repro.core.runtime import OMG
 from repro.core.seeding import derive_seed
 from repro.domains.ecg.assertions import make_ecg_assertion
-from repro.domains.registry import Domain, RawItem, register_domain
-from repro.worlds.ecg import ECGWorld, ECGWorldConfig
+from repro.domains.registry import Domain, RawItem, RetrainableModel, register_domain
+from repro.utils.codec import register_result_type
+from repro.worlds.ecg import ECG_CLASSES, ECGWorld, ECGWorldConfig
 
 
+@register_result_type
 @dataclass(frozen=True)
 class EcgDomainConfig:
     """Serving config: assertion threshold plus demo world/model sizes."""
@@ -32,6 +36,8 @@ class EcgDomainConfig:
     world: ECGWorldConfig = field(default_factory=ECGWorldConfig)
     #: Bootstrap size for the demo classifier built by :meth:`build_world`.
     n_train: int = 80
+    #: Held-out records behind :meth:`RetrainableModel.evaluate`.
+    n_eval: int = 160
 
 
 class _ECGWorld:
@@ -40,6 +46,74 @@ class _ECGWorld:
     def __init__(self, world: ECGWorld, model) -> None:
         self.world = world
         self.model = model
+
+
+class EcgRetrainableModel(RetrainableModel):
+    """The AF window classifier behind an ECG improvement loop.
+
+    Weak supervision uses the paper's consistency default for the
+    oscillation assertion: minority oscillating windows are repaired to
+    the record's majority *predicted* class, i.e. the record-level
+    pseudo-label is that majority class (§4.2 / Table 4).
+    """
+
+    metric_name = "accuracy%"
+
+    def __init__(
+        self, config: EcgDomainConfig, seed: int = 0, *, bootstrap: bool = True
+    ) -> None:
+        from repro.domains.ecg.model import ECGClassifier
+
+        self.config = config
+        self._seed = seed
+        self._eval_records: "list | None" = None
+        self.model = ECGClassifier(seed=derive_seed(seed, "ecg-improve", "model"))
+        if bootstrap:
+            train = ECGWorld(
+                config.world, seed=derive_seed(seed, "ecg-improve", "train")
+            ).generate_records(config.n_train)
+            self.model.fit(train)
+
+    @property
+    def eval_records(self) -> list:
+        """Held-out records (generated lazily: workers never evaluate)."""
+        if self._eval_records is None:
+            self._eval_records = ECGWorld(
+                self.config.world, seed=derive_seed(self._seed, "ecg-improve", "eval")
+            ).generate_records(self.config.n_eval)
+        return self._eval_records
+
+    def predict_raw(self, sample) -> dict:
+        classes, probs = self.model.predict_windows(sample)
+        return {"record": sample, "classes": classes, "probs": probs}
+
+    def uncertainty(self, sample, raw) -> float:
+        return 1.0 - float(raw["probs"].max(axis=1).mean())
+
+    def oracle_label(self, sample) -> int:
+        return int(sample.label)
+
+    def weak_labels(self, samples: list, raws: "list | None" = None) -> list:
+        if raws is None:
+            raws = [self.predict_raw(sample) for sample in samples]
+        return [
+            int(np.bincount(raw["classes"], minlength=len(ECG_CLASSES)).argmax())
+            for raw in raws
+        ]
+
+    def fine_tune(self, examples: list) -> None:
+        records = [sample for sample, _label in examples]
+        labels = [label for _sample, label in examples]
+        self.model.fine_tune(records, labels)
+
+    def evaluate(self) -> float:
+        return self.model.accuracy(self.eval_records)
+
+    def get_state(self) -> dict:
+        return self.model.get_state()
+
+    def set_state(self, payload: dict) -> None:
+        self.model.set_state(payload)
 
 
 @register_domain("ecg")
@@ -76,6 +150,18 @@ class EcgDomain(Domain):
             record = world.world.generate_record()
             classes, _probs = world.model.predict_windows(record)
             yield {"record": record, "classes": classes}
+
+    def build_sensor(self, seed: int = 0) -> ECGWorld:
+        return ECGWorld(self.config.world, seed=derive_seed(seed, "ecg", "sensor"))
+
+    def iter_samples(self, sensor: ECGWorld):
+        while True:
+            yield sensor.generate_record()
+
+    def retrainable(
+        self, seed: int = 0, *, bootstrap: bool = True
+    ) -> EcgRetrainableModel:
+        return EcgRetrainableModel(self.config, seed, bootstrap=bootstrap)
 
     def new_state(self, config: "EcgDomainConfig | None" = None) -> dict:
         return {"offset": 0.0}

@@ -44,6 +44,40 @@ class ECGClassifier:
         )
         self.is_fitted = False
 
+    def get_state(self) -> dict:
+        """JSON-encodable snapshot for the model registry / retrain workers.
+
+        Carries weights, optimizer moments, normalization, and both
+        generator positions, so ``set_state`` + :meth:`fine_tune` is
+        bit-identical to fine-tuning the original object.
+        """
+        from repro.utils.rng import generator_state
+
+        return {
+            "kind": "ecg_classifier",
+            "mlp": self.mlp.get_state(),
+            "standardizer": self.standardizer.get_state(),
+            "rng": generator_state(self._rng),
+            "epochs": self.epochs,
+            "fine_tune_epochs": self.fine_tune_epochs,
+            "is_fitted": self.is_fitted,
+        }
+
+    def set_state(self, payload: dict) -> None:
+        """Restore :meth:`get_state` output into a same-shaped classifier."""
+        from repro.utils.rng import generator_from_state
+
+        if payload.get("kind") != "ecg_classifier":
+            raise ValueError(
+                f"not an ECGClassifier state payload (kind={payload.get('kind')!r})"
+            )
+        self.mlp.set_state(payload["mlp"])
+        self.standardizer.set_state(payload["standardizer"])
+        self._rng = generator_from_state(payload["rng"])
+        self.epochs = int(payload["epochs"])
+        self.fine_tune_epochs = int(payload["fine_tune_epochs"])
+        self.is_fitted = bool(payload["is_fitted"])
+
     def clone(self) -> "ECGClassifier":
         """Deep copy of the classifier."""
         other = ECGClassifier(seed=self._rng.spawn(1)[0])

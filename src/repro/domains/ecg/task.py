@@ -7,7 +7,6 @@ records per round (Appendix C) and a single deployed assertion.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -98,43 +97,6 @@ def _record_severity(omg: OMG, record, predicted_classes: np.ndarray) -> float:
         timestamps=[item.timestamp for item in items],
     )
     return float(report.severities.sum())
-
-
-def make_ecg_monitor(temporal_threshold: float = 30.0) -> OMG:
-    """One-assertion streaming runtime, reusable across records.
-
-    .. deprecated:: PR 3
-        Use ``get_domain("ecg").build_monitor(...)`` from
-        :mod:`repro.domains.registry` (or serve continuous streams with
-        :class:`~repro.serve.MonitorService`). This shim will be removed
-        next PR.
-    """
-    warnings.warn(
-        "make_ecg_monitor is deprecated; use "
-        "repro.domains.registry.get_domain('ecg').build_monitor(...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _build_ecg_monitor(temporal_threshold)
-
-
-def stream_record_severity(
-    omg, record, predicted_classes: np.ndarray
-) -> float:
-    """Total oscillation severity of one record (deprecated shim).
-
-    .. deprecated:: PR 3
-        Use :func:`record_severities` for experiment pools, or serve
-        continuous streams with :class:`~repro.serve.MonitorService`.
-        This shim will be removed next PR.
-    """
-    warnings.warn(
-        "stream_record_severity is deprecated; use record_severities or "
-        "repro.serve.MonitorService",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _record_severity(omg, record, predicted_classes)
 
 
 def record_severities(

@@ -61,6 +61,65 @@ class RawItem(NamedTuple):
     timestamp: "float | None" = None
 
 
+class RetrainableModel(abc.ABC):
+    """The fleet model behind a domain's streams, as the improvement loop
+    sees it (see :mod:`repro.improve`).
+
+    One instance serves every stream of a loop: it turns raw sensor
+    *samples* (an ECG record's features, a traffic frame) into the *raw
+    units* :meth:`Domain.item_from_raw` ingests, labels samples through
+    the oracle or consistency-based weak supervision, fine-tunes on the
+    accumulated labeled set, and snapshots its full training state so the
+    :class:`~repro.improve.ModelRegistry` can version it and retraining
+    can run bit-identically in a worker process.
+    """
+
+    #: Display name of :meth:`evaluate`'s unit (e.g. ``"accuracy%"``).
+    metric_name: str = "metric"
+
+    @abc.abstractmethod
+    def predict_raw(self, sample: Any) -> Any:
+        """Model outputs for one sensor sample, in the domain's raw-unit
+        shape (consumable by :meth:`Domain.item_from_raw`)."""
+
+    def uncertainty(self, sample: Any, raw: Any) -> float:
+        """Least-confidence score for one predicted unit (higher = less
+        confident); 0.0 when the domain has no confidence signal."""
+        return 0.0
+
+    @abc.abstractmethod
+    def oracle_label(self, sample: Any) -> Any:
+        """Ground-truth label for one sample (the human-oracle route)."""
+
+    def weak_labels(self, samples: list, raws: "list | None" = None) -> list:
+        """Consistency-propagated pseudo-labels (the weak-supervision
+        route); ``None`` entries mean no pseudo-label for that sample.
+
+        ``raws`` are the model outputs the samples streamed with (so the
+        labels correct what the monitor actually saw); domains without a
+        weak-supervision rule keep this default.
+        """
+        return [None] * len(samples)
+
+    @abc.abstractmethod
+    def fine_tune(self, examples: list) -> None:
+        """Continue training on ``examples``: ``(sample, label)`` pairs
+        accumulated by the labeling queue, oracle and weak mixed."""
+
+    @abc.abstractmethod
+    def evaluate(self) -> float:
+        """Held-out metric of the current weights (``metric_name`` units)."""
+
+    @abc.abstractmethod
+    def get_state(self) -> dict:
+        """JSON-encodable snapshot of everything retraining depends on
+        (weights, optimizer state, generator positions)."""
+
+    @abc.abstractmethod
+    def set_state(self, payload: dict) -> None:
+        """Restore :meth:`get_state` output — the hot-swap primitive."""
+
+
 class Domain(abc.ABC):
     """One workload's serving contract (see the module docstring).
 
@@ -125,6 +184,44 @@ class Domain(abc.ABC):
         domain's live tracker, the ECG domain's time offset); stateless
         domains ignore it.
         """
+
+    # -- closed improvement loop (optional) ----------------------------
+    def build_sensor(self, seed: int = 0) -> Any:
+        """A seeded *model-free* sample source for the improvement loop.
+
+        Unlike :meth:`build_world` (which bootstraps the demo model so
+        :meth:`iter_stream` can decorate samples with predictions), a
+        sensor yields undecorated samples; the loop's shared
+        :class:`RetrainableModel` predicts on them, so every stream sees
+        the *current* model version. Deterministic per seed, like worlds.
+        """
+        raise NotImplementedError(
+            f"domain {self.name or type(self).__name__!r} has no sensor "
+            "stream; it cannot drive an improvement loop"
+        )
+
+    def iter_samples(self, sensor: Any) -> Iterator[Any]:
+        """Yield raw sensor samples from :meth:`build_sensor`, unbounded."""
+        raise NotImplementedError(
+            f"domain {self.name or type(self).__name__!r} has no sensor "
+            "stream; it cannot drive an improvement loop"
+        )
+
+    def retrainable(
+        self, seed: int = 0, *, bootstrap: bool = True
+    ) -> RetrainableModel:
+        """The domain's :class:`RetrainableModel` adapter.
+
+        ``bootstrap=False`` skips pretraining (and data generation) and
+        returns a bare, architecture-matched model shell — what retrain
+        workers use before ``set_state`` overwrites the weights. Domains
+        without a retrainable model (tvnews: "we were unable to access
+        the training code") keep this default.
+        """
+        raise NotImplementedError(
+            f"domain {self.name or type(self).__name__!r} has no "
+            "retrainable model"
+        )
 
     # -- per-stream adapter state --------------------------------------
     def new_state(self, config: Any = None) -> Any:

@@ -14,7 +14,6 @@ exactly what Tables 2/3 report for ``news``.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -128,37 +127,6 @@ class TVNewsPipeline:
         """
         items = self.to_stream(scenes)
         return MonitorRun(report=self.omg.monitor(items), items=items)
-
-    def observe_scenes(self, scenes: list, *, parallel: bool = False) -> MonitoringReport:
-        """Streaming path: ingest scenes through ``observe_batch``.
-
-        .. deprecated:: PR 3
-            Serve streams through the unified contract instead:
-            ``get_domain("tvnews")`` with
-            :class:`~repro.serve.MonitorService`. This shim will be
-            removed next PR.
-
-        Scene clustering is scene-local, so scenes can arrive in chunks
-        as footage is processed; the accumulated
-        :meth:`~repro.core.runtime.OMG.online_report` equals the offline
-        :meth:`monitor` matrix over the same scenes.
-        """
-        warnings.warn(
-            "TVNewsPipeline.observe_scenes is deprecated; serve streams via "
-            "repro.domains.registry.get_domain('tvnews') and "
-            "repro.serve.MonitorService",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        items = self.to_stream(scenes)
-        # to_stream indexes from 0 per call; hand OMG the raw outputs so
-        # the engine numbers them continuously across chunks.
-        return self.omg.observe_batch(
-            None,
-            [list(item.outputs) for item in items],
-            timestamps=[item.timestamp for item in items],
-            parallel=parallel,
-        )
 
     def aggregate_news_severity(self, report: MonitoringReport) -> np.ndarray:
         """Sum the three attribute assertions into one ``news`` severity."""

@@ -13,12 +13,14 @@ from dataclasses import dataclass, field
 
 from repro.core.runtime import OMG
 from repro.core.seeding import derive_seed
-from repro.domains.registry import Domain, RawItem, register_domain
+from repro.domains.registry import Domain, RawItem, RetrainableModel, register_domain
 from repro.domains.video.pipeline import VideoPipeline, VideoPipelineConfig
 from repro.tracking.tracker import IoUTracker
+from repro.utils.codec import register_result_type
 from repro.worlds.traffic import TrafficWorld, TrafficWorldConfig
 
 
+@register_result_type
 @dataclass(frozen=True)
 class VideoDomainConfig:
     """Serving config: pipeline knobs plus the demo world/model sizes."""
@@ -32,6 +34,8 @@ class VideoDomainConfig:
     #: paper's systematic errors, not a well-trained one).
     n_bootstrap_day: int = 30
     n_bootstrap_night: int = 2
+    #: Held-out frames behind :meth:`RetrainableModel.evaluate`.
+    n_eval: int = 60
 
 
 class _VideoWorld:
@@ -40,6 +44,105 @@ class _VideoWorld:
     def __init__(self, world: TrafficWorld, detector) -> None:
         self.world = world
         self.detector = detector
+
+
+class VideoRetrainableModel(RetrainableModel):
+    """The night-street detector behind a video improvement loop.
+
+    Weak supervision reuses :func:`~repro.core.weak_supervision.
+    harvest_weak_labels`: the given units form a sub-stream, the three
+    video assertions propose corrections over it (flicker gaps filled,
+    spurious appearances removed, majority-class fixes), and the
+    corrected outputs become per-frame pseudo-truth boxes — the §5.5
+    recipe, applied online to the frames the monitor flagged.
+    """
+
+    metric_name = "mAP%"
+
+    def __init__(
+        self, config: VideoDomainConfig, seed: int = 0, *, bootstrap: bool = True
+    ) -> None:
+        from repro.detection.detector import Detector
+        from repro.domains.video.task import bootstrap_detector, make_video_task_data
+
+        self.config = config
+        self._seed = seed
+        self._eval_frames: "list | None" = None
+        if bootstrap:
+            data = make_video_task_data(
+                derive_seed(seed, "video-improve", "bootstrap"),
+                n_bootstrap_day=config.n_bootstrap_day,
+                n_bootstrap_night=config.n_bootstrap_night,
+                n_pool=1,
+                n_test=1,
+            )
+            self.model = bootstrap_detector(
+                data, seed=derive_seed(seed, "video-improve", "detector")
+            )
+        else:
+            self.model = Detector(
+                seed=derive_seed(seed, "video-improve", "detector")
+            )
+
+    @property
+    def eval_frames(self) -> list:
+        """Held-out night frames (lazy: workers never evaluate)."""
+        if self._eval_frames is None:
+            # The same night mix make_video_task_data deploys on.
+            night = TrafficWorldConfig(profile="night", class_probabilities=(0.70, 0.30))
+            self._eval_frames = TrafficWorld(
+                night, seed=derive_seed(self._seed, "video-improve", "eval")
+            ).generate(self.config.n_eval)
+        return self._eval_frames
+
+    def predict_raw(self, sample) -> list:
+        return self.model.detect(sample.image)
+
+    def uncertainty(self, sample, raw) -> float:
+        from repro.domains.video.task import frame_uncertainty
+
+        return float(frame_uncertainty([raw])[0])
+
+    def oracle_label(self, sample) -> list:
+        return sample.ground_truth
+
+    def weak_labels(self, samples: list, raws: "list | None" = None) -> list:
+        from repro.core.weak_supervision import harvest_weak_labels
+        from repro.geometry.box2d import Box2D
+
+        if raws is None:
+            raws = [self.predict_raw(sample) for sample in samples]
+        if not samples:
+            return []
+        pipeline = VideoPipeline(self.config.pipeline)
+        _report, items = pipeline.monitor(list(raws))
+        weak = harvest_weak_labels(pipeline.omg, items)
+        return [
+            [
+                Box2D(o["box"].x1, o["box"].y1, o["box"].x2, o["box"].y2,
+                      label=o["label"])
+                for o in item.outputs
+            ]
+            for item in weak.items
+        ]
+
+    def fine_tune(self, examples: list) -> None:
+        images = [sample.image for sample, _label in examples]
+        truths = [label for _sample, label in examples]
+        self.model.fine_tune(images, truths)
+
+    def evaluate(self) -> float:
+        from repro.metrics.detection import evaluate_detections
+
+        predictions = self.model.detect_frames([f.image for f in self.eval_frames])
+        truths = [f.ground_truth for f in self.eval_frames]
+        return evaluate_detections(predictions, truths).mean_ap_percent
+
+    def get_state(self) -> dict:
+        return self.model.get_state()
+
+    def set_state(self, payload: dict) -> None:
+        self.model.set_state(payload)
 
 
 @register_domain("video")
@@ -75,6 +178,20 @@ class VideoDomain(Domain):
     def iter_stream(self, world: _VideoWorld):
         for frame in world.world.stream(sys.maxsize):
             yield world.detector.detect(frame.image)
+
+    def build_sensor(self, seed: int = 0) -> TrafficWorld:
+        return TrafficWorld(
+            self.config.world, seed=derive_seed(seed, "video", "sensor")
+        )
+
+    def iter_samples(self, sensor: TrafficWorld):
+        for frame in sensor.stream(sys.maxsize):
+            yield frame
+
+    def retrainable(
+        self, seed: int = 0, *, bootstrap: bool = True
+    ) -> VideoRetrainableModel:
+        return VideoRetrainableModel(self.config, seed, bootstrap=bootstrap)
 
     def new_state(self, config: "VideoDomainConfig | None" = None) -> dict:
         pipeline_cfg = self._config(config).pipeline

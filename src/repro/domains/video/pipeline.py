@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -18,8 +17,10 @@ from repro.domains.video.assertions import (
     video_consistency_spec,
 )
 from repro.tracking.tracker import IoUTracker
+from repro.utils.codec import register_result_type
 
 
+@register_result_type
 @dataclass(frozen=True)
 class VideoPipelineConfig:
     """Parameters of the video monitoring pipeline."""
@@ -117,36 +118,6 @@ class VideoPipeline:
         if self._live_tracker is None:
             self.start_stream()
         return self._live_tracker
-
-    def observe_frame(self, detections: list) -> list:
-        """Ingest one frame's detections through the streaming engine.
-
-        .. deprecated:: PR 3
-            Serve streams through the unified contract instead:
-            ``get_domain("video")`` with
-            :class:`~repro.serve.MonitorService`, or this pipeline's
-            :meth:`observe_batch`. This shim will be removed next PR.
-
-        Tracking is incremental (the same greedy IoU matcher the offline
-        pass uses frame-by-frame), so feeding every frame of a video
-        through here produces exactly the :meth:`monitor` severities —
-        see ``tests/test_domains_video.py``.
-        """
-        warnings.warn(
-            "VideoPipeline.observe_frame is deprecated; serve streams via "
-            "repro.domains.registry.get_domain('video') and "
-            "repro.serve.MonitorService",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        tracker = self._require_tracker()
-        frame_index = self.omg.n_observed
-        tracked = tracker.update(frame_index, detections)
-        return self.omg.observe(
-            None,
-            self._frame_outputs(tracked),
-            timestamp=frame_index / self.config.fps,
-        )
 
     def observe_batch(
         self, detections_per_frame: list, *, parallel: bool = False

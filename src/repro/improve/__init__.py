@@ -1,0 +1,55 @@
+"""Closed-loop model improvement over the serving fleet (§3, §4.2).
+
+The paper's second contribution — assertion fires *improving* models via
+bandit-driven active learning and consistency weak supervision — as a
+running subsystem on top of :mod:`repro.serve`:
+
+fires (:class:`FireStore`) → selection (:class:`SelectionPolicy`) →
+labels (:class:`LabelQueue`) → retraining (:class:`RetrainWorker`) →
+versioned hot-swap (:class:`ModelRegistry`), orchestrated by
+:class:`ImprovementLoop` with full snapshot/resume.
+
+CLI entry point: ``python -m repro improve DOMAIN --rounds R --budget B
+--policy bal|random|uniform``; worked example in
+``examples/closed_loop_improvement.py``.
+"""
+
+from repro.improve.fires import FIRE_STORE_FORMAT, FireStore
+from repro.improve.labeling import Candidate, LabeledExample, LabelQueue
+from repro.improve.loop import (
+    IMPROVE_SNAPSHOT_FORMAT,
+    ImproveConfig,
+    ImprovementLoop,
+    ImproveResult,
+    ImproveRound,
+)
+from repro.improve.models import ModelRegistry, ModelVersion
+from repro.improve.policy import POLICY_NAMES, SelectionPolicy
+from repro.improve.snapshot import (
+    load_improvement_loop,
+    load_loop_payload,
+    save_loop_snapshot,
+)
+from repro.improve.worker import RetrainWorker, retrain_once
+
+__all__ = [
+    "FIRE_STORE_FORMAT",
+    "FireStore",
+    "Candidate",
+    "LabeledExample",
+    "LabelQueue",
+    "IMPROVE_SNAPSHOT_FORMAT",
+    "ImproveConfig",
+    "ImprovementLoop",
+    "ImproveResult",
+    "ImproveRound",
+    "ModelRegistry",
+    "ModelVersion",
+    "POLICY_NAMES",
+    "SelectionPolicy",
+    "RetrainWorker",
+    "retrain_once",
+    "load_improvement_loop",
+    "load_loop_payload",
+    "save_loop_snapshot",
+]

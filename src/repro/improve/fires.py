@@ -1,0 +1,139 @@
+"""``FireStore``: durable accumulation of a serving fleet's assertion fires.
+
+The improvement loop's raw material is the stream of
+:class:`~repro.serve.service.StreamFire` records a
+:class:`~repro.serve.MonitorService` dispatches. This store keeps them
+per stream in a bounded ring (old fires age out; totals keep counting),
+and serializes losslessly through :mod:`repro.utils.codec` so a resumed
+loop sees exactly the fire history the interrupted one had.
+
+``store.add`` has the ``on_fire`` hook signature, so wiring is one line:
+
+>>> service.on_fire(store.add)                        # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+
+from repro.serve.service import StreamFire
+from repro.utils.codec import from_jsonable, to_jsonable
+
+#: Version tag of the :meth:`FireStore.snapshot` payload layout.
+FIRE_STORE_FORMAT = 1
+
+
+class FireStore:
+    """Ring-buffered, per-stream accumulation of :class:`StreamFire` s.
+
+    Parameters
+    ----------
+    max_per_stream:
+        Retained fires per stream (the ring bound); ``None`` = unbounded.
+        Totals (:attr:`n_seen`, :meth:`seen_counts`) count every fire
+        ever added, including ones the ring has dropped.
+    """
+
+    def __init__(self, max_per_stream: "int | None" = 256) -> None:
+        if max_per_stream is not None and max_per_stream < 1:
+            raise ValueError(f"max_per_stream must be >= 1, got {max_per_stream}")
+        self.max_per_stream = max_per_stream
+        self._fires: "OrderedDict[str, deque]" = OrderedDict()
+        self._seen: "OrderedDict[str, int]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def add(self, fire: StreamFire) -> None:
+        """Record one fire (usable directly as an ``on_fire`` hook)."""
+        ring = self._fires.get(fire.stream_id)
+        if ring is None:
+            ring = self._fires[fire.stream_id] = deque(maxlen=self.max_per_stream)
+            self._seen[fire.stream_id] = 0
+        ring.append(fire.record)
+        self._seen[fire.stream_id] += 1
+
+    def stream_ids(self) -> list:
+        """Streams that ever fired, in first-fire order."""
+        return list(self._fires)
+
+    def fires(self, stream_id: str) -> list:
+        """Retained :class:`~repro.core.types.AssertionRecord` s for one
+        stream, oldest first (empty when the stream never fired)."""
+        return list(self._fires.get(stream_id, ()))
+
+    def all_fires(self) -> list:
+        """Retained fires fleet-wide as ``StreamFire`` s, stream-major."""
+        return [
+            StreamFire(stream_id, record)
+            for stream_id, ring in self._fires.items()
+            for record in ring
+        ]
+
+    def __len__(self) -> int:
+        """Retained fires fleet-wide."""
+        return sum(len(ring) for ring in self._fires.values())
+
+    @property
+    def n_seen(self) -> int:
+        """Fires ever added, including ring-dropped ones."""
+        return sum(self._seen.values())
+
+    def seen_counts(self) -> dict:
+        """Stream id → fires ever added on that stream."""
+        return dict(self._seen)
+
+    def fire_counts(self) -> dict:
+        """Assertion name → retained fire count, fleet-wide."""
+        counts: dict = {}
+        for ring in self._fires.values():
+            for record in ring:
+                counts[record.assertion_name] = counts.get(record.assertion_name, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-encodable checkpoint (codec-encoded fire records)."""
+        return {
+            "format": FIRE_STORE_FORMAT,
+            "max_per_stream": self.max_per_stream,
+            "streams": [
+                [
+                    stream_id,
+                    {
+                        "seen": self._seen[stream_id],
+                        "fires": [to_jsonable(record) for record in ring],
+                    },
+                ]
+                for stream_id, ring in self._fires.items()
+            ],
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Replace contents with a :meth:`snapshot` payload."""
+        fmt = payload.get("format")
+        if fmt != FIRE_STORE_FORMAT:
+            raise ValueError(
+                f"unsupported fire-store snapshot format {fmt!r} "
+                f"(expected {FIRE_STORE_FORMAT})"
+            )
+        max_per_stream = payload["max_per_stream"]
+        if max_per_stream != self.max_per_stream:
+            raise ValueError(
+                f"snapshot was taken with max_per_stream={max_per_stream}, "
+                f"this store uses {self.max_per_stream}"
+            )
+        self._fires = OrderedDict()
+        self._seen = OrderedDict()
+        for stream_id, entry in payload["streams"]:
+            ring = deque(
+                (from_jsonable(record) for record in entry["fires"]),
+                maxlen=self.max_per_stream,
+            )
+            self._fires[stream_id] = ring
+            self._seen[stream_id] = int(entry["seen"])
+
+    @classmethod
+    def from_snapshot(cls, payload: dict) -> "FireStore":
+        """Build a store sized like the payload and restore into it."""
+        store = cls(max_per_stream=payload.get("max_per_stream", 256))
+        store.restore(payload)
+        return store

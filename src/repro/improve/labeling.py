@@ -1,0 +1,215 @@
+"""``LabelQueue``: route selected candidates to labels, keep the ledger.
+
+Two labeling routes, as in the paper:
+
+- **oracle** — the human-labeler stand-in (§5.1 uses ground truth for
+  CINC17/night-street): :meth:`~repro.domains.registry.RetrainableModel.
+  oracle_label` per sample, charged against the round's label budget;
+- **weak** — consistency-propagated pseudo-labels (§4.2):
+  :meth:`~repro.domains.registry.RetrainableModel.weak_labels` over the
+  flagged units, free of human cost.
+
+The queue owns the cumulative labeled set the
+:class:`~repro.improve.worker.RetrainWorker` fine-tunes on. An oracle
+label upgrades an earlier weak label in place (same ledger position, so
+example order — and therefore retraining — is independent of when the
+upgrade happened).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.codec import from_jsonable, to_jsonable
+
+#: Version tag of the :meth:`LabelQueue.snapshot` payload layout.
+LABEL_QUEUE_FORMAT = 1
+
+
+@dataclass
+class Candidate:
+    """One streamed raw unit, eligible for labeling.
+
+    ``severity`` is the unit's per-assertion fire severity (monitor
+    database order); it keeps accumulating after creation when temporal
+    assertions attribute later evidence back into this unit's items.
+    """
+
+    stream_id: str
+    unit_index: int
+    item_start: int
+    item_stop: int
+    sample: object
+    raw: object
+    severity: np.ndarray
+    uncertainty: float
+    round_index: int
+
+    @property
+    def key(self) -> tuple:
+        return (self.stream_id, self.unit_index)
+
+    def contains_item(self, item_index: int) -> bool:
+        return self.item_start <= item_index < self.item_stop
+
+    def to_payload(self) -> dict:
+        return {
+            "stream_id": self.stream_id,
+            "unit_index": self.unit_index,
+            "items": [self.item_start, self.item_stop],
+            "sample": to_jsonable(self.sample),
+            "raw": to_jsonable(self.raw),
+            "severity": to_jsonable(self.severity),
+            "uncertainty": self.uncertainty,
+            "round_index": self.round_index,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Candidate":
+        return cls(
+            stream_id=payload["stream_id"],
+            unit_index=int(payload["unit_index"]),
+            item_start=int(payload["items"][0]),
+            item_stop=int(payload["items"][1]),
+            sample=from_jsonable(payload["sample"]),
+            raw=from_jsonable(payload["raw"]),
+            severity=np.asarray(from_jsonable(payload["severity"]), dtype=np.float64),
+            uncertainty=float(payload["uncertainty"]),
+            round_index=int(payload["round_index"]),
+        )
+
+
+@dataclass
+class LabeledExample:
+    """One ledger entry: a sample, its label, and the label's provenance."""
+
+    key: tuple  # (stream_id, unit_index)
+    sample: object
+    label: object
+    source: str  # "oracle" | "weak"
+    round_index: int
+
+
+class LabelQueue:
+    """The cumulative labeled set, keyed by ``(stream_id, unit_index)``."""
+
+    def __init__(self) -> None:
+        self._examples: "OrderedDict[tuple, LabeledExample]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._examples)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._examples
+
+    @property
+    def n_oracle(self) -> int:
+        return sum(1 for e in self._examples.values() if e.source == "oracle")
+
+    @property
+    def n_weak(self) -> int:
+        return sum(1 for e in self._examples.values() if e.source == "weak")
+
+    def examples(self) -> list:
+        """``(sample, label)`` pairs in ledger order — the retrain input."""
+        return [(e.sample, e.label) for e in self._examples.values()]
+
+    def entries(self) -> list:
+        """The full :class:`LabeledExample` ledger, in order."""
+        return list(self._examples.values())
+
+    # ------------------------------------------------------------------
+    def submit_oracle(self, candidates: list, model, round_index: int) -> list:
+        """Label candidates through the oracle; returns the new entries.
+
+        An oracle label replaces an earlier weak label for the same key
+        in place; a candidate already oracle-labeled is skipped (no
+        double spend).
+        """
+        added = []
+        for candidate in candidates:
+            existing = self._examples.get(candidate.key)
+            if existing is not None and existing.source == "oracle":
+                continue
+            entry = LabeledExample(
+                key=candidate.key,
+                sample=candidate.sample,
+                label=model.oracle_label(candidate.sample),
+                source="oracle",
+                round_index=round_index,
+            )
+            # Reassigning an existing key keeps its ledger position, so a
+            # weak→oracle upgrade does not reorder the retrain input.
+            self._examples[candidate.key] = entry
+            added.append(entry)
+        return added
+
+    def submit_weak(self, candidates: list, model, round_index: int) -> list:
+        """Pseudo-label candidates via consistency weak supervision.
+
+        Candidates are grouped per stream in unit order (so temporal
+        corrections see a coherent sub-stream); keys already labeled are
+        skipped; ``None`` pseudo-labels are dropped.
+        """
+        fresh = [c for c in candidates if c.key not in self._examples]
+        by_stream: "OrderedDict[str, list]" = OrderedDict()
+        for candidate in fresh:
+            by_stream.setdefault(candidate.stream_id, []).append(candidate)
+        added = []
+        for group in by_stream.values():
+            group = sorted(group, key=lambda c: c.unit_index)
+            labels = model.weak_labels(
+                [c.sample for c in group], [c.raw for c in group]
+            )
+            for candidate, label in zip(group, labels):
+                if label is None:
+                    continue
+                entry = LabeledExample(
+                    key=candidate.key,
+                    sample=candidate.sample,
+                    label=label,
+                    source="weak",
+                    round_index=round_index,
+                )
+                self._examples[candidate.key] = entry
+                added.append(entry)
+        return added
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-encodable checkpoint of the full ledger."""
+        return {
+            "format": LABEL_QUEUE_FORMAT,
+            "entries": [
+                {
+                    "key": to_jsonable(e.key),
+                    "sample": to_jsonable(e.sample),
+                    "label": to_jsonable(e.label),
+                    "source": e.source,
+                    "round_index": e.round_index,
+                }
+                for e in self._examples.values()
+            ],
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Replace the ledger with a :meth:`snapshot` payload."""
+        fmt = payload.get("format")
+        if fmt != LABEL_QUEUE_FORMAT:
+            raise ValueError(
+                f"unsupported label-queue snapshot format {fmt!r} "
+                f"(expected {LABEL_QUEUE_FORMAT})"
+            )
+        self._examples = OrderedDict()
+        for row in payload["entries"]:
+            entry = LabeledExample(
+                key=from_jsonable(row["key"]),
+                sample=from_jsonable(row["sample"]),
+                label=from_jsonable(row["label"]),
+                source=row["source"],
+                round_index=int(row["round_index"]),
+            )
+            self._examples[entry.key] = entry

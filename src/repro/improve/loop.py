@@ -1,0 +1,634 @@
+"""The closed improvement loop: monitor → select → label → retrain → swap.
+
+One :class:`ImprovementLoop` turns a :class:`~repro.serve.MonitorService`
+fleet into the paper's full lifecycle. Each round:
+
+1. **stream** — every stream's sensor yields ``items_per_round`` raw
+   samples; the *current* model version predicts on them; the fleet
+   ingests the predictions, and fresh fires land in the
+   :class:`~repro.improve.fires.FireStore` and accumulate into
+   per-unit severity vectors on the candidate pool;
+2. **select** — the :class:`~repro.improve.policy.SelectionPolicy`
+   (random / uniform-assertion / BAL bandit) picks up to ``budget``
+   candidates from the unlabeled pool;
+3. **label** — picks go to the oracle; with ``weak=True`` the remaining
+   fired candidates get consistency pseudo-labels
+   (:class:`~repro.improve.labeling.LabelQueue`);
+4. **retrain** — the :class:`~repro.improve.worker.RetrainWorker`
+   fine-tunes the current version on the cumulative ledger (inline or in
+   a background process, bit-identically);
+5. **hot-swap** — the result is published to the
+   :class:`~repro.improve.models.ModelRegistry` and *adopted* at the
+   ``swap_tick`` raw-unit boundary of the next round's stream phase:
+   predictions switch to the new weights mid-stream while every
+   session's evaluator state (rolling windows, temporal runs, trackers)
+   carries over untouched.
+
+Determinism contract: the whole loop is a pure function of
+``ImproveConfig`` — serial and ``jobs>1`` retraining, and
+snapshot → resume versus uninterrupted runs, produce bit-identical label
+picks, bandit posteriors, model weights, and metrics
+(``tests/improve/test_loop.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.seeding import derive_seed
+from repro.domains.registry import get_domain
+from repro.improve.fires import FireStore
+from repro.improve.labeling import Candidate, LabelQueue
+from repro.improve.models import ModelRegistry
+from repro.improve.policy import POLICY_NAMES, SelectionPolicy
+from repro.improve.worker import RetrainWorker
+from repro.serve import MonitorService, ServiceConfig
+from repro.utils.codec import register_result_type
+
+#: Version tag of the :meth:`ImprovementLoop.snapshot` payload layout.
+IMPROVE_SNAPSHOT_FORMAT = 1
+
+
+@register_result_type
+@dataclass(frozen=True)
+class ImproveConfig:
+    """Everything an improvement loop run depends on.
+
+    Attributes
+    ----------
+    domain:
+        A retrainable registered domain (``ecg`` or ``video`` built in).
+    policy:
+        ``"bal"`` | ``"random"`` | ``"uniform"`` — the selection policy.
+    n_streams:
+        Keyed streams served concurrently (each its own seeded sensor).
+    items_per_round:
+        Raw units ingested per stream per round before selection.
+    budget:
+        Oracle labels per round (the human-labeling budget ``B_t``).
+    n_rounds:
+        Default round count for :meth:`ImprovementLoop.run`.
+    seed:
+        Root seed; every stream, the model bootstrap, and the policy
+        derive independent child streams from it.
+    jobs:
+        ``1`` retrains inline; ``>1`` retrains in a background process
+        (bit-identical results either way).
+    swap_tick:
+        Raw-unit boundary (0-based, within a round's stream phase) at
+        which a pending model version is adopted. ``0`` swaps before the
+        round's first unit; larger values demonstrate a genuinely
+        mid-stream swap. Must be < ``items_per_round``.
+    weak:
+        Also pseudo-label fired-but-unselected candidates through
+        consistency weak supervision (zero label cost).
+    weak_cap:
+        Pseudo-labels per round when ``weak`` is on.
+    fallback:
+        BAL's baseline when every assertion stalls (``random`` |
+        ``uncertainty``).
+    max_pool:
+        Bound on the unlabeled candidate pool (oldest dropped); ``None``
+        = unbounded.
+    fires_per_stream:
+        :class:`FireStore` ring bound per stream.
+    max_versions:
+        :class:`ModelRegistry` ring bound; ``None`` = keep all.
+    """
+
+    domain: str = "ecg"
+    policy: str = "bal"
+    n_streams: int = 2
+    items_per_round: int = 8
+    budget: int = 8
+    n_rounds: int = 5
+    seed: int = 0
+    jobs: int = 1
+    swap_tick: int = 0
+    weak: bool = False
+    weak_cap: int = 64
+    fallback: str = "random"
+    max_pool: "int | None" = None
+    fires_per_stream: int = 256
+    max_versions: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICY_NAMES:
+            raise ValueError(
+                f"policy must be one of {', '.join(POLICY_NAMES)}, got {self.policy!r}"
+            )
+        for name in ("n_streams", "items_per_round", "n_rounds", "jobs"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+        if self.budget < 0:
+            raise ValueError(f"budget must be >= 0, got {self.budget}")
+        if not 0 <= self.swap_tick < self.items_per_round:
+            raise ValueError(
+                f"swap_tick must be in [0, items_per_round), got {self.swap_tick}"
+            )
+
+
+@register_result_type
+@dataclass
+class ImproveRound:
+    """Telemetry for one completed round."""
+
+    round_index: int
+    version_start: int
+    version_end: int
+    n_units: int = 0
+    n_items: int = 0
+    n_fires: int = 0
+    n_selected: int = 0
+    n_oracle_new: int = 0
+    n_weak_new: int = 0
+    pool_size: int = 0
+
+    @property
+    def fires_per_item(self) -> float:
+        return self.n_fires / self.n_items if self.n_items else 0.0
+
+
+@register_result_type
+@dataclass
+class ImproveResult:
+    """Outcome of a full :meth:`ImprovementLoop.run`."""
+
+    domain: str
+    policy: str
+    budget: int
+    metric_name: str
+    initial_metric: float
+    rounds: list = field(default_factory=list)
+    #: ``(version, metric, round_index)`` for every published version.
+    versions: list = field(default_factory=list)
+    n_labeled: int = 0
+    n_weak: int = 0
+
+    @property
+    def final_metric(self) -> float:
+        """Metric of the newest published version."""
+        return self.versions[-1][1] if self.versions else self.initial_metric
+
+    @property
+    def fires_per_item_curve(self) -> list:
+        return [r.fires_per_item for r in self.rounds]
+
+    def format_table(self) -> str:
+        from repro.utils.tables import format_table
+
+        metric_of = {round_index: metric for _v, metric, round_index in self.versions}
+        rows = []
+        for r in self.rounds:
+            rows.append(
+                (
+                    r.round_index,
+                    f"v{r.version_start}" + (
+                        f"→v{r.version_end}" if r.version_end != r.version_start else ""
+                    ),
+                    r.n_items,
+                    r.n_fires,
+                    f"{r.fires_per_item:.3f}",
+                    r.n_oracle_new,
+                    r.n_weak_new,
+                    (
+                        f"{metric_of[r.round_index]:.2f}"
+                        if r.round_index in metric_of
+                        else "-"
+                    ),
+                )
+            )
+        title = (
+            f"Improvement loop — {self.domain!r}, policy {self.policy!r}, "
+            f"budget {self.budget}/round "
+            f"(pretrained {self.metric_name} = {self.initial_metric:.2f})"
+        )
+        return format_table(
+            ["Round", "Model", "Items", "Fires", "Fires/item", "Oracle", "Weak",
+             f"New {self.metric_name}"],
+            rows,
+            title=title,
+        )
+
+
+class ImprovementLoop:
+    """Drive the closed loop over a serving fleet (see module docstring).
+
+    Parameters
+    ----------
+    config:
+        The run's :class:`ImproveConfig`.
+    domain_config:
+        Optional domain config dataclass (must be picklable when
+        ``jobs > 1``); ``None`` = the domain's defaults.
+    """
+
+    def __init__(self, config: ImproveConfig, *, domain_config=None) -> None:
+        self._init_shell(config, domain_config)
+        self.adapter = self.domain.retrainable(
+            derive_seed(config.seed, "improve", "model"), bootstrap=True
+        )
+        state = self.adapter.get_state()
+        self.initial_metric = self._evaluate(state)
+        self.adopted_version = self.registry.publish(
+            state, metric=self.initial_metric, round_index=-1
+        )
+
+    # ------------------------------------------------------------------
+    # Streams
+    # ------------------------------------------------------------------
+    def stream_ids(self) -> list:
+        return [f"{self.config.domain}-{k}" for k in range(self.config.n_streams)]
+
+    def _sample_iterator(self, position: int, replay: int):
+        sensor = self.domain.build_sensor(
+            derive_seed(self.config.seed, "improve", "sensor", position)
+        )
+        iterator = self.domain.iter_samples(sensor)
+        for _ in range(replay):  # deterministic fast-forward on resume
+            next(iterator)
+        return iterator
+
+    def _ensure_samples(self) -> None:
+        if self._samples:
+            return
+        for position, stream_id in enumerate(self.stream_ids()):
+            self._samples[stream_id] = self._sample_iterator(
+                position, self._unit_counts.get(stream_id, 0)
+            )
+
+    # ------------------------------------------------------------------
+    # Model versions
+    # ------------------------------------------------------------------
+    def _evaluate(self, state: dict) -> float:
+        self._evaluator.set_state(state)
+        return float(self._evaluator.evaluate())
+
+    def _collect_retrain(self) -> None:
+        """Join an outstanding retrain; publish (not adopt) the result."""
+        if self._future is None:
+            return
+        state = self._future.result()
+        self._future = None
+        self._pending_version = self.registry.publish(
+            state,
+            metric=self._evaluate(state),
+            round_index=self.round_index - 1,
+        )
+
+    def _adopt_pending(self) -> None:
+        """Hot-swap: serving predictions move to the pending version.
+
+        Called at a raw-unit boundary; monitor/evaluator state in every
+        stream session is untouched, which is what makes the swap
+        invisible to the monitoring output (see the hot-swap test).
+        """
+        if self._pending_version is None:
+            return
+        self.adapter.set_state(self.registry.get(self._pending_version).state)
+        self.adopted_version = self._pending_version
+        self._pending_version = None
+
+    def _submit_retrain(self) -> None:
+        """Kick off fine-tuning on the grown ledger (skip when unchanged)."""
+        if len(self.queue) == 0 or len(self.queue) == self._ledger_size_at_submit:
+            return
+        self._ledger_size_at_submit = len(self.queue)
+        self._future = self._worker.submit(
+            self.adapter.get_state(), self.queue.examples()
+        )
+
+    # ------------------------------------------------------------------
+    # Round phases
+    # ------------------------------------------------------------------
+    def _attribute_fires(self, fires: list) -> int:
+        """Fold fresh fires into pool candidates' severity vectors.
+
+        Temporal assertions attribute severity retroactively (a flicker
+        fire lands on the gap item); the fire's ``item_index`` finds the
+        unit that contained the item. Units already labeled or aged out
+        of the pool absorb nothing (the :class:`FireStore` still counts
+        every fire).
+        """
+        name_index = {name: i for i, name in enumerate(self.assertion_names)}
+        for fire in fires:
+            column = name_index[fire.record.assertion_name]
+            for candidate in reversed(self._by_stream.get(fire.stream_id, ())):
+                if candidate.contains_item(fire.record.item_index):
+                    candidate.severity[column] += fire.record.severity
+                    break
+                if candidate.item_stop <= fire.record.item_index:
+                    break  # older candidates end even earlier
+        return len(fires)
+
+    def _drop_from_pool(self, candidates: list) -> None:
+        keys = {c.key for c in candidates}
+        self._pool = [c for c in self._pool if c.key not in keys]
+        for stream_id in {c.stream_id for c in candidates}:
+            self._by_stream[stream_id] = [
+                c for c in self._by_stream.get(stream_id, []) if c.key not in keys
+            ]
+
+    def _enforce_pool_bound(self) -> None:
+        limit = self.config.max_pool
+        if limit is None or len(self._pool) <= limit:
+            return
+        self._drop_from_pool(self._pool[: len(self._pool) - limit])
+
+    def _stream_phase(self, report: ImproveRound) -> None:
+        self._ensure_samples()
+        stream_ids = self.stream_ids()
+        items_before = sum(
+            self.service.session(sid).n_items for sid in stream_ids
+        )
+        for tick in range(self.config.items_per_round):
+            if tick == self.config.swap_tick:
+                self._adopt_pending()
+            pairs = []
+            fresh: list = []
+            for stream_id in stream_ids:
+                sample = next(self._samples[stream_id])
+                raw = self.adapter.predict_raw(sample)
+                session = self.service.session(stream_id)
+                candidate = Candidate(
+                    stream_id=stream_id,
+                    unit_index=self._unit_counts.get(stream_id, 0),
+                    item_start=session.n_items,
+                    item_stop=session.n_items,  # filled after ingest
+                    sample=sample,
+                    raw=raw,
+                    severity=np.zeros(len(self.assertion_names), dtype=np.float64),
+                    uncertainty=float(self.adapter.uncertainty(sample, raw)),
+                    round_index=self.round_index,
+                )
+                self._unit_counts[stream_id] = candidate.unit_index + 1
+                pairs.append((stream_id, raw))
+                fresh.append(candidate)
+            fires = self.service.ingest_batch(pairs)
+            for candidate in fresh:
+                candidate.item_stop = self.service.session(
+                    candidate.stream_id
+                ).n_items
+                self._pool.append(candidate)
+                self._by_stream.setdefault(candidate.stream_id, []).append(candidate)
+            report.n_fires += self._attribute_fires(fires)
+            report.n_units += len(pairs)
+        self._enforce_pool_bound()
+        report.n_items = (
+            sum(self.service.session(sid).n_items for sid in stream_ids)
+            - items_before
+        )
+
+    def _select_phase(self) -> list:
+        if not self._pool or self.config.budget == 0:
+            return []
+        severities = np.stack([c.severity for c in self._pool])
+        uncertainty = np.asarray([c.uncertainty for c in self._pool])
+        picked = self.policy.select(
+            severities, uncertainty, self.config.budget,
+            round_index=self.round_index,
+        )
+        return [self._pool[i] for i in picked]
+
+    def _label_phase(self, selected: list, report: ImproveRound) -> None:
+        oracle_added = self.queue.submit_oracle(
+            selected, self.adapter, self.round_index
+        )
+        self._drop_from_pool(selected)
+        report.n_selected = len(selected)
+        report.n_oracle_new = len(oracle_added)
+        if self.config.weak and self.config.weak_cap > 0:
+            fired = [
+                c
+                for c in self._pool
+                if c.severity.sum() > 0 and c.key not in self._weak_seen
+            ][: self.config.weak_cap]
+            weak_added = self.queue.submit_weak(fired, self.adapter, self.round_index)
+            self._weak_seen.update(c.key for c in fired)
+            report.n_weak_new = len(weak_added)
+
+    # ------------------------------------------------------------------
+    # Public driving API
+    # ------------------------------------------------------------------
+    def run_round(self) -> ImproveRound:
+        """One full monitor → select → label → retrain round."""
+        self._collect_retrain()
+        report = ImproveRound(
+            round_index=self.round_index,
+            version_start=self.adopted_version,
+            version_end=self.adopted_version,
+        )
+        self._stream_phase(report)
+        report.version_end = self.adopted_version
+        selected = self._select_phase()
+        self._label_phase(selected, report)
+        self._submit_retrain()
+        report.pool_size = len(self._pool)
+        self.rounds.append(report)
+        self.round_index += 1
+        return report
+
+    def finish(self) -> None:
+        """Join and publish any outstanding retrain (adoption stays
+        scheduled for the next stream phase, exactly as in an
+        uninterrupted run)."""
+        self._collect_retrain()
+
+    def run(self, n_rounds: "int | None" = None) -> ImproveResult:
+        """Run ``n_rounds`` (default: the config's) rounds and finish."""
+        for _ in range(n_rounds if n_rounds is not None else self.config.n_rounds):
+            self.run_round()
+        self.finish()
+        return self.result()
+
+    def result(self) -> ImproveResult:
+        """The run's telemetry as one codec-serializable object."""
+        return ImproveResult(
+            domain=self.config.domain,
+            policy=self.config.policy,
+            budget=self.config.budget,
+            metric_name=self.adapter.metric_name,
+            initial_metric=self.initial_metric,
+            rounds=list(self.rounds),
+            versions=self.registry.history(),
+            n_labeled=self.queue.n_oracle,
+            n_weak=self.queue.n_weak,
+        )
+
+    def close(self) -> None:
+        """Release the retrain worker's process pool, if any."""
+        self._worker.close()
+
+    def __enter__(self) -> "ImprovementLoop":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Checkpoint the *entire* loop as one JSON payload.
+
+        Covers the serving fleet (monitor state per stream), the fire
+        store, the bandit/policy state, the labeled ledger, the candidate
+        pool, every retained model version, and the adoption bookkeeping.
+        An outstanding retrain is joined first, so the payload never
+        loses an in-flight model.
+        """
+        self._collect_retrain()
+        from repro.utils.codec import to_jsonable
+
+        try:
+            domain_config = to_jsonable(self._domain_config)
+        except TypeError:
+            raise ValueError(
+                f"domain_config {type(self._domain_config).__name__} is not "
+                "codec-registered; decorate it with @register_result_type so "
+                "a resumed loop can rebuild the same domain"
+            ) from None
+        return {
+            "format": IMPROVE_SNAPSHOT_FORMAT,
+            "config": to_jsonable(self.config),
+            "domain_config": domain_config,
+            "round_index": self.round_index,
+            "service": self.service.snapshot(),
+            "fires": self.fire_store.snapshot(),
+            # Policy and model states hold live ndarrays (fast in
+            # process); the snapshot boundary is where they become JSON.
+            "policy": to_jsonable(self.policy.get_state()),
+            "queue": self.queue.snapshot(),
+            "pool": [c.to_payload() for c in self._pool],
+            "registry": to_jsonable(self.registry.snapshot()),
+            # The serving weights, verbatim: the registry ring may have
+            # dropped the adopted version, so it is persisted explicitly.
+            "adapter_state": to_jsonable(self.adapter.get_state()),
+            "adopted_version": self.adopted_version,
+            "pending_version": self._pending_version,
+            "ledger_size_at_submit": self._ledger_size_at_submit,
+            "unit_counts": dict(self._unit_counts),
+            "weak_seen": [to_jsonable(key) for key in sorted(self._weak_seen)],
+            "rounds": [to_jsonable(r) for r in self.rounds],
+            "initial_metric": self.initial_metric,
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Resume from a :meth:`snapshot` payload (same config required)."""
+        from repro.utils.codec import from_jsonable
+
+        fmt = payload.get("format")
+        if fmt != IMPROVE_SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"unsupported improvement-loop snapshot format {fmt!r} "
+                f"(expected {IMPROVE_SNAPSHOT_FORMAT})"
+            )
+        config = from_jsonable(payload["config"])
+        if config != self.config:
+            raise ValueError(
+                f"snapshot was taken with config {config}, this loop runs "
+                f"{self.config}; build the loop from the snapshot's config"
+            )
+        domain_config = from_jsonable(payload["domain_config"])
+        if domain_config != self._domain_config:
+            raise ValueError(
+                f"snapshot was taken with domain_config {domain_config!r}, "
+                f"this loop was built with {self._domain_config!r}; pass the "
+                "snapshot's domain config (from_snapshot does this for you)"
+            )
+        self.round_index = int(payload["round_index"])
+        self.service.restore(payload["service"])
+        self.fire_store.restore(payload["fires"])
+        self.policy.set_state(from_jsonable(payload["policy"]))
+        self.queue.restore(payload["queue"])
+        self.registry.restore(from_jsonable(payload["registry"]))
+        self._pool = [Candidate.from_payload(row) for row in payload["pool"]]
+        self._by_stream = {}
+        for candidate in self._pool:
+            self._by_stream.setdefault(candidate.stream_id, []).append(candidate)
+        self.adopted_version = int(payload["adopted_version"])
+        pending = payload["pending_version"]
+        self._pending_version = None if pending is None else int(pending)
+        self._ledger_size_at_submit = int(payload["ledger_size_at_submit"])
+        self._unit_counts = {
+            sid: int(count) for sid, count in payload["unit_counts"].items()
+        }
+        self._weak_seen = {from_jsonable(key) for key in payload["weak_seen"]}
+        self.rounds = [from_jsonable(row) for row in payload["rounds"]]
+        self.initial_metric = float(payload["initial_metric"])
+        # Serving weights come from the explicit payload, not the
+        # registry: a max_versions ring may have dropped the adopted
+        # version while newer (pending) ones were published.
+        self.adapter.set_state(from_jsonable(payload["adapter_state"]))
+        self._future = None
+        self._samples = {}  # rebuilt (with replay) on the next stream phase
+
+    @classmethod
+    def from_snapshot(cls, payload: dict, *, domain_config=None) -> "ImprovementLoop":
+        """Build a loop for the payload's config and restore into it.
+
+        Skips the bootstrap training an ordinary constructor performs —
+        the snapshot carries every model version already.
+        """
+        from repro.utils.codec import from_jsonable
+
+        config = from_jsonable(payload.get("config"))
+        if not isinstance(config, ImproveConfig):
+            raise ValueError("not an improvement-loop snapshot (no config)")
+        if domain_config is None and payload.get("domain_config") is not None:
+            domain_config = from_jsonable(payload["domain_config"])
+        loop = cls.__new__(cls)
+        loop._init_shell(config, domain_config)
+        loop.adapter = loop.domain.retrainable(
+            derive_seed(config.seed, "improve", "model"), bootstrap=False
+        )
+        loop.restore(payload)
+        return loop
+
+    def _init_shell(self, config: ImproveConfig, domain_config) -> None:
+        """Constructor minus bootstrap training (the restore path)."""
+        self.config = config
+        self.domain = get_domain(config.domain, domain_config)
+        self._domain_config = domain_config
+        seed = config.seed
+        self.service = MonitorService(
+            self.domain, config=ServiceConfig(snapshot_on_evict=True)
+        )
+        self.fire_store = FireStore(max_per_stream=config.fires_per_stream)
+        self.service.on_fire(self.fire_store.add)
+        self.assertion_names = list(self.domain.build_monitor().database.names())
+        self.policy = SelectionPolicy(
+            config.policy,
+            seed=derive_seed(seed, "improve", "policy"),
+            fallback=config.fallback,
+        )
+        self.queue = LabelQueue()
+        self.registry = ModelRegistry(max_versions=config.max_versions)
+        self._worker = RetrainWorker(
+            config.domain,
+            domain_config,
+            seed=derive_seed(seed, "improve", "model"),
+            jobs=config.jobs,
+        )
+        #: Evaluation shell: versions are scored on the domain's held-out
+        #: set without touching the serving weights.
+        self._evaluator = self.domain.retrainable(
+            derive_seed(seed, "improve", "model"), bootstrap=False
+        )
+        #: The serving model; each construction path binds its own
+        #: (bootstrap-trained in __init__, a bare shell in from_snapshot).
+        self.adapter = None
+        self.round_index = 0
+        self.rounds = []
+        self._pool = []  # unlabeled Candidates, arrival order
+        self._by_stream = {}  # stream_id -> pool candidates, unit order
+        self._weak_seen = set()  # keys already routed to weak labeling
+        self._unit_counts = {}  # stream_id -> raw units ever ingested
+        self._samples = {}  # stream_id -> live sample iterator
+        self._future = None  # outstanding retrain, if any
+        self._pending_version = None  # published, not yet adopted
+        self._ledger_size_at_submit = 0
+        self.adopted_version = 0
+        self.initial_metric = 0.0

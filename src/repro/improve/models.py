@@ -1,0 +1,138 @@
+"""``ModelRegistry``: monotonically versioned model states for hot-swap.
+
+A version is a full training-state payload (weights, optimizer moments,
+generator positions — see ``RetrainableModel.get_state``) plus its
+publish-time held-out metric. Versions are immutable and numbered from 1
+upward; the serving fleet *adopts* a version by ``set_state`` at a
+stream-item boundary, which touches no evaluator state — the hot-swap
+the improvement loop performs every time retraining lands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Version tag of the :meth:`ModelRegistry.snapshot` payload layout.
+MODEL_REGISTRY_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One published model: its number, state payload, and provenance."""
+
+    version: int
+    state: dict
+    metric: "float | None" = None
+    round_index: int = -1  # -1: the bootstrap model, before any round
+
+    def __repr__(self) -> str:  # state payloads are huge; keep repr sane
+        metric = "?" if self.metric is None else f"{self.metric:.2f}"
+        return (
+            f"ModelVersion(v{self.version}, metric={metric}, "
+            f"round={self.round_index})"
+        )
+
+
+class ModelRegistry:
+    """Append-only, ring-bounded store of :class:`ModelVersion` s.
+
+    Parameters
+    ----------
+    max_versions:
+        Retained versions (oldest dropped first); ``None`` = keep all.
+        The numbering stays monotonic across drops, and the latest
+        version is always retained.
+    """
+
+    def __init__(self, max_versions: "int | None" = None) -> None:
+        if max_versions is not None and max_versions < 1:
+            raise ValueError(f"max_versions must be >= 1, got {max_versions}")
+        self.max_versions = max_versions
+        self._versions: list = []
+        self._next = 1
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    @property
+    def latest_version(self) -> "int | None":
+        """Highest published version number (``None`` when empty)."""
+        return self._versions[-1].version if self._versions else None
+
+    def publish(
+        self, state: dict, *, metric: "float | None" = None, round_index: int = -1
+    ) -> int:
+        """Register a new model state; returns its version number."""
+        version = ModelVersion(
+            version=self._next,
+            state=state,
+            metric=metric,
+            round_index=round_index,
+        )
+        self._next += 1
+        self._versions.append(version)
+        if self.max_versions is not None:
+            del self._versions[: max(0, len(self._versions) - self.max_versions)]
+        return version.version
+
+    def get(self, version: int) -> ModelVersion:
+        """The published version, or KeyError (unknown / ring-dropped)."""
+        for candidate in self._versions:
+            if candidate.version == version:
+                return candidate
+        raise KeyError(
+            f"model version {version} is not in the registry "
+            f"(retained: {[v.version for v in self._versions]})"
+        )
+
+    def latest(self) -> ModelVersion:
+        """The newest version, or KeyError when empty."""
+        if not self._versions:
+            raise KeyError("the model registry is empty; publish first")
+        return self._versions[-1]
+
+    def versions(self) -> list:
+        """Retained :class:`ModelVersion` s, oldest first."""
+        return list(self._versions)
+
+    def history(self) -> list:
+        """``(version, metric, round_index)`` rows, oldest first."""
+        return [(v.version, v.metric, v.round_index) for v in self._versions]
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-encodable checkpoint (state payloads included)."""
+        return {
+            "format": MODEL_REGISTRY_FORMAT,
+            "max_versions": self.max_versions,
+            "next": self._next,
+            "versions": [
+                {
+                    "version": v.version,
+                    "state": v.state,
+                    "metric": v.metric,
+                    "round_index": v.round_index,
+                }
+                for v in self._versions
+            ],
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Replace contents with a :meth:`snapshot` payload."""
+        fmt = payload.get("format")
+        if fmt != MODEL_REGISTRY_FORMAT:
+            raise ValueError(
+                f"unsupported model-registry snapshot format {fmt!r} "
+                f"(expected {MODEL_REGISTRY_FORMAT})"
+            )
+        self.max_versions = payload["max_versions"]
+        self._next = int(payload["next"])
+        self._versions = [
+            ModelVersion(
+                version=int(row["version"]),
+                state=row["state"],
+                metric=row["metric"],
+                round_index=int(row["round_index"]),
+            )
+            for row in payload["versions"]
+        ]

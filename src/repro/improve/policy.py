@@ -1,0 +1,103 @@
+"""``SelectionPolicy``: pluggable label selection over the fired pool.
+
+A thin, checkpointable wrapper around the §5.4 strategies: ``random``
+(uniform over the pool), ``uniform`` (uniform over assertion-flagged
+points, the paper's "uniform MA"), and ``bal`` (the Algorithm 2 bandit,
+reusing :mod:`repro.core.bal` — marginal fire-count reductions as the
+posterior signal, ε-greedy exploration, severity-rank weighting within
+an assertion).
+
+The wrapper's job is operational: one name-keyed constructor for the
+CLI, and ``get_state``/``set_state`` that captures the strategy's
+cross-round state (bandit posteriors, generator positions) so a resumed
+improvement loop picks bit-identically to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.strategies import (
+    BALStrategy,
+    RandomStrategy,
+    SelectionContext,
+    UniformAssertionStrategy,
+)
+
+#: CLI-facing policy names, in display order.
+POLICY_NAMES = ("random", "uniform", "bal")
+
+
+class SelectionPolicy:
+    """One labeling round's point picker (see the module docstring).
+
+    Parameters
+    ----------
+    name:
+        ``"random"`` | ``"uniform"`` | ``"bal"``.
+    seed:
+        Seed for the strategy's own stream (derive it from the loop's
+        root seed so runs are reproducible).
+    fallback:
+        BAL's baseline when every assertion has stalled (``"random"`` or
+        ``"uncertainty"``); ignored by the other policies.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        seed: "int | None" = None,
+        fallback: str = "random",
+    ) -> None:
+        if name not in POLICY_NAMES:
+            raise ValueError(
+                f"unknown policy {name!r}; choose from {', '.join(POLICY_NAMES)}"
+            )
+        self.name = name
+        if name == "random":
+            self.strategy = RandomStrategy(seed=seed)
+        elif name == "uniform":
+            self.strategy = UniformAssertionStrategy(seed=seed)
+        else:
+            self.strategy = BALStrategy(seed=seed, fallback=fallback)
+
+    def select(
+        self,
+        severities: np.ndarray,
+        uncertainty: np.ndarray,
+        budget: int,
+        *,
+        round_index: int,
+    ) -> np.ndarray:
+        """Pick up to ``budget`` pool indices for labeling this round.
+
+        ``severities`` is the ``(n, d)`` assertion matrix over the
+        *unlabeled* candidate pool (the loop removes labeled candidates),
+        so the whole pool is selectable.
+        """
+        severities = np.asarray(severities, dtype=np.float64)
+        ctx = SelectionContext(
+            severities=severities,
+            uncertainty=np.asarray(uncertainty, dtype=np.float64),
+            labeled_mask=np.zeros(severities.shape[0], dtype=bool),
+            round_index=round_index,
+        )
+        return np.asarray(self.strategy.select(ctx, budget), dtype=np.intp)
+
+    def reset(self) -> None:
+        self.strategy.reset()
+
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """JSON-encodable checkpoint (policy name + strategy state)."""
+        return {"name": self.name, "strategy": self.strategy.get_state()}
+
+    def set_state(self, payload: dict) -> None:
+        """Restore :meth:`get_state` output into a same-named policy."""
+        if payload.get("name") != self.name:
+            raise ValueError(
+                f"state is for policy {payload.get('name')!r}, this policy "
+                f"is {self.name!r}"
+            )
+        self.strategy.set_state(payload["strategy"])

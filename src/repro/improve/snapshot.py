@@ -1,0 +1,46 @@
+"""File persistence for :class:`~repro.improve.ImprovementLoop` snapshots.
+
+A loop snapshot is plain JSON-encodable primitives (model states and
+policy arrays are codec-encoded at the snapshot boundary), so
+persistence is ``json`` plus a header check, with atomic writes — the
+same contract :mod:`repro.serve.snapshot` gives fleet snapshots.
+"""
+
+from __future__ import annotations
+
+from repro.improve.loop import IMPROVE_SNAPSHOT_FORMAT, ImprovementLoop
+from repro.utils.io import atomic_write_json, read_json
+
+
+def save_loop_snapshot(loop: ImprovementLoop, path: str) -> dict:
+    """Snapshot ``loop`` and write it to ``path`` atomically.
+
+    Joins any outstanding retrain first (see
+    :meth:`ImprovementLoop.snapshot`). Returns the written payload.
+    """
+    payload = loop.snapshot()
+    atomic_write_json(payload, path)
+    return payload
+
+
+def load_loop_payload(path: str) -> dict:
+    """Read and validate an improvement-loop snapshot payload."""
+    payload = read_json(path)
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format") != IMPROVE_SNAPSHOT_FORMAT
+        or "config" not in payload
+        or "registry" not in payload
+    ):
+        raise ValueError(
+            f"{path} is not an improvement-loop snapshot "
+            f"(format {IMPROVE_SNAPSHOT_FORMAT} with config/registry)"
+        )
+    return payload
+
+
+def load_improvement_loop(path: str, *, domain_config=None) -> ImprovementLoop:
+    """Rebuild a loop (fleet, ledger, versions, bandit) from a snapshot."""
+    return ImprovementLoop.from_snapshot(
+        load_loop_payload(path), domain_config=domain_config
+    )

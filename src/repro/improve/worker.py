@@ -1,0 +1,110 @@
+"""``RetrainWorker``: background fine-tuning with bit-identical results.
+
+Retraining is a pure function of ``(domain, model state payload, labeled
+examples)`` — :func:`retrain_once` rebuilds a bare model shell
+(``retrainable(bootstrap=False)``), restores the state (weights,
+optimizer moments, *and* generator positions), fine-tunes, and returns
+the new state. Because nothing depends on ambient process state, the
+exact same bits come back whether the call runs inline (``jobs=1``) or
+on a :class:`~concurrent.futures.ProcessPoolExecutor` — the property
+``tests/improve/test_loop.py`` pins down, mirroring the experiment
+runner's serial ≡ ``--jobs N`` guarantee.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any
+
+
+def retrain_once(
+    domain_name: str,
+    domain_config: Any,
+    seed: int,
+    state: dict,
+    examples: list,
+) -> dict:
+    """Fine-tune one model state on the labeled set; return the new state.
+
+    Runs in the main process or a pool worker interchangeably: the
+    domain (and its config, pickled across) rebuilds the adapter shell,
+    ``set_state`` restores the full training state, and the examples are
+    the ledger's ``(sample, label)`` pairs.
+    """
+    from repro.domains.registry import get_domain
+
+    adapter = get_domain(domain_name, domain_config).retrainable(
+        seed, bootstrap=False
+    )
+    adapter.set_state(state)
+    adapter.fine_tune(examples)
+    return adapter.get_state()
+
+
+class RetrainWorker:
+    """Runs :func:`retrain_once` inline or on a process pool.
+
+    Parameters
+    ----------
+    domain_name, domain_config, seed:
+        Forwarded to :func:`retrain_once` on every submission (the seed
+        is the loop's adapter seed, so shells match the serving model's
+        architecture).
+    jobs:
+        ``1`` (default) computes at :meth:`submit` time on the calling
+        thread; ``> 1`` dispatches to a process pool so the serving loop
+        keeps ingesting while the model trains. Results are bit-identical
+        either way.
+    """
+
+    def __init__(
+        self,
+        domain_name: str,
+        domain_config: Any = None,
+        *,
+        seed: int = 0,
+        jobs: int = 1,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.domain_name = domain_name
+        self.domain_config = domain_config
+        self.seed = seed
+        self.jobs = jobs
+        self._pool: "ProcessPoolExecutor | None" = None
+
+    def submit(self, state: dict, examples: list) -> Future:
+        """Schedule one retraining; returns a future of the new state."""
+        if self.jobs == 1:
+            future: Future = Future()
+            try:
+                future.set_result(
+                    retrain_once(
+                        self.domain_name, self.domain_config, self.seed,
+                        state, examples,
+                    )
+                )
+            except BaseException as exc:  # parity with the pool path
+                future.set_exception(exc)
+            return future
+        if self._pool is None:
+            # Sized 1: retraining rounds are sequential by construction
+            # (each starts from the previous result); the pool buys
+            # overlap with serving, not retrain-vs-retrain parallelism.
+            self._pool = ProcessPoolExecutor(max_workers=1)
+        return self._pool.submit(
+            retrain_once, self.domain_name, self.domain_config, self.seed,
+            state, examples,
+        )
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent; inline mode is a no-op)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "RetrainWorker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

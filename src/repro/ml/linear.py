@@ -42,6 +42,37 @@ class LogisticRegression:
         self.bias = np.zeros(n_classes, dtype=np.float64)
         self._optimizer = Adam(learning_rate=learning_rate)
 
+    def get_state(self) -> dict:
+        """JSON-encodable snapshot of everything training depends on
+        (parameters, optimizer moments, generator position) — see
+        :meth:`repro.ml.mlp.MLPClassifier.get_state`."""
+        from repro.utils.rng import generator_state
+
+        return {
+            "arch": [self.n_features, self.n_classes],
+            "weights": self.weights.copy(),
+            "bias": self.bias.copy(),
+            "optimizer": self._optimizer.get_state(),
+            "rng": generator_state(self._rng),
+        }
+
+    def set_state(self, payload: dict) -> None:
+        """Restore :meth:`get_state` output into a same-shaped model."""
+        from repro.utils.rng import generator_from_state
+
+        arch = [self.n_features, self.n_classes]
+        if list(payload["arch"]) != arch:
+            raise ValueError(
+                f"LogisticRegression state is for architecture "
+                f"{list(payload['arch'])}, this model is {arch}"
+            )
+        # np.array copies: restored parameters must never alias the
+        # payload (a registry keeps payloads immutable across training).
+        self.weights = np.array(payload["weights"], dtype=np.float64)
+        self.bias = np.array(payload["bias"], dtype=np.float64)
+        self._optimizer.set_state(payload["optimizer"])
+        self._rng = generator_from_state(payload["rng"])
+
     def clone(self) -> "LogisticRegression":
         """Deep copy of the model (parameters included, optimizer state reset)."""
         other = LogisticRegression(

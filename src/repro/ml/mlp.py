@@ -59,6 +59,40 @@ class MLPClassifier:
             self.biases.append(np.zeros(fan_out, dtype=np.float64))
         self._optimizer.reset()
 
+    def get_state(self) -> dict:
+        """JSON-encodable snapshot of everything training depends on.
+
+        Parameters, optimizer moments, and the generator position all
+        travel, so ``set_state`` + ``fit(reset=False)`` is bit-identical
+        to continuing the original object — whether the restore happens
+        in this process, in a retraining worker, or after a snapshot file
+        round trip.
+        """
+        from repro.utils.rng import generator_state
+
+        return {
+            "arch": [self.n_features, list(self.hidden), self.n_classes],
+            "weights": [w.copy() for w in self.weights],
+            "biases": [b.copy() for b in self.biases],
+            "optimizer": self._optimizer.get_state(),
+            "rng": generator_state(self._rng),
+        }
+
+    def set_state(self, payload: dict) -> None:
+        """Restore :meth:`get_state` output into a same-shaped classifier."""
+        from repro.utils.rng import generator_from_state
+
+        arch = [self.n_features, list(self.hidden), self.n_classes]
+        got = [payload["arch"][0], list(payload["arch"][1]), payload["arch"][2]]
+        if got != arch:
+            raise ValueError(f"MLP state is for architecture {got}, this model is {arch}")
+        # np.array copies: restored parameters must never alias the
+        # payload (a registry keeps payloads immutable across training).
+        self.weights = [np.array(w, dtype=np.float64) for w in payload["weights"]]
+        self.biases = [np.array(b, dtype=np.float64) for b in payload["biases"]]
+        self._optimizer.set_state(payload["optimizer"])
+        self._rng = generator_from_state(payload["rng"])
+
     def clone(self) -> "MLPClassifier":
         """Deep copy with identical parameters and fresh optimizer state."""
         other = MLPClassifier(

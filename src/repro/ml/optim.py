@@ -30,6 +30,25 @@ class SGD:
         """Clear optimizer state (e.g., before retraining from scratch)."""
         self._velocity = None
 
+    def get_state(self) -> dict:
+        """JSON-encodable snapshot of the momentum buffers."""
+        return {
+            "velocity": (
+                None
+                if self._velocity is None
+                else [v.copy() for v in self._velocity]
+            ),
+        }
+
+    def set_state(self, payload: dict) -> None:
+        """Restore :meth:`get_state` output (inverse, bit-exact)."""
+        velocity = payload["velocity"]
+        self._velocity = (
+            None
+            if velocity is None
+            else [np.array(v, dtype=np.float64) for v in velocity]
+        )
+
 
 class Adam:
     """Adam optimizer (Kingma & Ba, 2015) with bias correction."""
@@ -71,3 +90,25 @@ class Adam:
         self._m = None
         self._v = None
         self._t = 0
+
+    def get_state(self) -> dict:
+        """JSON-encodable snapshot of the moment buffers and step count.
+
+        Fine-tuning continues from warm moments, so a model restored from
+        a snapshot must resume with the exact buffers — otherwise the
+        next retraining round diverges from an uninterrupted run.
+        """
+        return {
+            "t": self._t,
+            "m": None if self._m is None else [m.copy() for m in self._m],
+            "v": None if self._v is None else [v.copy() for v in self._v],
+        }
+
+    def set_state(self, payload: dict) -> None:
+        """Restore :meth:`get_state` output (inverse, bit-exact)."""
+        self._t = int(payload["t"])
+        m, v = payload["m"], payload["v"]
+        # np.array copies: the moment buffers are updated in place, so
+        # they must never alias the (immutable) payload arrays.
+        self._m = None if m is None else [np.array(a, dtype=np.float64) for a in m]
+        self._v = None if v is None else [np.array(a, dtype=np.float64) for a in v]

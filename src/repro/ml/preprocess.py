@@ -49,3 +49,16 @@ class Standardizer:
 
     def fit_transform(self, features: np.ndarray) -> np.ndarray:
         return self.fit(features).transform(features)
+
+    def get_state(self) -> dict:
+        """JSON-encodable snapshot of the frozen statistics."""
+        return {
+            "mean": None if self.mean_ is None else self.mean_.copy(),
+            "scale": None if self.scale_ is None else self.scale_.copy(),
+        }
+
+    def set_state(self, payload: dict) -> None:
+        """Restore :meth:`get_state` output (inverse, bit-exact)."""
+        mean, scale = payload["mean"], payload["scale"]
+        self.mean_ = None if mean is None else np.array(mean, dtype=np.float64)
+        self.scale_ = None if scale is None else np.array(scale, dtype=np.float64)

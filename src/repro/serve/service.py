@@ -72,12 +72,21 @@ class ServiceConfig:
     max_workers:
         Thread-pool width for the batch fan-out; ``None`` lets the
         executor pick.
+    snapshot_on_evict:
+        When True, :meth:`MonitorService.evict` captures the session's
+        restorable snapshot *before* ``on_evict`` hooks fire and exposes
+        it as ``session.evict_snapshot`` (``None`` for broken sessions).
+        Hooks and callers can persist it and later re-admit the stream
+        with :meth:`MonitorService.restore_session` — so LRU/TTL eviction
+        never silently discards a stream's history (the improvement loop
+        relies on this).
     """
 
     max_sessions: "int | None" = None
     session_ttl: "float | None" = None
     parallel: bool = True
     max_workers: "int | None" = None
+    snapshot_on_evict: bool = False
 
     def __post_init__(self) -> None:
         if self.max_sessions is not None and self.max_sessions < 1:
@@ -108,6 +117,8 @@ class StreamSession:
         self.n_raw = 0
         #: The exception that broke this session, if any.
         self.broken: "Exception | None" = None
+        #: Snapshot captured at eviction time (``snapshot_on_evict``).
+        self.evict_snapshot: "dict | None" = None
 
     @property
     def n_items(self) -> int:
@@ -291,10 +302,40 @@ class MonitorService:
 
     def evict(self, stream_id: str) -> StreamSession:
         """Drop a session (KeyError if absent); returns it after firing
-        ``on_evict`` hooks, so callers can checkpoint it."""
+        ``on_evict`` hooks, so callers can checkpoint it.
+
+        With ``snapshot_on_evict`` the session's restorable snapshot is
+        captured first and exposed as ``session.evict_snapshot`` (``None``
+        when the session is broken — indeterminate state must not be
+        persisted); hand it to :meth:`restore_session` to re-admit the
+        stream exactly where it left off.
+        """
         session = self._sessions.pop(stream_id)
+        if self.config.snapshot_on_evict and session.broken is None:
+            session.evict_snapshot = session.snapshot()
         for action in self._evict_actions:
             action(session)
+        return session
+
+    def restore_session(self, stream_id: str, payload: dict) -> StreamSession:
+        """Re-admit one stream from a session snapshot.
+
+        ``payload`` is what :meth:`StreamSession.snapshot` produced —
+        either ``session.evict_snapshot`` or one entry of a fleet
+        :meth:`snapshot`. The stream id must not be live (evict it first
+        to replace it); the restored session counts as most recently
+        used, and the LRU bound is enforced afterwards.
+        """
+        if stream_id in self._sessions:
+            raise ValueError(
+                f"stream {stream_id!r} is live; evict it before restoring "
+                "a snapshot into its slot"
+            )
+        now = self._clock()
+        self._purge_expired(now)
+        session = StreamSession.restore(stream_id, self.domain, payload, now)
+        self._sessions[stream_id] = session
+        self._enforce_capacity()
         return session
 
     def _purge_expired(self, now: float) -> None:

@@ -9,8 +9,6 @@ leaves a truncated snapshot behind.
 
 from __future__ import annotations
 
-import json
-import os
 from typing import Any
 
 from repro.serve.service import (
@@ -18,6 +16,7 @@ from repro.serve.service import (
     MonitorService,
     ServiceConfig,
 )
+from repro.utils.io import atomic_write_json, read_json
 
 
 def save_service_snapshot(
@@ -35,17 +34,7 @@ def save_service_snapshot(
             if key in payload:
                 raise ValueError(f"extra key {key!r} collides with the payload")
         payload.update(extra)
-    # Per-PID temp name: concurrent checkpointers to the same path must
-    # not interleave writes into one temp file (same pattern as the
-    # experiment artifact cache).
-    tmp_path = f"{path}.{os.getpid()}.tmp"
-    try:
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
-        os.replace(tmp_path, path)
-    finally:
-        if os.path.exists(tmp_path):
-            os.remove(tmp_path)
+    atomic_write_json(payload, path)
     return payload
 
 
@@ -57,8 +46,7 @@ def load_snapshot_payload(path: str) -> dict:
     ``domain``/``sessions``, and must be rejected cleanly here rather
     than crash deeper in :meth:`MonitorService.restore`.
     """
-    with open(path, "r", encoding="utf-8") as handle:
-        payload = json.load(handle)
+    payload = read_json(path)
     if (
         not isinstance(payload, dict)
         or payload.get("format") != SERVICE_SNAPSHOT_FORMAT

@@ -1,0 +1,29 @@
+"""Small filesystem helpers shared by the snapshot layers."""
+
+from __future__ import annotations
+
+import json
+import os
+
+
+def atomic_write_json(payload: dict, path: str) -> None:
+    """Write ``payload`` to ``path`` as JSON, atomically.
+
+    Temp file + rename, with a per-PID temp name so concurrent
+    checkpointers to the same path never interleave writes into one temp
+    file — the pattern the experiment artifact cache established.
+    """
+    tmp_path = f"{path}.{os.getpid()}.tmp"
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.remove(tmp_path)
+
+
+def read_json(path: str) -> dict:
+    """Read one JSON document from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -26,6 +26,29 @@ def as_generator(seed: "int | np.random.Generator | None") -> np.random.Generato
     return np.random.default_rng(seed)
 
 
+def generator_state(gen: np.random.Generator) -> dict:
+    """JSON-encodable snapshot of a generator's exact stream position.
+
+    The payload is the bit generator's ``state`` dict (plain strings and
+    Python ints, which JSON preserves at arbitrary precision), so a
+    restored generator continues the stream bit-for-bit — the property
+    model snapshots rely on to make resumed fine-tuning identical to an
+    uninterrupted run.
+    """
+    return gen.bit_generator.state
+
+
+def generator_from_state(state: dict) -> np.random.Generator:
+    """Rebuild a generator from :func:`generator_state` output."""
+    name = state.get("bit_generator")
+    bit_cls = getattr(np.random, str(name), None)
+    if bit_cls is None or not isinstance(bit_cls, type):
+        raise ValueError(f"unknown bit generator {name!r} in generator state")
+    bit = bit_cls()
+    bit.state = state
+    return np.random.Generator(bit)
+
+
 def spawn_generators(seed: "int | np.random.Generator | None", n: int) -> list[np.random.Generator]:
     """Derive ``n`` independent generators from one seed.
 

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.utils.codec import register_result_type
 from repro.utils.rng import as_generator
 
 #: Record classes, CINC17 order.
@@ -52,6 +53,7 @@ ECG_FEATURE_NAMES = (
 N_ECG_FEATURES = len(ECG_FEATURE_NAMES)
 
 
+@register_result_type
 @dataclass(frozen=True)
 class ECGRecord:
     """One record: per-window features plus the record-level label."""
@@ -70,6 +72,7 @@ class ECGRecord:
         return ECG_CLASSES[self.label]
 
 
+@register_result_type
 @dataclass(frozen=True)
 class ECGWorldConfig:
     """Parameters of the record generator."""

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.geometry.box2d import Box2D, make_box
+from repro.utils.codec import register_result_type
 from repro.utils.rng import as_generator
 from repro.worlds import rendering
 
@@ -34,6 +35,7 @@ from repro.worlds import rendering
 VEHICLE_CLASSES = ("car", "truck")
 
 
+@register_result_type
 @dataclass(frozen=True)
 class VehicleState:
     """Ground-truth state of one vehicle in one frame."""
@@ -46,6 +48,7 @@ class VehicleState:
     direction: int  # +1 rightward, -1 leftward
 
 
+@register_result_type
 @dataclass(frozen=True)
 class TrafficFrame:
     """One rendered frame plus its ground truth."""
@@ -61,6 +64,7 @@ class TrafficFrame:
         return [v.box.with_label(v.label) for v in self.vehicles]
 
 
+@register_result_type
 @dataclass(frozen=True)
 class TrafficWorldConfig:
     """Tunable parameters of the street scene.

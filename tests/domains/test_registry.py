@@ -162,41 +162,17 @@ class TestEcgDomainStream:
         assert set(items[0].outputs[0]) == {"class"}
 
 
-class TestDeprecatedShims:
-    """The old bespoke surfaces still work, loudly, for one PR."""
+class TestRemovedShims:
+    """The PR-3 deprecation shims are gone; the protocol is the only path."""
 
-    def test_video_observe_frame_warns(self):
+    def test_bespoke_surfaces_are_removed(self):
+        from repro.domains import ecg as ecg_pkg
+        from repro.domains.av import AVPipeline
+        from repro.domains.tvnews import TVNewsPipeline
         from repro.domains.video import VideoPipeline
 
-        pipeline = VideoPipeline()
-        pipeline.start_stream()
-        with pytest.deprecated_call():
-            pipeline.observe_frame([])
-
-    def test_av_observe_sample_warns(self):
-        from repro.domains.av import AVPipeline
-        from repro.geometry.camera import PinholeCamera
-
-        pipeline = AVPipeline(PinholeCamera())
-        sample = type("S", (), {"timestamp": 0.0})()
-        with pytest.deprecated_call():
-            pipeline.observe_sample(sample, [], [])
-
-    def test_tvnews_observe_scenes_warns(self):
-        from repro.domains.tvnews import TVNewsPipeline
-
-        with pytest.deprecated_call():
-            TVNewsPipeline().observe_scenes([])
-
-    def test_ecg_free_functions_warn_and_delegate(self):
-        from repro.domains.ecg.task import make_ecg_monitor, stream_record_severity
-        from repro.worlds.ecg import ECGWorld
-
-        with pytest.deprecated_call():
-            monitor = make_ecg_monitor(30.0)
-        assert monitor.database.names() == ["ECG"]
-        record = ECGWorld(seed=0).generate_record()
-        classes = np.zeros(record.n_windows, dtype=int)
-        with pytest.deprecated_call():
-            severity = stream_record_severity(monitor, record, classes)
-        assert severity == 0.0
+        assert not hasattr(VideoPipeline, "observe_frame")
+        assert not hasattr(AVPipeline, "observe_sample")
+        assert not hasattr(TVNewsPipeline, "observe_scenes")
+        assert not hasattr(ecg_pkg.task, "make_ecg_monitor")
+        assert not hasattr(ecg_pkg.task, "stream_record_severity")

@@ -1,0 +1,87 @@
+"""``FireStore``: ring bounds, totals, and lossless snapshots."""
+
+import json
+
+import pytest
+
+from repro.core.types import AssertionRecord
+from repro.improve import FireStore
+from repro.serve import StreamFire
+
+
+def fire(stream_id, name="osc", item_index=0, severity=1.0):
+    return StreamFire(
+        stream_id,
+        AssertionRecord(
+            assertion_name=name, item_index=item_index, severity=severity
+        ),
+    )
+
+
+class TestFireStore:
+    def test_accumulates_per_stream_in_order(self):
+        store = FireStore()
+        store.add(fire("a", item_index=0))
+        store.add(fire("b", item_index=1))
+        store.add(fire("a", item_index=2))
+        assert store.stream_ids() == ["a", "b"]
+        assert [r.item_index for r in store.fires("a")] == [0, 2]
+        assert [f.stream_id for f in store.all_fires()] == ["a", "a", "b"]
+        assert store.fires("never-fired") == []
+        assert len(store) == 3
+
+    def test_ring_drops_oldest_but_totals_keep_counting(self):
+        store = FireStore(max_per_stream=2)
+        for i in range(5):
+            store.add(fire("a", item_index=i))
+        assert [r.item_index for r in store.fires("a")] == [3, 4]
+        assert len(store) == 2
+        assert store.n_seen == 5
+        assert store.seen_counts() == {"a": 5}
+
+    def test_fire_counts_by_assertion(self):
+        store = FireStore()
+        store.add(fire("a", name="osc"))
+        store.add(fire("a", name="flicker"))
+        store.add(fire("b", name="osc"))
+        assert store.fire_counts() == {"osc": 2, "flicker": 1}
+
+    def test_snapshot_round_trips_through_json(self):
+        store = FireStore(max_per_stream=3)
+        for i in range(5):
+            store.add(fire("a", item_index=i, severity=float(i) + 0.25))
+        store.add(fire("b", name="flicker"))
+        payload = json.loads(json.dumps(store.snapshot()))
+        restored = FireStore.from_snapshot(payload)
+        assert restored.n_seen == store.n_seen
+        assert restored.fires("a") == store.fires("a")
+        assert restored.fires("b") == store.fires("b")
+        assert restored.fire_counts() == store.fire_counts()
+
+    def test_restore_validates_format_and_bounds(self):
+        store = FireStore(max_per_stream=3)
+        with pytest.raises(ValueError, match="format"):
+            store.restore({"format": 99})
+        other = FireStore(max_per_stream=8)
+        with pytest.raises(ValueError, match="max_per_stream"):
+            other.restore(store.snapshot())
+
+    def test_max_per_stream_validation(self):
+        with pytest.raises(ValueError, match="max_per_stream"):
+            FireStore(max_per_stream=0)
+
+    def test_wires_directly_into_service_on_fire(self):
+        from repro.domains.registry import get_domain
+        from repro.serve import MonitorService
+
+        domain = get_domain("tvnews")
+        service = MonitorService(domain)
+        store = FireStore()
+        dispatched = []
+        service.on_fire(store.add)
+        service.on_fire(dispatched.append)
+        stream = domain.iter_stream(domain.build_world(seed=0))
+        for _ in range(12):
+            service.ingest("feed", next(stream))
+        assert store.n_seen == len(dispatched) > 0
+        assert store.all_fires() == dispatched

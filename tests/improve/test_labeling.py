@@ -1,0 +1,128 @@
+"""``LabelQueue`` routing and the candidate/ledger serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.improve import Candidate, LabelQueue
+
+
+class StubModel:
+    """Oracle = sample value; weak label = raw value (None when < 0)."""
+
+    def oracle_label(self, sample):
+        return ("oracle", sample)
+
+    def weak_labels(self, samples, raws=None):
+        return [None if raw < 0 else ("weak", raw) for raw in raws]
+
+
+def candidate(stream_id, unit_index, sample=0, raw=0, severity=(1.0,)):
+    return Candidate(
+        stream_id=stream_id,
+        unit_index=unit_index,
+        item_start=unit_index * 10,
+        item_stop=unit_index * 10 + 10,
+        sample=sample,
+        raw=raw,
+        severity=np.asarray(severity, dtype=np.float64),
+        uncertainty=0.5,
+        round_index=0,
+    )
+
+
+class TestLabelQueue:
+    def test_oracle_labels_accumulate_in_order(self):
+        queue = LabelQueue()
+        added = queue.submit_oracle(
+            [candidate("s0", 0, sample=7), candidate("s1", 3, sample=9)],
+            StubModel(),
+            round_index=0,
+        )
+        assert [e.label for e in added] == [("oracle", 7), ("oracle", 9)]
+        assert queue.examples() == [(7, ("oracle", 7)), (9, ("oracle", 9))]
+        assert queue.n_oracle == 2 and queue.n_weak == 0
+        assert ("s0", 0) in queue
+
+    def test_double_oracle_spend_is_skipped(self):
+        queue = LabelQueue()
+        queue.submit_oracle([candidate("s0", 0)], StubModel(), round_index=0)
+        added = queue.submit_oracle([candidate("s0", 0)], StubModel(), round_index=1)
+        assert added == []
+        assert len(queue) == 1
+
+    def test_weak_then_oracle_upgrades_in_place(self):
+        queue = LabelQueue()
+        queue.submit_weak(
+            [candidate("s0", 0, raw=5), candidate("s0", 1, raw=6)],
+            StubModel(),
+            round_index=0,
+        )
+        assert queue.n_weak == 2
+        queue.submit_oracle([candidate("s0", 0, sample=1)], StubModel(), round_index=1)
+        # upgraded entry keeps its ledger position; counts shift
+        assert queue.n_oracle == 1 and queue.n_weak == 1
+        assert [e.source for e in queue.entries()] == ["oracle", "weak"]
+        assert [e.key for e in queue.entries()] == [("s0", 0), ("s0", 1)]
+
+    def test_weak_never_overwrites_any_existing_label(self):
+        queue = LabelQueue()
+        queue.submit_oracle([candidate("s0", 0)], StubModel(), round_index=0)
+        queue.submit_weak([candidate("s0", 0, raw=5)], StubModel(), round_index=1)
+        assert queue.entries()[0].source == "oracle"
+
+    def test_weak_none_labels_are_dropped(self):
+        queue = LabelQueue()
+        added = queue.submit_weak(
+            [candidate("s0", 0, raw=-1), candidate("s0", 1, raw=2)],
+            StubModel(),
+            round_index=0,
+        )
+        assert [e.key for e in added] == [("s0", 1)]
+
+    def test_weak_groups_per_stream_in_unit_order(self):
+        calls = []
+
+        class RecordingModel(StubModel):
+            def weak_labels(self, samples, raws=None):
+                calls.append(list(raws))
+                return super().weak_labels(samples, raws)
+
+        queue = LabelQueue()
+        queue.submit_weak(
+            [
+                candidate("s1", 2, raw=12),
+                candidate("s0", 1, raw=1),
+                candidate("s1", 0, raw=10),
+            ],
+            RecordingModel(),
+            round_index=0,
+        )
+        assert calls == [[10, 12], [1]]
+
+    def test_snapshot_round_trips_through_json(self):
+        queue = LabelQueue()
+        queue.submit_weak([candidate("s0", 0, raw=5)], StubModel(), round_index=0)
+        queue.submit_oracle([candidate("s1", 1, sample=3)], StubModel(), round_index=1)
+        restored = LabelQueue()
+        restored.restore(json.loads(json.dumps(queue.snapshot())))
+        assert [(e.key, e.label, e.source, e.round_index) for e in restored.entries()] \
+            == [(e.key, e.label, e.source, e.round_index) for e in queue.entries()]
+
+    def test_restore_validates_format(self):
+        with pytest.raises(ValueError, match="format"):
+            LabelQueue().restore({"format": 0})
+
+
+class TestCandidatePayload:
+    def test_round_trip_preserves_everything(self):
+        original = candidate("ecg-1", 4, sample=3, raw=7, severity=(0.5, 2.0))
+        restored = Candidate.from_payload(
+            json.loads(json.dumps(original.to_payload()))
+        )
+        assert restored.key == original.key == ("ecg-1", 4)
+        assert restored.contains_item(44) and not restored.contains_item(50)
+        np.testing.assert_array_equal(restored.severity, original.severity)
+        assert (restored.sample, restored.raw) == (3, 7)
+        assert restored.uncertainty == original.uncertainty

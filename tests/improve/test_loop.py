@@ -1,0 +1,261 @@
+"""Closed-loop determinism, hot-swap invisibility, and resume fidelity.
+
+The three pillars the ISSUE pins down:
+
+- same seed → bit-identical label picks, bandit posteriors, and model
+  metrics, whether retraining runs inline or in a worker process;
+- snapshot → resume equals an uninterrupted run, bit for bit;
+- hot-swapping a model version mid-stream leaves monitoring output
+  bit-identical to a run that started on that version from the swap
+  point onward.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.domains.registry import get_domain
+from repro.improve import ImproveConfig, ImprovementLoop
+from repro.serve import MonitorService
+from repro.utils.codec import to_jsonable
+
+SMALL = ImproveConfig(
+    domain="ecg",
+    policy="bal",
+    n_streams=2,
+    items_per_round=4,
+    budget=4,
+    n_rounds=2,
+    seed=0,
+)
+
+
+def fingerprint(loop):
+    """Every bit the determinism contract covers, as one JSON string."""
+    return json.dumps(
+        to_jsonable(
+            {
+                "adapter": loop.adapter.get_state(),
+                "policy": loop.policy.get_state(),
+                "versions": [
+                    (v.version, v.metric, v.round_index)
+                    for v in loop.registry.versions()
+                ],
+                "ledger": loop.queue.snapshot(),
+                "fires": loop.fire_store.snapshot(),
+                "rounds": loop.rounds,
+                "adopted": loop.adopted_version,
+                "pending": loop._pending_version,
+            }
+        )
+    )
+
+
+class TestClosedLoopDeterminism:
+    def test_serial_and_worker_pool_retraining_are_bit_identical(self):
+        serial = ImprovementLoop(SMALL)
+        serial.run()
+        with ImprovementLoop(dataclasses.replace(SMALL, jobs=2)) as pooled:
+            pooled.run()
+            assert fingerprint(serial) == fingerprint(pooled)
+
+    def test_snapshot_resume_matches_uninterrupted(self):
+        config = dataclasses.replace(SMALL, n_rounds=3, swap_tick=2)
+
+        uninterrupted = ImprovementLoop(config)
+        uninterrupted.run()
+
+        paused = ImprovementLoop(config)
+        paused.run_round()
+        payload = json.loads(json.dumps(paused.snapshot()))  # file round trip
+        resumed = ImprovementLoop.from_snapshot(payload)
+        resumed.run(2)
+        assert fingerprint(resumed) == fingerprint(uninterrupted)
+
+    def test_same_seed_same_picks_different_seed_different_picks(self):
+        a = ImprovementLoop(SMALL)
+        b = ImprovementLoop(SMALL)
+        c = ImprovementLoop(dataclasses.replace(SMALL, seed=1))
+        for loop in (a, b, c):
+            loop.run(1)
+        keys = lambda loop: [e.key for e in loop.queue.entries()]  # noqa: E731
+        assert keys(a) == keys(b)
+        assert fingerprint(a) == fingerprint(b)
+        assert fingerprint(a) != fingerprint(c)
+
+    def test_resume_survives_a_version_ring_that_dropped_the_adopted_model(self):
+        """With max_versions=1 the registry keeps only the newest
+        (pending) version while the fleet still serves the previous one;
+        the snapshot must restore the serving weights regardless."""
+        config = dataclasses.replace(SMALL, max_versions=1, n_rounds=2)
+        paused = ImprovementLoop(config)
+        paused.run()  # ends with a published-but-unadopted pending version
+        assert paused._pending_version is not None
+        assert paused._pending_version != paused.adopted_version
+        payload = json.loads(json.dumps(paused.snapshot()))
+        resumed = ImprovementLoop.from_snapshot(payload)
+        assert fingerprint(resumed) == fingerprint(paused)
+        resumed.run(1)  # and it keeps running (adopting the pending one)
+        assert resumed.adopted_version > 1
+
+    def test_snapshot_pins_the_domain_config(self):
+        from repro.domains.ecg.domain import EcgDomainConfig
+
+        custom = EcgDomainConfig(n_eval=40)
+        paused = ImprovementLoop(SMALL, domain_config=custom)
+        paused.run(1)
+        payload = json.loads(json.dumps(paused.snapshot()))
+
+        # from_snapshot rebuilds the same domain config automatically …
+        resumed = ImprovementLoop.from_snapshot(payload)
+        assert resumed._domain_config == custom
+        assert resumed._evaluator.config.n_eval == 40
+        assert fingerprint(resumed) == fingerprint(paused)
+
+        # … and restore() into a default-config loop is rejected loudly.
+        mismatched = ImprovementLoop(SMALL)
+        with pytest.raises(ValueError, match="domain_config"):
+            mismatched.restore(payload)
+
+    def test_restore_rejects_other_configs_and_formats(self):
+        loop = ImprovementLoop(SMALL)
+        payload = loop.snapshot()
+        other = ImprovementLoop(dataclasses.replace(SMALL, seed=9))
+        with pytest.raises(ValueError, match="config"):
+            other.restore(payload)
+        with pytest.raises(ValueError, match="format"):
+            loop.restore({"format": -1})
+        with pytest.raises(ValueError, match="snapshot"):
+            ImprovementLoop.from_snapshot({"format": 1, "config": None})
+
+
+class TestHotSwap:
+    def test_mid_stream_swap_is_invisible_to_monitoring(self):
+        """Acceptance: fires after a mid-stream hot-swap equal those of a
+        run that started on the new version from the swap point onward
+        (same monitor state, same inputs ⇒ same bits)."""
+        domain = get_domain("ecg")
+        sensor = domain.build_sensor(0)
+        stream = domain.iter_samples(sensor)
+        samples = [next(stream) for _ in range(10)]
+
+        v1_model = domain.retrainable(0)
+        v1 = v1_model.get_state()
+        tuned = domain.retrainable(0, bootstrap=False)
+        tuned.set_state(v1)
+        tuned.fine_tune([(s, tuned.oracle_label(s)) for s in samples[:4]])
+        v2 = json.loads(json.dumps(to_jsonable(tuned.get_state())))
+        from repro.utils.codec import from_jsonable
+
+        v2 = from_jsonable(v2)
+
+        # Live run: 5 units on v1, hot-swap, 5 units on v2.
+        adapter = domain.retrainable(0, bootstrap=False)
+        adapter.set_state(v1)
+        live = MonitorService(domain)
+        for sample in samples[:5]:
+            live.ingest("s", adapter.predict_raw(sample))
+        checkpoint = json.loads(json.dumps(live.snapshot()))
+        adapter.set_state(v2)  # the hot-swap, at a raw-unit boundary
+        live_fires = [
+            live.ingest("s", adapter.predict_raw(sample))
+            for sample in samples[5:]
+        ]
+
+        # Control: a fleet restored at the swap point that started on v2.
+        control = MonitorService.from_snapshot(checkpoint)
+        fresh = domain.retrainable(0, bootstrap=False)
+        fresh.set_state(v2)
+        control_fires = [
+            control.ingest("s", fresh.predict_raw(sample))
+            for sample in samples[5:]
+        ]
+
+        assert live_fires == control_fires
+        live_report = live.report("s")
+        control_report = control.report("s")
+        assert live_report.assertion_names == control_report.assertion_names
+        np.testing.assert_array_equal(
+            live_report.severities, control_report.severities
+        )
+
+    def test_loop_swaps_at_the_configured_tick(self):
+        config = dataclasses.replace(SMALL, n_rounds=2, swap_tick=2)
+        loop = ImprovementLoop(config)
+        first = loop.run_round()
+        assert (first.version_start, first.version_end) == (1, 1)
+        second = loop.run_round()
+        # round 0's retrain was published and adopted mid-round-1
+        assert (second.version_start, second.version_end) == (1, 2)
+        assert loop.adopted_version == 2
+
+
+class TestLoopMechanics:
+    def test_fires_accumulate_and_attribute_to_candidates(self):
+        loop = ImprovementLoop(SMALL)
+        loop.run_round()
+        assert loop.fire_store.n_seen == sum(r.n_fires for r in loop.rounds)
+        attributed = sum(c.severity.sum() for c in loop._pool) > 0 or any(
+            e for e in loop.queue.entries()
+        )
+        assert attributed
+
+    def test_labeled_candidates_leave_the_pool(self):
+        loop = ImprovementLoop(SMALL)
+        loop.run_round()
+        pool_keys = {c.key for c in loop._pool}
+        for entry in loop.queue.entries():
+            assert entry.key not in pool_keys
+
+    def test_max_pool_bounds_the_candidate_pool(self):
+        config = dataclasses.replace(SMALL, max_pool=3, budget=0)
+        loop = ImprovementLoop(config)
+        loop.run_round()
+        assert len(loop._pool) == 3
+        # newest candidates are the ones kept
+        assert [c.unit_index for c in loop._pool] == sorted(
+            c.unit_index for c in loop._pool
+        )
+
+    def test_budget_zero_streams_without_retraining(self):
+        config = dataclasses.replace(SMALL, budget=0)
+        loop = ImprovementLoop(config)
+        result = loop.run(2)
+        assert result.n_labeled == 0
+        assert [v for v, _m, _r in result.versions] == [1]  # bootstrap only
+
+    def test_weak_supervision_routes_fired_candidates(self):
+        config = dataclasses.replace(SMALL, weak=True, weak_cap=8, budget=1)
+        loop = ImprovementLoop(config)
+        result = loop.run(2)
+        assert result.n_weak > 0
+        sources = {e.source for e in loop.queue.entries()}
+        assert sources <= {"oracle", "weak"} and "weak" in sources
+
+    def test_eviction_during_loop_is_survivable(self):
+        """The loop's service snapshots sessions on evict, so a stream
+        bounced by the LRU can be re-admitted without losing history."""
+        loop = ImprovementLoop(SMALL)
+        loop.run_round()
+        stream_ids = loop.stream_ids()
+        session = loop.service.evict(stream_ids[0])
+        assert session.evict_snapshot is not None
+        loop.service.restore_session(stream_ids[0], session.evict_snapshot)
+        reference = ImprovementLoop(SMALL)
+        reference.run_round()
+        np.testing.assert_array_equal(
+            loop.service.report(stream_ids[0]).severities,
+            reference.service.report(stream_ids[0]).severities,
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="policy"):
+            ImproveConfig(policy="greedy")
+        with pytest.raises(ValueError, match="swap_tick"):
+            ImproveConfig(items_per_round=4, swap_tick=4)
+        with pytest.raises(ValueError, match="budget"):
+            ImproveConfig(budget=-1)
+        with pytest.raises(ValueError, match="n_streams"):
+            ImproveConfig(n_streams=0)

@@ -1,0 +1,140 @@
+"""``ModelRegistry`` semantics and the model-state serialization layer.
+
+The hot-swap/versioning story rests on ``get_state``/``set_state`` being
+(a) lossless through JSON and (b) *aliasing-free*: restored models must
+never share arrays with the payload, or training would silently mutate
+published versions.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.improve import ModelRegistry
+from repro.utils.codec import from_jsonable, to_jsonable
+
+
+def json_round_trip(payload):
+    return from_jsonable(json.loads(json.dumps(to_jsonable(payload))))
+
+
+class TestModelRegistry:
+    def test_versions_are_monotonic_from_one(self):
+        registry = ModelRegistry()
+        assert registry.latest_version is None
+        v1 = registry.publish({"w": 1}, metric=10.0, round_index=-1)
+        v2 = registry.publish({"w": 2}, metric=20.0, round_index=0)
+        assert (v1, v2) == (1, 2)
+        assert registry.latest_version == 2
+        assert registry.latest().state == {"w": 2}
+        assert registry.get(1).metric == 10.0
+        assert registry.history() == [(1, 10.0, -1), (2, 20.0, 0)]
+
+    def test_ring_bound_keeps_latest_and_numbering(self):
+        registry = ModelRegistry(max_versions=2)
+        for i in range(5):
+            registry.publish({"w": i})
+        assert [v.version for v in registry.versions()] == [4, 5]
+        with pytest.raises(KeyError, match="not in the registry"):
+            registry.get(1)
+        assert registry.publish({"w": 9}) == 6  # numbering never resets
+
+    def test_empty_registry_latest_raises(self):
+        with pytest.raises(KeyError, match="empty"):
+            ModelRegistry().latest()
+
+    def test_snapshot_round_trip(self):
+        registry = ModelRegistry(max_versions=3)
+        for i in range(4):
+            registry.publish({"w": i}, metric=float(i), round_index=i - 1)
+        restored = ModelRegistry()
+        restored.restore(json.loads(json.dumps(registry.snapshot())))
+        assert restored.history() == registry.history()
+        assert restored.max_versions == 3
+        assert restored.publish({"w": 99}) == registry.publish({"w": 99})
+
+    def test_restore_validates_format(self):
+        with pytest.raises(ValueError, match="format"):
+            ModelRegistry().restore({"format": -1})
+
+
+class TestModelStateRoundTrips:
+    def test_ecg_classifier_restore_then_finetune_is_bit_identical(self):
+        from repro.domains.ecg.model import ECGClassifier
+        from repro.domains.ecg.task import bootstrap_ecg_classifier, make_ecg_task_data
+
+        data = make_ecg_task_data(0, n_train=30, n_pool=8, n_test=8)
+        original = bootstrap_ecg_classifier(data, seed=1)
+        restored = ECGClassifier(seed=999)
+        restored.set_state(json_round_trip(original.get_state()))
+
+        original.fine_tune(data.pool, epochs=3)
+        restored.fine_tune(data.pool, epochs=3)
+        for a, b in zip(original.mlp.weights, restored.mlp.weights):
+            np.testing.assert_array_equal(a, b)
+        assert original.accuracy(data.test) == restored.accuracy(data.test)
+
+    def test_detector_restore_then_finetune_is_bit_identical(self):
+        from repro.detection.detector import Detector
+        from repro.domains.video.task import bootstrap_detector, make_video_task_data
+
+        data = make_video_task_data(0, n_bootstrap_day=8, n_bootstrap_night=2,
+                                    n_pool=4, n_test=2)
+        original = bootstrap_detector(data, seed=3)
+        restored = Detector(seed=42)
+        restored.set_state(json_round_trip(original.get_state()))
+
+        images = [f.image for f in data.pool]
+        truths = [f.ground_truth for f in data.pool]
+        original.fine_tune(images, truths, epochs=2)
+        restored.fine_tune(images, truths, epochs=2)
+        np.testing.assert_array_equal(original.scorer.weights, restored.scorer.weights)
+
+    def test_set_state_never_aliases_the_payload(self):
+        """Training a restored model must not mutate the stored payload
+        (the registry's published versions are immutable)."""
+        from repro.domains.ecg.model import ECGClassifier
+        from repro.domains.ecg.task import bootstrap_ecg_classifier, make_ecg_task_data
+
+        data = make_ecg_task_data(0, n_train=30, n_pool=8, n_test=8)
+        model = bootstrap_ecg_classifier(data, seed=1)
+        payload = model.get_state()  # live ndarrays, no JSON round trip
+        frozen = json.dumps(to_jsonable(payload))
+
+        clone = ECGClassifier(seed=0)
+        clone.set_state(payload)
+        clone.fine_tune(data.pool, epochs=2)
+        assert json.dumps(to_jsonable(payload)) == frozen
+
+    def test_architecture_mismatch_is_rejected(self):
+        from repro.ml.mlp import MLPClassifier
+
+        a = MLPClassifier(n_features=4, hidden=(8,), n_classes=3, seed=0)
+        b = MLPClassifier(n_features=4, hidden=(16,), n_classes=3, seed=0)
+        with pytest.raises(ValueError, match="architecture"):
+            b.set_state(a.get_state())
+
+    def test_detector_scorer_type_mismatch_is_rejected(self):
+        from repro.detection.detector import Detector, DetectorConfig
+
+        linear = Detector(DetectorConfig(scorer_type="linear"), seed=0)
+        mlp = Detector(DetectorConfig(scorer_type="mlp"), seed=0)
+        with pytest.raises(ValueError, match="scorer"):
+            mlp.set_state(linear.get_state())
+
+    def test_generator_state_round_trip_continues_the_stream(self):
+        from repro.utils.rng import generator_from_state, generator_state
+
+        rng = np.random.default_rng(5)
+        rng.random(100)
+        resumed = generator_from_state(
+            json.loads(json.dumps(generator_state(rng)))
+        )
+        np.testing.assert_array_equal(rng.random(16), resumed.random(16))
+
+    def test_generator_from_state_rejects_unknown_bit_generator(self):
+        from repro.utils.rng import generator_from_state
+
+        with pytest.raises(ValueError, match="bit generator"):
+            generator_from_state({"bit_generator": "nope"})

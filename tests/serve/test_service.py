@@ -305,6 +305,62 @@ class TestEviction:
             ServiceConfig(session_ttl=0.0)
 
 
+class TestSnapshotOnEvict:
+    def test_eviction_hands_hooks_a_restorable_snapshot(self):
+        units = raw_units(7, 24)
+        captured = {}
+
+        service = MonitorService(
+            SyntheticDomain(),
+            config=ServiceConfig(max_sessions=1, snapshot_on_evict=True),
+        )
+        service.on_evict(
+            lambda session: captured.update({session.stream_id: session.evict_snapshot})
+        )
+        for raw in units[:10]:
+            service.ingest("a", raw)
+        service.ingest("b", units[0])  # LRU-evicts "a" mid-history
+        assert "a" in captured and captured["a"] is not None
+
+        # Re-admit "a" and finish its stream: bit-identical to a solo run
+        # that was never evicted.
+        service.evict("b")
+        service.restore_session("a", captured["a"])
+        for raw in units[10:]:
+            service.ingest("a", raw)
+
+        solo = MonitorService(SyntheticDomain())
+        for raw in units:
+            solo.ingest("a", raw)
+        assert_reports_equal(service.report("a"), solo.report("a"))
+
+    def test_default_config_captures_no_snapshot(self):
+        service = MonitorService(SyntheticDomain())
+        service.ingest("a", raw_units(0, 1)[0])
+        session = service.evict("a")
+        assert session.evict_snapshot is None
+
+    def test_restore_session_refuses_live_stream(self):
+        service = MonitorService(
+            SyntheticDomain(), config=ServiceConfig(snapshot_on_evict=True)
+        )
+        service.ingest("a", raw_units(0, 1)[0])
+        payload = service.evict("a").evict_snapshot
+        service.ingest("a", raw_units(0, 1)[0])  # fresh session, same id
+        with pytest.raises(ValueError, match="live"):
+            service.restore_session("a", payload)
+
+    def test_broken_session_yields_no_snapshot(self):
+        service = MonitorService(
+            SyntheticDomain(), config=ServiceConfig(snapshot_on_evict=True)
+        )
+        with pytest.raises(TypeError):
+            service.ingest("a", [object()])  # outputs must be dicts
+        session = service.evict("a")
+        assert session.broken is not None
+        assert session.evict_snapshot is None
+
+
 class TestFleetReport:
     def test_aggregate_stacks_streams_in_order(self):
         service = MonitorService(SyntheticDomain())

@@ -152,9 +152,16 @@ class TestAVStreamingPath:
         online = AVPipeline(camera)
         chunk = online.observe_batch(samples[:6], cam_dets[:6], lidar_dets[:6])
         assert chunk.n_items == 6
+        # Tail of the stream arrives unit-by-unit through the Domain
+        # protocol (the serving path), feeding the same runtime.
+        from repro.domains.registry import get_domain
+
+        domain = get_domain("av")
+        state = domain.new_state()
         for sample, cam, lidar in zip(samples[6:], cam_dets[6:], lidar_dets[6:]):
-            with pytest.deprecated_call():
-                online.observe_sample(sample, cam, lidar)
+            raw = {"sample": sample, "camera": cam, "lidar": lidar}
+            for outputs, timestamp in domain.item_from_raw(raw, state):
+                online.omg.observe(None, outputs, timestamp=timestamp)
         report = online.omg.online_report()
         assert report.assertion_names == offline.assertion_names
         np.testing.assert_array_equal(report.severities, offline.severities)

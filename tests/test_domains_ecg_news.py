@@ -160,15 +160,18 @@ class TestTVNewsPipeline:
 
 
 class TestStreamingPaths:
-    def test_tvnews_observe_scenes_shim_matches_monitor(self):
+    def test_tvnews_domain_stream_matches_monitor(self):
+        from repro.domains.registry import get_domain
+
         scenes = TVNewsWorld(seed=0).generate_videos(2, 1200)
         offline, _ = TVNewsPipeline().monitor(scenes)
-        online = TVNewsPipeline()
-        with pytest.deprecated_call():
-            online.observe_scenes(scenes[: len(scenes) // 2])
-        with pytest.deprecated_call():
-            online.observe_scenes(scenes[len(scenes) // 2 :])
-        report = online.omg.online_report()
+        domain = get_domain("tvnews")
+        monitor = domain.build_monitor()
+        state = domain.new_state()
+        for scene in scenes:
+            for outputs, timestamp in domain.item_from_raw(scene, state):
+                monitor.observe(None, outputs, timestamp=timestamp)
+        report = monitor.online_report()
         assert report.assertion_names == offline.assertion_names
         np.testing.assert_array_equal(report.severities, offline.severities)
 

@@ -161,17 +161,21 @@ class TestVideoStreamingPath:
             + [[make_box(14 + t, 20, 10, 8, label="car", score=0.9)] for t in range(3)]
         )
 
-    def test_observe_frame_shim_matches_monitor(self):
+    def test_domain_stream_matches_monitor(self):
+        from repro.domains.registry import get_domain
+        from repro.domains.video.domain import VideoDomainConfig
+
         config = VideoPipelineConfig(fps=1.0, temporal_threshold=3.0)
         frames = self.flicker_frames()
         offline, _ = VideoPipeline(config).monitor(frames)
-        online = VideoPipeline(config)
-        online.start_stream()
+        domain = get_domain("video", VideoDomainConfig(pipeline=config))
+        monitor = domain.build_monitor()
+        state = domain.new_state()
         records = []
         for detections in frames:
-            with pytest.deprecated_call():
-                records.extend(online.observe_frame(detections))
-        report = online.omg.online_report()
+            for outputs, timestamp in domain.item_from_raw(detections, state):
+                records.extend(monitor.observe(None, outputs, timestamp=timestamp))
+        report = monitor.online_report()
         np.testing.assert_array_equal(report.severities, offline.severities)
         # the flicker record is attributed retroactively to the gap frame
         assert [r.item_index for r in records if r.assertion_name == "flicker"] == [3]
