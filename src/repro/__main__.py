@@ -8,7 +8,11 @@ Subcommands:
 - ``report`` — render cached results without recomputation.
 - ``stream DOMAIN`` — serve interleaved monitored streams of one domain
   through :class:`~repro.serve.MonitorService`, with optional
-  checkpoint/resume via ``--snapshot``.
+  checkpoint/resume via ``--snapshot`` and a declarative assertion
+  suite via ``--suite FILE``.
+- ``assertions list|show|lint|diff`` — inspect, export, validate, and
+  compare declarative assertion suites (built-in per domain, or JSON
+  files written by ``assertions show --json`` / ``repro.core.save_suite``).
 
 Examples
 --------
@@ -21,6 +25,11 @@ Examples
    $ python -m repro report fig4_video
    $ python -m repro stream tvnews --streams 4 --items 8
    $ python -m repro stream ecg --streams 2 --items 3 --snapshot fleet.json
+   $ python -m repro assertions list
+   $ python -m repro assertions show tvnews --json > suite.json
+   $ python -m repro assertions lint suite.json
+   $ python -m repro assertions diff tvnews suite.json
+   $ python -m repro stream tvnews --suite suite.json --items 3
 """
 
 from __future__ import annotations
@@ -204,6 +213,169 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _resolve_suite(target: str):
+    """A suite from a registered domain name or a suite JSON file."""
+    import os
+
+    from repro.core.spec import load_suite
+    from repro.domains.registry import domain_names, get_domain
+
+    if target in domain_names():
+        try:
+            return get_domain(target).assertion_suite()
+        except NotImplementedError:
+            raise SystemExit(
+                f"error: domain {target!r} declares no assertion suite"
+            ) from None
+    if os.path.exists(target):
+        try:
+            suite = load_suite(target)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        if suite.domain in domain_names():
+            # Importing the domain registers the predicates its built-in
+            # specs reference, so file-loaded suites lint/compile alone.
+            get_domain(suite.domain)
+        return suite
+    raise SystemExit(
+        f"error: {target!r} is neither a registered domain "
+        f"({', '.join(domain_names())}) nor a suite file"
+    )
+
+
+def _suite_rows(suite):
+    """One table row per compiled assertion of ``suite``."""
+    from repro.core.spec import compile_suite
+
+    try:
+        database = compile_suite(suite)
+    except (KeyError, TypeError, ValueError) as exc:
+        # e.g. a file suite referencing an unregistered predicate —
+        # `assertions lint` reports the same problem with details.
+        raise SystemExit(
+            f"error: suite {suite.name!r} does not compile: "
+            f"{exc.args[0] if exc.args else exc}"
+        ) from None
+    rows = []
+    for name in database.all_names():
+        entry = database.entry(name)
+        suite_entry = entry.spec
+        rows.append(
+            (
+                name,
+                type(suite_entry.spec).__name__,
+                entry.assertion.taxonomy_class,
+                ",".join(entry.tags) or "-",
+                "yes" if entry.enabled else "no",
+                f"{suite_entry.weight:g}",
+            )
+        )
+    return rows
+
+
+def _cmd_assertions(args) -> int:
+    """Inspect / export / validate / diff declarative assertion suites."""
+    from repro.core.spec import lint_suite, suite_payload
+    from repro.domains.registry import domain_names
+
+    if args.action == "list":
+        targets = args.targets or sorted(domain_names())
+        if args.json:
+            payload = []
+            for target in targets:
+                suite = _resolve_suite(target)
+                payload.append(
+                    {
+                        "target": target,
+                        "suite": suite.name,
+                        "version": suite.version,
+                        "domain": suite.domain,
+                        "assertions": suite.assertion_names(include_disabled=True),
+                        "enabled": suite.assertion_names(),
+                    }
+                )
+            print(json.dumps(payload, indent=2))
+            return 0
+        for target in targets:
+            suite = _resolve_suite(target)
+            print(
+                format_table(
+                    ["Assertion", "Spec", "Taxonomy", "Tags", "Enabled", "Weight"],
+                    _suite_rows(suite),
+                    title=f"{target}: suite {suite.name!r} v{suite.version} "
+                    f"({len(suite)} entr{'y' if len(suite) == 1 else 'ies'})",
+                )
+            )
+            print()
+        return 0
+
+    if args.action == "show":
+        suite = _resolve_suite(args.targets[0])
+        if args.json:
+            # The export format --suite / load_suite consume.
+            print(json.dumps(suite_payload(suite), indent=2))
+        else:
+            print(
+                format_table(
+                    ["Assertion", "Spec", "Taxonomy", "Tags", "Enabled", "Weight"],
+                    _suite_rows(suite),
+                    title=f"suite {suite.name!r} v{suite.version} "
+                    f"(domain {suite.domain or '-'})",
+                )
+            )
+            print(
+                "\nExport with `python -m repro assertions show "
+                f"{args.targets[0]} --json > suite.json`, then serve it with "
+                "`python -m repro stream DOMAIN --suite suite.json`."
+            )
+        return 0
+
+    if args.action == "lint":
+        targets = args.targets or sorted(domain_names())
+        failures = 0
+        for target in targets:
+            problems = lint_suite(_resolve_suite(target))
+            if problems:
+                failures += 1
+                print(f"[{target}] {len(problems)} problem(s):")
+                for problem in problems:
+                    print(f"  - {problem}")
+            else:
+                print(f"[{target}] OK")
+        return 1 if failures else 0
+
+    # diff
+    old = _resolve_suite(args.targets[0])
+    new = _resolve_suite(args.targets[1])
+    diff = old.diff(new)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "old": {"suite": old.name, "version": old.version},
+                    "new": {"suite": new.name, "version": new.version},
+                    "added": list(diff.added),
+                    "removed": list(diff.removed),
+                    "changed": list(diff.changed),
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        f"{old.name!r} v{old.version} → {new.name!r} v{new.version}"
+        + ("" if diff else ": no entry changes")
+    )
+    for label, names in (
+        ("added", diff.added),
+        ("removed", diff.removed),
+        ("changed", diff.changed),
+    ):
+        for name in names:
+            print(f"  {label}: {name}")
+    return 0
+
+
 def _cmd_stream(args) -> int:
     """Serve ``--streams`` interleaved monitored streams of one domain.
 
@@ -234,9 +406,15 @@ def _cmd_stream(args) -> int:
     if args.items < 1:
         raise SystemExit("error: --items must be >= 1")
 
-    service = MonitorService(
-        args.domain, config=ServiceConfig(parallel=not args.serial)
-    )
+    suite = _resolve_suite(args.suite) if args.suite else None
+    try:
+        service = MonitorService(
+            args.domain,
+            config=ServiceConfig(parallel=not args.serial),
+            suite=suite,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
     seed = args.seed if args.seed is not None else 0
     n_streams = args.streams if args.streams is not None else 2
     resumed = False
@@ -246,6 +424,22 @@ def _cmd_stream(args) -> int:
             service.restore(payload)
         except ValueError as exc:
             raise SystemExit(f"error: {exc}") from None
+        if args.suite:
+            # The snapshot pins the fleet's suite like seed/streams: a
+            # different --suite would silently reconfigure the resumed
+            # fleet (that is apply_suite's job, not resume's).
+            pinned = (
+                from_jsonable(payload["suite"])
+                if payload.get("suite") is not None
+                else None
+            )
+            if pinned != suite:
+                raise SystemExit(
+                    f"error: --suite {args.suite} conflicts with the snapshot "
+                    f"({args.snapshot} was written with a different assertion "
+                    "suite); drop the flag to resume, or delete the snapshot "
+                    "to start over"
+                )
         provenance = payload.get("cli")
         if provenance is None:
             # Library-written snapshots carry no world seeds, so the CLI
@@ -403,6 +597,12 @@ def _cmd_improve(args) -> int:
                 f"error: --weak conflicts with the snapshot ({args.snapshot} "
                 "was started without weak supervision)"
             )
+        if args.suite and _resolve_suite(args.suite) != config.suite:
+            raise SystemExit(
+                f"error: --suite {args.suite} conflicts with the snapshot "
+                f"({args.snapshot} pins the loop's assertion suite); drop "
+                "the flag to resume, or delete the snapshot to start over"
+            )
         loop = ImprovementLoop.from_snapshot(payload)
         resumed = True
     else:
@@ -422,6 +622,8 @@ def _cmd_improve(args) -> int:
         }
         if args.weak:
             overrides["weak"] = True
+        if args.suite:
+            overrides["suite"] = _resolve_suite(args.suite)
         try:
             config = ImproveConfig(domain=args.domain, **overrides)
         except ValueError as exc:
@@ -515,6 +717,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--json", action="store_true", help="machine-readable output")
     p_report.set_defaults(fn=_cmd_report)
 
+    p_assert = sub.add_parser(
+        "assertions",
+        help="inspect, export, lint, and diff declarative assertion suites",
+    )
+    assert_sub = p_assert.add_subparsers(dest="action", required=True)
+    p_a_list = assert_sub.add_parser(
+        "list", help="every assertion of one or more suites (default: all domains)"
+    )
+    p_a_list.add_argument("targets", nargs="*", metavar="DOMAIN|FILE",
+                          help="registered domain names or suite JSON files")
+    p_a_list.add_argument("--json", action="store_true", help="machine-readable output")
+    p_a_list.set_defaults(fn=_cmd_assertions)
+    p_a_show = assert_sub.add_parser(
+        "show", help="render one suite (--json emits the loadable file format)"
+    )
+    p_a_show.add_argument("targets", nargs=1, metavar="DOMAIN|FILE")
+    p_a_show.add_argument("--json", action="store_true",
+                          help="emit the suite file payload (what --suite loads)")
+    p_a_show.set_defaults(fn=_cmd_assertions)
+    p_a_lint = assert_sub.add_parser(
+        "lint", help="validate suites; non-zero exit on problems"
+    )
+    p_a_lint.add_argument("targets", nargs="*", metavar="DOMAIN|FILE",
+                          help="suites to check (default: every registered domain)")
+    p_a_lint.set_defaults(fn=_cmd_assertions)
+    p_a_diff = assert_sub.add_parser("diff", help="entry-level diff of two suites")
+    p_a_diff.add_argument("targets", nargs=2, metavar="DOMAIN|FILE")
+    p_a_diff.add_argument("--json", action="store_true", help="machine-readable output")
+    p_a_diff.set_defaults(fn=_cmd_assertions)
+
     p_stream = sub.add_parser(
         "stream", help="serve interleaved monitored streams of one domain"
     )
@@ -525,6 +757,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="raw units ingested per stream this run")
     p_stream.add_argument("--seed", type=int, default=None,
                           help="root seed for the stream worlds (default 0; pinned by --snapshot on resume)")
+    p_stream.add_argument("--suite", default=None, metavar="FILE",
+                          help="declarative assertion suite to monitor with "
+                               "(a domain name or a suite JSON file; pinned by --snapshot on resume)")
     p_stream.add_argument("--snapshot", default=None, metavar="PATH",
                           help="checkpoint file: restored first if it exists, written on exit")
     p_stream.add_argument("--serial", action="store_true",
@@ -555,6 +790,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="raw-unit boundary where a new version is adopted (default 0)")
     p_improve.add_argument("--weak", action="store_true",
                            help="also pseudo-label fired units via weak supervision")
+    p_improve.add_argument("--suite", default=None, metavar="FILE",
+                           help="declarative assertion suite for the fleet "
+                                "(a domain name or a suite JSON file; pinned by --snapshot)")
     p_improve.add_argument("--snapshot", default=None, metavar="PATH",
                            help="loop checkpoint: restored first if it exists, written on exit")
     p_improve.add_argument("--json", action="store_true", help="machine-readable output")

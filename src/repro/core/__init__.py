@@ -35,6 +35,26 @@ from repro.core.consistency import (
 from repro.core.database import AssertionDatabase, AssertionEntry
 from repro.core.runtime import ENGINES, OMG, MonitoringReport
 from repro.core.seeding import derive_rng, derive_seed, spawn_seeds
+from repro.core.spec import (
+    AssertionSuite,
+    CompositeAssertion,
+    CompositeSpec,
+    ConsistencySpecDecl,
+    PerItemSpec,
+    RollingWindowSpec,
+    SuiteDiff,
+    SuiteEntry,
+    TemporalDecl,
+    compile_spec,
+    compile_suite,
+    get_predicate,
+    lint_suite,
+    load_suite,
+    predicate_names,
+    register_predicate,
+    save_suite,
+    spec_assertion_names,
+)
 from repro.core.streaming import (
     AttributeConsistencyEvaluator,
     PerItemEvaluator,
@@ -86,6 +106,24 @@ __all__ = [
     "AssertionDatabase",
     "AssertionEntry",
     "AssertionRecord",
+    "AssertionSuite",
+    "CompositeAssertion",
+    "CompositeSpec",
+    "ConsistencySpecDecl",
+    "PerItemSpec",
+    "RollingWindowSpec",
+    "SuiteDiff",
+    "SuiteEntry",
+    "TemporalDecl",
+    "compile_spec",
+    "compile_suite",
+    "get_predicate",
+    "lint_suite",
+    "load_suite",
+    "predicate_names",
+    "register_predicate",
+    "save_suite",
+    "spec_assertion_names",
     "AttributeConsistencyAssertion",
     "AttributeConsistencyEvaluator",
     "ConsistencyIndex",

@@ -83,6 +83,14 @@ class ConsistencySpec:
             raise ValueError(
                 f"temporal_threshold must be > 0 seconds, got {self.temporal_threshold}"
             )
+        if self.attrs_fn is None and self.temporal_threshold is None:
+            # With neither attributes nor a temporal threshold the spec
+            # silently generates zero assertions — reject it up front.
+            raise ValueError(
+                f"consistency spec {self.name!r} would generate zero "
+                "assertions: provide attrs_fn (with attribute keys) and/or "
+                "a temporal_threshold"
+            )
 
     def attributes_of(self, output: Any) -> dict:
         if self.attrs_fn is None:

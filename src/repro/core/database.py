@@ -17,13 +17,20 @@ from repro.core.assertion import ModelAssertion
 
 @dataclass
 class AssertionEntry:
-    """An assertion plus registration metadata."""
+    """An assertion plus registration metadata.
+
+    ``spec`` records the declarative suite entry that compiled this
+    assertion (``None`` for imperatively registered ones); it is what
+    lets :meth:`~repro.core.runtime.OMG.apply_suite` decide whether a
+    live evaluator can be kept across a suite change.
+    """
 
     assertion: ModelAssertion
     domain: str = ""
     author: str = ""
     tags: tuple = ()
     enabled: bool = True
+    spec: Any = None
 
 
 class AssertionDatabase:
@@ -32,12 +39,17 @@ class AssertionDatabase:
     Names are unique; re-registering a name raises unless
     ``replace=True``. Iteration yields enabled assertions in registration
     order, which fixes the column order of severity matrices produced by
-    :class:`~repro.core.runtime.OMG`.
+    :class:`~repro.core.runtime.OMG`. When the database was built by
+    :func:`~repro.core.spec.compile_suite`, :attr:`suite` holds the
+    declarative :class:`~repro.core.spec.AssertionSuite` it was lowered
+    from (``None`` for hand-built databases).
     """
 
     def __init__(self) -> None:
         self._entries: dict = {}
         self._order: list = []
+        #: The AssertionSuite this database was compiled from, if any.
+        self.suite: Any = None
 
     def add(
         self,
@@ -47,6 +59,8 @@ class AssertionDatabase:
         author: str = "",
         tags: tuple = (),
         replace: bool = False,
+        enabled: bool = True,
+        spec: Any = None,
     ) -> ModelAssertion:
         """Register an assertion; returns it for chaining."""
         name = assertion.name
@@ -59,7 +73,12 @@ class AssertionDatabase:
         if name not in self._entries:
             self._order.append(name)
         self._entries[name] = AssertionEntry(
-            assertion=assertion, domain=domain, author=author, tags=tuple(tags)
+            assertion=assertion,
+            domain=domain,
+            author=author,
+            tags=tuple(tags),
+            enabled=enabled,
+            spec=spec,
         )
         return assertion
 
@@ -77,8 +96,28 @@ class AssertionDatabase:
         return self._entries[name]
 
     def enable(self, name: str, enabled: bool = True) -> None:
-        """Toggle whether an assertion participates in monitoring."""
+        """Toggle whether an assertion participates in monitoring.
+
+        Disabling pauses evaluation without dropping the registration
+        slot or the streaming engine's accumulated fire log, so a later
+        re-enable resumes with the fire history intact (items observed
+        while disabled are never evaluated retroactively).
+        """
         self._entries[name].enabled = enabled
+
+    def disable(self, name: str) -> None:
+        """Sugar for ``enable(name, False)`` — the suite-diff primitive."""
+        self.enable(name, False)
+
+    def enabled_by_tags(self, *tags: str) -> list:
+        """Enabled assertion names carrying at least one of ``tags``,
+        in registration order."""
+        wanted = set(tags)
+        return [
+            name
+            for name in self._order
+            if self._entries[name].enabled and wanted & set(self._entries[name].tags)
+        ]
 
     def names(self) -> list[str]:
         """Enabled assertion names in registration order."""

@@ -230,6 +230,89 @@ class OMG:
             self.database.add(item, **register_kwargs)
         return generated
 
+    def remove_assertion(self, name: str) -> None:
+        """Unregister an assertion and drop its streaming state.
+
+        Removes the database entry *and* discards the engine's evaluator
+        and severity log for ``name``, so later snapshots and reports
+        carry no stale column. Fire records already dispatched (e.g. into
+        a :class:`~repro.improve.fires.FireStore`) are untouched.
+        """
+        self.database.remove(name)
+        if self.engine != "legacy":
+            self._streaming.discard(name)
+
+    @property
+    def suite(self):
+        """The declarative suite this runtime's database was compiled
+        from (``None`` for hand-built databases)."""
+        return getattr(self.database, "suite", None)
+
+    def apply_suite(self, suite) -> dict:
+        """Reconfigure the live assertion set to ``suite``, in place.
+
+        The new suite is compiled and diffed against the current
+        database by entry (spec + weight):
+
+        - **kept** entries (unchanged spec and weight) carry their live
+          assertion objects over, so their evaluator state and fire log
+          continue seamlessly;
+        - **added** (and **replaced**) entries get fresh evaluators,
+          warmed on the bounded recent-item window exactly like any
+          late-registered assertion — they emit no fire records for
+          pre-boundary items (see :meth:`StreamingEngine._sync`);
+        - **removed** entries drop their evaluator and severity log;
+          their past fires live on wherever ``on_fire`` hooks routed
+          them (the serving layer's ``FireStore``).
+
+        Returns ``{"added": [...], "removed": [...], "kept": [...],
+        "replaced": [...]}`` of assertion names. Only available on the
+        streaming engine. Call at an item boundary (the serving layer's
+        :meth:`~repro.serve.MonitorService.apply_suite` enforces a
+        raw-unit boundary fleet-wide).
+        """
+        if self.engine == "legacy":
+            raise RuntimeError("apply_suite requires the streaming engine")
+        from repro.core.spec import compile_suite
+
+        new_db = compile_suite(suite)
+        old_db = self.database
+        added: list = []
+        kept: list = []
+        replaced: list = []
+        for name in new_db.all_names():
+            new_entry = new_db.entry(name)
+            if name not in old_db:
+                added.append(name)
+                continue
+            old_entry = old_db.entry(name)
+            if (
+                old_entry.spec is not None
+                and old_entry.spec.spec == new_entry.spec.spec
+                and old_entry.spec.weight == new_entry.spec.weight
+            ):
+                # Same compiled behavior: keep the live object so the
+                # engine recognizes the evaluator as current.
+                new_entry.assertion = old_entry.assertion
+                kept.append(name)
+            else:
+                replaced.append(name)
+        removed = [name for name in old_db.all_names() if name not in new_db]
+        for name in removed + replaced:
+            self._streaming.discard(name)
+        self.database = new_db
+        self._streaming.database = new_db
+        # Materialize the new evaluators now (warm-up replay included),
+        # so reports taken before the next observation already serve the
+        # new suite's columns.
+        self._streaming.sync()
+        return {
+            "added": added,
+            "removed": removed,
+            "kept": kept,
+            "replaced": replaced,
+        }
+
     def on_fire(self, action: Callable[[AssertionRecord], None]) -> Callable:
         """Register a corrective-action callback for online monitoring.
 
@@ -411,7 +494,7 @@ class OMG:
         """
         if self.engine == "legacy":
             raise RuntimeError("snapshot requires the streaming engine")
-        return {
+        payload = {
             "format": SNAPSHOT_FORMAT,
             "window_size": self.window_size,
             "assertions": self.database.names(),
@@ -419,6 +502,12 @@ class OMG:
             "online_records": to_jsonable(self._online_records),
             "streaming": self._streaming.get_state(),
         }
+        if self.suite is not None:
+            # Suite-compiled runtimes embed the declarative suite, so a
+            # restore can rebuild the exact assertion set from the
+            # payload alone (see restore / from_snapshot).
+            payload["suite"] = to_jsonable(self.suite)
+        return payload
 
     def restore(self, snapshot: dict) -> None:
         """Restore monitoring state captured by :meth:`snapshot`.
@@ -440,6 +529,12 @@ class OMG:
                 f"snapshot window_size {snapshot['window_size']} != "
                 f"runtime window_size {self.window_size}"
             )
+        if snapshot.get("suite") is not None and not self.database.all_names():
+            # An empty runtime rebuilds the exact assertion set from the
+            # embedded declarative suite (the OMG.from_snapshot path).
+            from repro.core.spec import compile_suite
+
+            compile_suite(from_jsonable(snapshot["suite"]), database=self.database)
         names = self.database.names()
         if list(snapshot["assertions"]) != names:
             raise ValueError(
@@ -450,6 +545,23 @@ class OMG:
         self._next_index = int(snapshot["next_index"])
         self._online_records = list(from_jsonable(snapshot["online_records"]))
         self._streaming.set_state(snapshot["streaming"])
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict, *, max_workers: "int | None" = None) -> "OMG":
+        """Rebuild a runtime entirely from a snapshot payload.
+
+        Requires the payload to embed a declarative suite (snapshots of
+        suite-compiled runtimes do); hand-built runtimes must be
+        reconstructed by their owner and restored with :meth:`restore`.
+        """
+        if snapshot.get("suite") is None:
+            raise ValueError(
+                "snapshot embeds no assertion suite; rebuild the runtime "
+                "the way it was built, then call restore()"
+            )
+        omg = cls(window_size=int(snapshot["window_size"]), max_workers=max_workers)
+        omg.restore(snapshot)
+        return omg
 
     # ------------------------------------------------------------------
     # Batch monitoring

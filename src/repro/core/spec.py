@@ -1,0 +1,921 @@
+"""Declarative assertion specs: pure-data records that compile to monitors.
+
+The paper's deployment story (Figure 2) is a *shared assertion database*
+that developers evolve collaboratively while the runtime, active
+learning, and weak supervision read it. For that, the assertion *set*
+itself must be data — serializable, diffable, shippable in a config,
+swappable on a running fleet — not a pile of imperative Python wiring.
+
+This module is that layer:
+
+- a **predicate registry** of named severity functions and assertion
+  factories (:func:`register_predicate`), so specs can reference code by
+  name instead of holding closures;
+- a family of **frozen, codec-registered spec dataclasses** —
+  :class:`PerItemSpec`, :class:`RollingWindowSpec`,
+  :class:`ConsistencySpecDecl` (the §4 ``Id``/``Attrs``/``T`` API as
+  data), :class:`CompositeSpec` (and/or/weighted combinators) — plus
+  :class:`AssertionSuite`, an ordered, versioned collection with tags,
+  per-entry enable flags, and severity weights;
+- a **compiler**, :func:`compile_suite`, that lowers a suite onto the
+  existing :class:`~repro.core.assertion.ModelAssertion` / streaming
+  evaluator machinery *bit-identically* to the hand-built monitors
+  (``tests/domains/test_suites.py`` proves this per domain);
+- suite **file I/O** (:func:`save_suite` / :func:`load_suite`),
+  :func:`lint_suite` validation, and :meth:`AssertionSuite.diff` — what
+  ``python -m repro assertions`` drives.
+
+Because suites are plain data, :meth:`repro.core.runtime.OMG.snapshot`
+embeds them (restores rebuild the exact assertion set) and
+:meth:`repro.serve.MonitorService.apply_suite` reconfigures a live fleet
+by diffing the running suite against a new one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from repro.core.assertion import FunctionAssertion, ModelAssertion
+from repro.core.consistency import (
+    AttributeConsistencyAssertion,
+    ConsistencySpec,
+    TemporalConsistencyAssertion,
+)
+from repro.core.database import AssertionDatabase
+from repro.utils.codec import from_jsonable, register_result_type, to_jsonable
+
+#: Version tag of the :func:`save_suite` file payload.
+SUITE_FILE_FORMAT = 1
+
+#: Valid temporal modes (see TemporalConsistencyAssertion).
+_TEMPORAL_MODES = ("gap", "run", "both")
+
+#: Composite combinators.
+_COMPOSITE_OPS = ("and", "or", "weighted")
+
+
+# ----------------------------------------------------------------------
+# Predicate registry
+# ----------------------------------------------------------------------
+#: name → (callable, is_factory). Plain entries are used verbatim
+#: (severity predicates, Id/Attrs/WeakLabel functions); factory entries
+#: are called with a spec's params and may return either a severity
+#: callable or a ready ModelAssertion.
+_PREDICATES: dict = {}
+
+
+def register_predicate(name: str, fn: "Callable | None" = None, *, factory: bool = False):
+    """Register a named spec function; usable as a decorator.
+
+    Two kinds of entry share the namespace:
+
+    - plain (``factory=False``): the callable itself is the referenced
+      function — a per-item severity predicate
+      ``(input, outputs, **params) -> float``, a rolling-window predicate
+      ``(inputs, outputs_lists, **params) -> float``, or a consistency
+      ``Id``/``Attrs``/``WeakLabel``/``set_attr`` function;
+    - factory (``factory=True``): called with the spec's ``params`` and
+      returns either a severity callable or a full
+      :class:`~repro.core.assertion.ModelAssertion` (the compiler renames
+      it to the spec's name) — how the built-in domains expose their
+      assertion classes to specs.
+
+    Re-registering the *same* callable is a no-op (module re-imports stay
+    safe); a different callable under an existing name raises.
+    """
+
+    def decorate(func: Callable) -> Callable:
+        if not name:
+            raise ValueError("predicate name must be non-empty")
+        if not callable(func):
+            raise TypeError(f"predicate {name!r} must be callable, got {func!r}")
+        existing = _PREDICATES.get(name)
+        if existing is not None and existing[0] is not func:
+            raise ValueError(
+                f"a different callable is already registered as predicate "
+                f"{name!r}; predicate names must be unique"
+            )
+        _PREDICATES[name] = (func, bool(factory))
+        return func
+
+    if fn is None:
+        return decorate
+    return decorate(fn)
+
+
+def get_predicate(name: str) -> Callable:
+    """The callable registered under ``name`` (KeyError if absent)."""
+    try:
+        return _PREDICATES[name][0]
+    except KeyError:
+        raise KeyError(
+            f"no predicate registered as {name!r}; register it with "
+            "repro.core.spec.register_predicate (and make sure the module "
+            "that registers it is imported)"
+        ) from None
+
+
+def is_factory_predicate(name: str) -> bool:
+    """Whether the registered entry is a factory (see :func:`register_predicate`)."""
+    get_predicate(name)
+    return _PREDICATES[name][1]
+
+
+def predicate_names() -> list:
+    """Sorted names of every registered predicate."""
+    return sorted(_PREDICATES)
+
+
+def _resolvable(name: "str | None") -> bool:
+    return name is None or name in _PREDICATES
+
+
+# ----------------------------------------------------------------------
+# Spec dataclasses
+# ----------------------------------------------------------------------
+@register_result_type
+@dataclass(frozen=True)
+class PerItemSpec:
+    """An assertion whose severity depends on one stream item alone.
+
+    ``predicate`` names a registry entry; ``params`` are bound as extra
+    keyword arguments (plain predicates) or passed to the factory.
+    Compiles to a per-item streaming evaluator — O(1) per observation.
+    """
+
+    name: str
+    predicate: str
+    params: dict = field(default_factory=dict)
+    description: str = ""
+    taxonomy_class: str = "custom"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("PerItemSpec.name must be non-empty")
+        if not self.predicate:
+            raise ValueError(f"spec {self.name!r}: predicate name must be non-empty")
+
+
+@register_result_type
+@dataclass(frozen=True)
+class RollingWindowSpec:
+    """An assertion over the trailing ``window`` items ending at each item.
+
+    The predicate has the paper's ``flickering(recent_inputs,
+    recent_outputs)`` signature and compiles to a deque-backed rolling
+    evaluator of exactly its own lookback.
+    """
+
+    name: str
+    predicate: str
+    window: int
+    params: dict = field(default_factory=dict)
+    description: str = ""
+    taxonomy_class: str = "custom"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("RollingWindowSpec.name must be non-empty")
+        if not self.predicate:
+            raise ValueError(f"spec {self.name!r}: predicate name must be non-empty")
+        if self.window < 2:
+            raise ValueError(
+                f"spec {self.name!r}: window must be >= 2 (use PerItemSpec "
+                f"for window == 1), got {self.window}"
+            )
+
+
+@register_result_type
+@dataclass(frozen=True)
+class TemporalDecl:
+    """One temporal assertion generated by a :class:`ConsistencySpecDecl`.
+
+    ``mode`` selects the violation kinds ("gap" | "run" | "both");
+    ``name`` overrides the generated assertion name (the video domain's
+    ``flicker``/``appear``), defaulting to the §4 convention
+    ``{spec}:temporal[:{mode}]``.
+    """
+
+    mode: str = "both"
+    name: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in _TEMPORAL_MODES:
+            raise ValueError(
+                f"temporal mode must be one of {_TEMPORAL_MODES}, got {self.mode!r}"
+            )
+
+    def assertion_name(self, spec_name: str) -> str:
+        if self.name:
+            return self.name
+        suffix = "temporal" if self.mode == "both" else f"temporal:{self.mode}"
+        return f"{spec_name}:{suffix}"
+
+
+@register_result_type
+@dataclass(frozen=True)
+class ConsistencySpecDecl:
+    """The §4 ``AddConsistencyAssertion(Id, Attrs, T)`` API as pure data.
+
+    ``id_fn`` / ``attrs_fn`` / ``weak_label_fn`` / ``set_attr_fn`` name
+    predicate-registry entries; ``attr_keys`` fixes the generated
+    attribute assertions (``{name}:attr:{key}`` each); ``temporal``
+    declares the generated temporal assertions (default: one ``"both"``
+    assertion when ``temporal_threshold`` is set).
+
+    A declaration that would generate zero assertions — no attribute
+    keys and no temporal threshold — is rejected at construction.
+    """
+
+    name: str
+    id_fn: str
+    attrs_fn: "str | None" = None
+    attr_keys: tuple = ()
+    temporal_threshold: "float | None" = None
+    temporal: tuple = ()
+    weak_label_fn: "str | None" = None
+    set_attr_fn: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("ConsistencySpecDecl.name must be non-empty")
+        if not self.id_fn:
+            raise ValueError(f"consistency spec {self.name!r}: id_fn must be named")
+        if self.attr_keys and self.attrs_fn is None:
+            raise ValueError(
+                f"consistency spec {self.name!r} lists attr_keys "
+                f"{self.attr_keys!r} but names no attrs_fn"
+            )
+        if self.temporal_threshold is not None and self.temporal_threshold <= 0:
+            raise ValueError(
+                f"consistency spec {self.name!r}: temporal_threshold must be "
+                f"> 0 seconds, got {self.temporal_threshold}"
+            )
+        if self.temporal and self.temporal_threshold is None:
+            raise ValueError(
+                f"consistency spec {self.name!r} declares temporal assertions "
+                "but no temporal_threshold"
+            )
+        if not (self.attrs_fn is not None and self.attr_keys) and (
+            self.temporal_threshold is None
+        ):
+            raise ValueError(
+                f"consistency spec {self.name!r} would generate zero "
+                "assertions: provide attrs_fn with attr_keys and/or a "
+                "temporal_threshold"
+            )
+
+    def temporal_decls(self) -> tuple:
+        """The effective temporal declarations (default one ``"both"``)."""
+        if self.temporal_threshold is None:
+            return ()
+        return self.temporal or (TemporalDecl(mode="both"),)
+
+    def assertion_names(self) -> tuple:
+        """Names of the assertions this declaration generates, in order."""
+        names = [f"{self.name}:attr:{key}" for key in self.attr_keys]
+        names.extend(t.assertion_name(self.name) for t in self.temporal_decls())
+        return tuple(names)
+
+
+@register_result_type
+@dataclass(frozen=True)
+class CompositeSpec:
+    """Combine single-assertion child specs into one assertion.
+
+    ``op``:
+
+    - ``"and"`` — element-wise minimum: fires only when every child
+      fires, with the weakest child's severity;
+    - ``"or"`` — element-wise maximum;
+    - ``"weighted"`` — weighted sum (``weights`` parallel to
+      ``children``, all >= 0).
+
+    Children must be :class:`PerItemSpec`, :class:`RollingWindowSpec`,
+    or nested :class:`CompositeSpec` (a :class:`ConsistencySpecDecl`
+    expands to *several* assertions and cannot be combined). When every
+    child is per-item the composite streams in O(1) per item; otherwise
+    it falls back to windowed replay, bounded by the runtime window.
+    """
+
+    name: str
+    op: str
+    children: tuple
+    weights: tuple = ()
+    description: str = ""
+    taxonomy_class: str = "custom"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("CompositeSpec.name must be non-empty")
+        if self.op not in _COMPOSITE_OPS:
+            raise ValueError(
+                f"composite {self.name!r}: op must be one of {_COMPOSITE_OPS}, "
+                f"got {self.op!r}"
+            )
+        if not self.children:
+            raise ValueError(f"composite {self.name!r} has no children")
+        for child in self.children:
+            if not isinstance(child, (PerItemSpec, RollingWindowSpec, CompositeSpec)):
+                raise ValueError(
+                    f"composite {self.name!r}: children must be PerItemSpec, "
+                    "RollingWindowSpec, or CompositeSpec, got "
+                    f"{type(child).__name__} (a ConsistencySpecDecl expands to "
+                    "several assertions and cannot be combined)"
+                )
+        if self.op == "weighted":
+            if len(self.weights) != len(self.children):
+                raise ValueError(
+                    f"composite {self.name!r}: weighted op needs one weight "
+                    f"per child ({len(self.children)}), got {len(self.weights)}"
+                )
+            if any(w < 0 for w in self.weights):
+                raise ValueError(
+                    f"composite {self.name!r}: weights must be >= 0 "
+                    "(severities are non-negative)"
+                )
+        elif self.weights:
+            raise ValueError(
+                f"composite {self.name!r}: weights are only valid with "
+                "op='weighted'"
+            )
+
+
+#: Spec types that compile to exactly one assertion.
+_SINGLE_SPECS = (PerItemSpec, RollingWindowSpec, CompositeSpec)
+#: Every spec type a SuiteEntry may carry.
+SPEC_TYPES = _SINGLE_SPECS + (ConsistencySpecDecl,)
+
+
+def spec_assertion_names(spec: Any) -> tuple:
+    """Names of the assertions a spec generates (pure data, no compile)."""
+    if isinstance(spec, ConsistencySpecDecl):
+        return spec.assertion_names()
+    if isinstance(spec, _SINGLE_SPECS):
+        return (spec.name,)
+    raise TypeError(f"not an assertion spec: {type(spec).__name__}")
+
+
+@register_result_type
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One suite member: a spec plus registration metadata.
+
+    ``enabled=False`` entries are registered disabled (their fire history
+    survives disable → enable cycles); ``weight`` scales the compiled
+    severity (1.0 = identity; only single-assertion specs support
+    re-weighting — consistency declarations raise).
+    """
+
+    spec: Any
+    tags: tuple = ()
+    enabled: bool = True
+    author: str = ""
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.spec, SPEC_TYPES):
+            raise ValueError(
+                f"SuiteEntry.spec must be one of "
+                f"{', '.join(t.__name__ for t in SPEC_TYPES)}, got "
+                f"{type(self.spec).__name__}"
+            )
+        if self.weight <= 0:
+            raise ValueError(
+                f"entry {self.name!r}: weight must be > 0, got {self.weight}"
+            )
+        if self.weight != 1.0 and isinstance(self.spec, ConsistencySpecDecl):
+            raise ValueError(
+                f"entry {self.name!r}: consistency declarations cannot be "
+                "re-weighted (their generated assertions have no scalar "
+                "severity hook); wrap a per-item spec instead"
+            )
+
+    @property
+    def name(self) -> str:
+        """The spec's (entry-unique) name."""
+        return self.spec.name
+
+
+@register_result_type
+@dataclass(frozen=True)
+class AssertionSuite:
+    """An ordered, versioned collection of assertion specs.
+
+    The suite is the unit the system versions, snapshots, ships in
+    configs, and applies to live fleets. Entry order fixes the compiled
+    database's registration order — and with it the severity-matrix
+    column order. ``domain`` ties a suite to a registered domain name
+    ("" = generic).
+    """
+
+    name: str
+    version: int = 1
+    domain: str = ""
+    entries: tuple = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("AssertionSuite.name must be non-empty")
+        if self.version < 1:
+            raise ValueError(f"suite {self.name!r}: version must be >= 1")
+        seen: set = set()
+        for entry in self.entries:
+            if not isinstance(entry, SuiteEntry):
+                raise ValueError(
+                    f"suite {self.name!r}: entries must be SuiteEntry, got "
+                    f"{type(entry).__name__}"
+                )
+            if entry.name in seen:
+                raise ValueError(
+                    f"suite {self.name!r} has two entries named {entry.name!r}"
+                )
+            seen.add(entry.name)
+
+    # -- queries -------------------------------------------------------
+    def __iter__(self) -> Iterator[SuiteEntry]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def entry_names(self) -> list:
+        """Entry (spec) names in order — one per entry."""
+        return [entry.name for entry in self.entries]
+
+    def get(self, name: str) -> SuiteEntry:
+        """The entry whose spec is named ``name`` (KeyError if absent)."""
+        for entry in self.entries:
+            if entry.name == name:
+                return entry
+        raise KeyError(f"suite {self.name!r} has no entry named {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(entry.name == name for entry in self.entries)
+
+    def assertion_names(self, *, include_disabled: bool = False) -> list:
+        """Expanded assertion names the compiled database will hold."""
+        names: list = []
+        for entry in self.entries:
+            if entry.enabled or include_disabled:
+                names.extend(spec_assertion_names(entry.spec))
+        return names
+
+    def tagged(self, *tags: str) -> list:
+        """Entries carrying at least one of ``tags``, in suite order."""
+        wanted = set(tags)
+        return [e for e in self.entries if wanted & set(e.tags)]
+
+    # -- evolution (each returns a new suite with version + 1) ---------
+    def _bump(self, entries: tuple) -> "AssertionSuite":
+        return dataclasses.replace(
+            self, entries=tuple(entries), version=self.version + 1
+        )
+
+    def with_entry(self, entry: SuiteEntry, *, replace: bool = False) -> "AssertionSuite":
+        """Append an entry (or replace the same-named one)."""
+        if entry.name in self:
+            if not replace:
+                raise ValueError(
+                    f"suite {self.name!r} already has an entry named "
+                    f"{entry.name!r}; pass replace=True to overwrite"
+                )
+            return self._bump(
+                tuple(entry if e.name == entry.name else e for e in self.entries)
+            )
+        return self._bump(self.entries + (entry,))
+
+    def without(self, name: str) -> "AssertionSuite":
+        """Drop the entry named ``name`` (KeyError if absent)."""
+        self.get(name)
+        return self._bump(tuple(e for e in self.entries if e.name != name))
+
+    def with_enabled(self, name: str, enabled: bool = True) -> "AssertionSuite":
+        """Toggle one entry's enable flag."""
+        entry = self.get(name)
+        return self._bump(
+            tuple(
+                dataclasses.replace(e, enabled=enabled) if e.name == name else e
+                for e in self.entries
+            )
+        )
+
+    def with_weight(self, name: str, weight: float) -> "AssertionSuite":
+        """Re-weight one entry."""
+        entry = self.get(name)
+        return self._bump(
+            tuple(
+                dataclasses.replace(e, weight=weight) if e.name == name else e
+                for e in self.entries
+            )
+        )
+
+    def diff(self, other: "AssertionSuite") -> "SuiteDiff":
+        """Entry-level diff from ``self`` (old) to ``other`` (new)."""
+        mine = {e.name: e for e in self.entries}
+        theirs = {e.name: e for e in other.entries}
+        added = tuple(n for n in other.entry_names() if n not in mine)
+        removed = tuple(n for n in self.entry_names() if n not in theirs)
+        changed = tuple(
+            n for n in self.entry_names() if n in theirs and mine[n] != theirs[n]
+        )
+        return SuiteDiff(added=added, removed=removed, changed=changed)
+
+
+@register_result_type
+@dataclass(frozen=True)
+class SuiteDiff:
+    """Entry names added / removed / changed between two suites."""
+
+    added: tuple = ()
+    removed: tuple = ()
+    changed: tuple = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.added or self.removed or self.changed)
+
+
+# ----------------------------------------------------------------------
+# Composite / weighted assertions
+# ----------------------------------------------------------------------
+class CompositeAssertion(ModelAssertion):
+    """Element-wise combination of child assertions (see :class:`CompositeSpec`)."""
+
+    def __init__(
+        self,
+        name: str,
+        op: str,
+        children: list,
+        weights: "tuple | None" = None,
+        description: str = "",
+        taxonomy_class: str = "custom",
+    ) -> None:
+        super().__init__(name, description)
+        self.op = op
+        self.children = list(children)
+        self.weights = (
+            np.asarray(weights, dtype=np.float64) if weights else None
+        )
+        self.taxonomy_class = taxonomy_class
+        if all(self._child_is_per_item(c) for c in self.children):
+            # Per-item streaming hook, present only when every child has one.
+            self.evaluate_item = self._evaluate_item
+
+    @staticmethod
+    def _child_is_per_item(child: ModelAssertion) -> bool:
+        # FunctionAssertion always defines evaluate_item but guards it
+        # for window > 1, so the window must be checked too; otherwise a
+        # rolling-window child would crash the per-item fast path.
+        return (
+            callable(getattr(child, "evaluate_item", None))
+            and getattr(child, "window", 1) == 1
+        )
+
+    def _combine(self, stacked: np.ndarray) -> np.ndarray:
+        if self.op == "and":
+            return stacked.min(axis=0)
+        if self.op == "or":
+            return stacked.max(axis=0)
+        return self.weights @ stacked
+
+    def _evaluate_item(self, item) -> float:
+        values = np.array(
+            [float(c.evaluate_item(item)) for c in self.children], dtype=np.float64
+        )
+        return float(self._combine(values[:, None])[0])
+
+    def evaluate_stream(self, items: list) -> np.ndarray:
+        stacked = np.stack(
+            [
+                np.asarray(c.evaluate_stream(items), dtype=np.float64)
+                for c in self.children
+            ]
+        )
+        return self._combine(stacked)
+
+
+class WeightedAssertion(ModelAssertion):
+    """Scale a per-item-capable assertion's severity by a constant weight."""
+
+    def __init__(self, inner: ModelAssertion, weight: float) -> None:
+        super().__init__(inner.name, inner.description)
+        self.inner = inner
+        self.weight = float(weight)
+        self.taxonomy_class = inner.taxonomy_class
+        if callable(getattr(inner, "evaluate_item", None)):
+            self.evaluate_item = self._evaluate_item
+
+    def _evaluate_item(self, item) -> float:
+        return self.weight * float(self.inner.evaluate_item(item))
+
+    def evaluate_stream(self, items: list) -> np.ndarray:
+        return self.weight * np.asarray(
+            self.inner.evaluate_stream(items), dtype=np.float64
+        )
+
+
+# ----------------------------------------------------------------------
+# Compiler
+# ----------------------------------------------------------------------
+def _severity_callable(spec) -> Callable:
+    """Resolve a PerItem/RollingWindow spec to its severity callable."""
+    fn = get_predicate(spec.predicate)
+    if is_factory_predicate(spec.predicate):
+        obj = fn(**spec.params)
+        return obj
+    return partial(fn, **spec.params) if spec.params else fn
+
+
+def _finish_assertion(assertion: ModelAssertion, spec) -> ModelAssertion:
+    """Align a factory-built assertion with its spec's metadata."""
+    assertion.name = spec.name
+    if spec.description:
+        assertion.description = spec.description
+    if spec.taxonomy_class and spec.taxonomy_class != "custom":
+        assertion.taxonomy_class = spec.taxonomy_class
+    return assertion
+
+
+def _compile_single(spec) -> ModelAssertion:
+    """Compile a single-assertion spec (no suite-entry weighting)."""
+    if isinstance(spec, PerItemSpec):
+        obj = _severity_callable(spec)
+        if isinstance(obj, ModelAssertion):
+            return _finish_assertion(obj, spec)
+        doc = spec.description or (getattr(obj, "__doc__", None) or "")
+        return FunctionAssertion(
+            obj,
+            spec.name,
+            window=1,
+            description=doc,
+            taxonomy_class=spec.taxonomy_class,
+        )
+    if isinstance(spec, RollingWindowSpec):
+        obj = _severity_callable(spec)
+        if isinstance(obj, ModelAssertion):
+            raise TypeError(
+                f"spec {spec.name!r}: rolling-window specs need a callable "
+                f"predicate, but factory {spec.predicate!r} returned a "
+                f"{type(obj).__name__}"
+            )
+        doc = spec.description or (getattr(obj, "__doc__", None) or "")
+        return FunctionAssertion(
+            obj,
+            spec.name,
+            window=spec.window,
+            description=doc,
+            taxonomy_class=spec.taxonomy_class,
+        )
+    if isinstance(spec, CompositeSpec):
+        children = [_compile_single(child) for child in spec.children]
+        return CompositeAssertion(
+            spec.name,
+            spec.op,
+            children,
+            weights=spec.weights or None,
+            description=spec.description,
+            taxonomy_class=spec.taxonomy_class,
+        )
+    raise TypeError(f"not a single-assertion spec: {type(spec).__name__}")
+
+
+def _compile_consistency(decl: ConsistencySpecDecl) -> list:
+    """Lower a declaration onto the §4 consistency machinery.
+
+    All generated assertions share **one** :class:`ConsistencySpec`
+    instance, so the runtime's per-spec
+    :class:`~repro.core.consistency.ConsistencyIndex` grouping pass is
+    shared exactly as in the hand-built pipelines.
+    """
+    spec = ConsistencySpec(
+        id_fn=get_predicate(decl.id_fn),
+        attrs_fn=get_predicate(decl.attrs_fn) if decl.attrs_fn else None,
+        temporal_threshold=decl.temporal_threshold,
+        weak_label_fn=get_predicate(decl.weak_label_fn) if decl.weak_label_fn else None,
+        set_attr_fn=get_predicate(decl.set_attr_fn) if decl.set_attr_fn else None,
+        name=decl.name,
+    )
+    assertions: list = [
+        AttributeConsistencyAssertion(spec, key) for key in decl.attr_keys
+    ]
+    for t in decl.temporal_decls():
+        assertions.append(
+            TemporalConsistencyAssertion(
+                spec, mode=t.mode, name=t.assertion_name(decl.name)
+            )
+        )
+    return assertions
+
+
+def compile_spec(spec: Any, *, weight: float = 1.0) -> list:
+    """Compile one spec into its :class:`ModelAssertion` list.
+
+    ``weight`` scales severities (1.0 compiles the unmodified fast path,
+    bit-identical to hand-built assertions). Consistency declarations
+    reject weights != 1.0 — see :class:`SuiteEntry`.
+    """
+    if isinstance(spec, ConsistencySpecDecl):
+        if weight != 1.0:
+            raise ValueError(
+                f"consistency spec {spec.name!r} cannot be re-weighted"
+            )
+        return _compile_consistency(spec)
+    assertion = _compile_single(spec)
+    if weight != 1.0:
+        if isinstance(assertion, FunctionAssertion):
+            inner_func = assertion.func
+
+            def scaled(*args, _inner=inner_func, _w=float(weight)):
+                return _w * float(_inner(*args))
+
+            assertion = FunctionAssertion(
+                scaled,
+                assertion.name,
+                window=assertion.window,
+                description=assertion.description,
+                taxonomy_class=assertion.taxonomy_class,
+            )
+        elif callable(getattr(assertion, "evaluate_item", None)):
+            assertion = WeightedAssertion(assertion, weight)
+        else:
+            raise ValueError(
+                f"spec {spec.name!r} compiled to a "
+                f"{type(assertion).__name__} with no per-item hook; "
+                "re-weighting is not supported for it"
+            )
+    return [assertion]
+
+
+def compile_entry(entry: SuiteEntry) -> list:
+    """Compile one suite entry (spec + weight) into assertions."""
+    return compile_spec(entry.spec, weight=entry.weight)
+
+
+def compile_suite(
+    suite: AssertionSuite, database: "AssertionDatabase | None" = None
+) -> AssertionDatabase:
+    """Lower a suite into an :class:`AssertionDatabase`.
+
+    Entries compile in order (fixing severity-matrix columns); disabled
+    entries are registered disabled, so later enable/disable cycles keep
+    their registration slot and fire history. The returned database is
+    stamped with the suite (``database.suite``), which is how
+    :meth:`OMG.snapshot` embeds it and
+    :meth:`MonitorService.apply_suite` diffs running fleets.
+    """
+    database = database if database is not None else AssertionDatabase()
+    for entry in suite.entries:
+        for assertion in compile_entry(entry):
+            database.add(
+                assertion,
+                domain=suite.domain,
+                author=entry.author,
+                tags=entry.tags,
+                enabled=entry.enabled,
+                spec=entry,
+            )
+    database.suite = suite
+    return database
+
+
+# ----------------------------------------------------------------------
+# Lint
+# ----------------------------------------------------------------------
+def lint_suite(suite: AssertionSuite) -> list:
+    """Validate a suite; returns a list of problem strings (empty = clean).
+
+    Checks what construction alone cannot: predicate references resolve,
+    expanded assertion names are unique across entries, the whole suite
+    compiles, and no compiled assertion is left on the ``"custom"``
+    taxonomy default (Table 5 classes are the vocabulary the Table 5
+    bench and the improvement loop's reporting key on).
+    """
+    problems: list = []
+    if not suite.entries:
+        problems.append(f"suite {suite.name!r} has no entries")
+
+    # Unresolved predicate references, named per entry.
+    for entry in suite.entries:
+        spec = entry.spec
+        refs: list = []
+        if isinstance(spec, (PerItemSpec, RollingWindowSpec)):
+            refs = [("predicate", spec.predicate)]
+        elif isinstance(spec, ConsistencySpecDecl):
+            refs = [
+                ("id_fn", spec.id_fn),
+                ("attrs_fn", spec.attrs_fn),
+                ("weak_label_fn", spec.weak_label_fn),
+                ("set_attr_fn", spec.set_attr_fn),
+            ]
+        elif isinstance(spec, CompositeSpec):
+            stack = list(spec.children)
+            while stack:
+                child = stack.pop()
+                if isinstance(child, CompositeSpec):
+                    stack.extend(child.children)
+                else:
+                    refs.append(("predicate", child.predicate))
+        for role, ref in refs:
+            if ref is not None and not _resolvable(ref):
+                problems.append(
+                    f"entry {entry.name!r}: {role} {ref!r} is not a "
+                    "registered predicate"
+                )
+
+    # Duplicate expanded names across entries (including disabled ones —
+    # they share the registration namespace).
+    seen: dict = {}
+    for entry in suite.entries:
+        for name in spec_assertion_names(entry.spec):
+            if name in seen:
+                problems.append(
+                    f"assertion name {name!r} is generated by both entries "
+                    f"{seen[name]!r} and {entry.name!r}"
+                )
+            else:
+                seen[name] = entry.name
+
+    if problems:
+        return problems  # compilation would only re-report these
+
+    try:
+        database = compile_suite(suite)
+    except Exception as exc:  # factory errors, bad params, …
+        problems.append(f"suite {suite.name!r} does not compile: {exc}")
+        return problems
+
+    from repro.core.taxonomy import ASSERTION_CLASSES
+
+    for name in database.all_names():
+        assertion = database.get(name)
+        taxonomy = assertion.taxonomy_class
+        if not taxonomy or taxonomy == "custom":
+            problems.append(
+                f"assertion {name!r} reports the {taxonomy!r} taxonomy "
+                f"default; tag it with a Table 5 class "
+                f"({', '.join(ASSERTION_CLASSES)})"
+            )
+        elif taxonomy not in ASSERTION_CLASSES:
+            problems.append(
+                f"assertion {name!r} reports unknown taxonomy class "
+                f"{taxonomy!r}; known: {', '.join(ASSERTION_CLASSES)}"
+            )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# File I/O
+# ----------------------------------------------------------------------
+def suite_payload(suite: AssertionSuite) -> dict:
+    """The JSON file payload for a suite (what :func:`save_suite` writes)."""
+    return {"format": SUITE_FILE_FORMAT, "suite": to_jsonable(suite)}
+
+
+def suite_from_payload(payload: Any) -> AssertionSuite:
+    """Inverse of :func:`suite_payload`, with header validation."""
+    if not isinstance(payload, dict) or "suite" not in payload:
+        raise ValueError(
+            "not an assertion-suite payload (expected a JSON object with "
+            "'format' and 'suite' keys)"
+        )
+    fmt = payload.get("format")
+    if fmt != SUITE_FILE_FORMAT:
+        raise ValueError(
+            f"unsupported assertion-suite format {fmt!r} "
+            f"(expected {SUITE_FILE_FORMAT})"
+        )
+    suite = from_jsonable(payload["suite"])
+    if not isinstance(suite, AssertionSuite):
+        raise ValueError(
+            f"payload decodes to {type(suite).__name__}, not an AssertionSuite"
+        )
+    return suite
+
+
+def save_suite(suite: AssertionSuite, path: str) -> dict:
+    """Write a suite to ``path`` atomically; returns the payload."""
+    from repro.utils.io import atomic_write_json
+
+    payload = suite_payload(suite)
+    atomic_write_json(payload, path)
+    return payload
+
+
+def load_suite(path: str) -> AssertionSuite:
+    """Read a suite file written by :func:`save_suite` (or ``assertions
+    show --json``)."""
+    from repro.utils.io import read_json
+
+    try:
+        payload = read_json(path)
+    except ValueError as exc:
+        raise ValueError(f"{path} is not valid JSON: {exc}") from None
+    try:
+        return suite_from_payload(payload)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from None

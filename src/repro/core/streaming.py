@@ -518,6 +518,11 @@ class StreamingEngine:
         self._recent: deque = recent if recent is not None else deque(maxlen=window_size)
         self._n_items = 0
         self._executor: "ThreadPoolExecutor | None" = None
+        #: Restored evaluator states whose assertions were not enabled at
+        #: restore time; claimed (without a log reset or warm-up) when the
+        #: assertion is re-enabled, so a disable → snapshot → restore →
+        #: enable cycle keeps its fire history.
+        self._pending_states: dict = {}
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
@@ -526,6 +531,28 @@ class StreamingEngine:
         self._log = {}
         self._recent.clear()
         self._n_items = 0
+        self._pending_states = {}
+
+    def discard(self, name: str) -> None:
+        """Forget one assertion's evaluator, log, and pending state.
+
+        Called when a suite change removes or replaces an assertion, so
+        stale state never leaks into later snapshots (a replacement then
+        rebuilds from the warm-up replay in :meth:`_sync`).
+        """
+        self._evaluators.pop(name, None)
+        self._log.pop(name, None)
+        self._pending_states.pop(name, None)
+
+    def sync(self) -> None:
+        """Materialize evaluators for the current database eagerly.
+
+        Reports read the severity log without syncing; callers that
+        mutate the database outside an ingest (``OMG.apply_suite``) call
+        this so warm-up replay happens at the mutation point, not on the
+        next observation.
+        """
+        self._sync()
 
     def _sync(self) -> list:
         """Evaluators for the enabled assertions, creating any missing.
@@ -541,15 +568,23 @@ class StreamingEngine:
             if evaluator is None or evaluator.assertion is not assertion:
                 evaluator = make_evaluator(assertion, self.window_size)
                 self._evaluators[assertion.name] = evaluator
-                # A replaced assertion must not inherit its predecessor's
-                # fires: the log restarts from the warm-up replay.
-                log = self._log[assertion.name] = {}
-                for item in self._recent:
-                    for index, severity in evaluator.update(item).items():
-                        if severity > 0:
-                            log[index] = severity
-                        else:
-                            log.pop(index, None)
+                pending = self._pending_states.pop(assertion.name, None)
+                if pending is not None:
+                    # Re-enabled after a restore: resume the snapshotted
+                    # rolling state and keep the restored fire log.
+                    evaluator.set_state(pending)
+                    self._log.setdefault(assertion.name, {})
+                else:
+                    # A replaced assertion must not inherit its
+                    # predecessor's fires: the log restarts from the
+                    # warm-up replay.
+                    log = self._log[assertion.name] = {}
+                    for item in self._recent:
+                        for index, severity in evaluator.update(item).items():
+                            if severity > 0:
+                                log[index] = severity
+                            else:
+                                log.pop(index, None)
             evaluators.append(evaluator)
         return evaluators
 
@@ -621,19 +656,32 @@ class StreamingEngine:
         snapshot taken right after registering assertions (before any
         item) is restorable too.
         """
-        evaluators = self._sync()
+        self._sync()
+        # Every evaluator the database still knows about is captured —
+        # including disabled ones — plus any still-unclaimed restored
+        # states, so disable → enable survives a snapshot boundary.
+        known = set(self.database.all_names())
+        states = {
+            name: state
+            for name, state in self._pending_states.items()
+            if name in known
+        }
+        states.update(
+            {
+                name: evaluator.get_state()
+                for name, evaluator in self._evaluators.items()
+                if name in known
+            }
+        )
         return {
             "n_items": self._n_items,
             "recent": to_jsonable(list(self._recent)),
             "log": {
                 name: [[int(i), float(s)] for i, s in sorted(log.items())]
                 for name, log in self._log.items()
-                if log
+                if log and name in known
             },
-            "evaluators": {
-                evaluator.assertion.name: evaluator.get_state()
-                for evaluator in evaluators
-            },
+            "evaluators": states,
         }
 
     def set_state(self, state: dict) -> None:
@@ -651,10 +699,19 @@ class StreamingEngine:
             for name, pairs in state["log"].items()
         }
         saved = state["evaluators"]
+        applied = set()
         for evaluator in evaluators:
             name = evaluator.assertion.name
             if name in saved:
                 evaluator.set_state(saved[name])
+                applied.add(name)
+        # States for assertions that exist but are not currently enabled
+        # (snapshotted while disabled) wait here until re-enabled.
+        self._pending_states = {
+            name: payload
+            for name, payload in saved.items()
+            if name not in applied
+        }
 
     # ------------------------------------------------------------------
     def severity_matrix(self, n_items: "int | None" = None) -> tuple:

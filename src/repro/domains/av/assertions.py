@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.assertion import ModelAssertion
+from repro.core.spec import register_predicate
 from repro.geometry.iou import iou_matrix
 
 
@@ -98,3 +99,11 @@ class AgreeAssertion(ModelAssertion):
             elif output.get("sensor") == "camera" and id(box) in bad_camera:
                 flagged.append(idx)
         return flagged
+
+
+@register_predicate("av.agree", factory=True)
+def agree_assertion_factory(
+    iou_threshold: float = 0.1, min_projection_area: float = 20.0
+) -> AgreeAssertion:
+    """Factory behind ``PerItemSpec(predicate="av.agree")``."""
+    return AgreeAssertion(iou_threshold, min_projection_area)

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.core.runtime import OMG
 from repro.core.seeding import derive_seed
+from repro.core.spec import AssertionSuite, PerItemSpec, SuiteEntry
 from repro.domains.av.pipeline import AVPipeline, AVPipelineConfig
 from repro.domains.registry import Domain, RawItem, register_domain
 from repro.geometry.camera import PinholeCamera
@@ -56,7 +57,41 @@ class AVDomain(Domain):
         cfg = self._config(config)
         return AVPipeline(self._camera(cfg), cfg.pipeline)
 
-    def build_monitor(self, config: "AVDomainConfig | None" = None) -> OMG:
+    def assertion_suite(self, config: "AVDomainConfig | None" = None) -> AssertionSuite:
+        """``agree`` + camera-only ``multibox`` (§5.1), as specs."""
+        p = self._config(config).pipeline
+        return AssertionSuite(
+            name="av-builtin",
+            version=1,
+            domain="av",
+            entries=(
+                SuiteEntry(
+                    spec=PerItemSpec(
+                        name="agree",
+                        predicate="av.agree",
+                        params={
+                            "iou_threshold": p.agree_iou,
+                            "min_projection_area": p.min_projection_area,
+                        },
+                        description="point-cloud and image detections must agree",
+                        taxonomy_class="consistency",
+                    ),
+                    tags=("builtin", "av"),
+                ),
+                SuiteEntry(
+                    spec=PerItemSpec(
+                        name="multibox",
+                        predicate="video.multibox",
+                        params={"iou_threshold": p.multibox_iou, "sensor": "camera"},
+                        description="three vehicles should not highly overlap",
+                        taxonomy_class="domain knowledge",
+                    ),
+                    tags=("builtin", "av"),
+                ),
+            ),
+        )
+
+    def _legacy_monitor(self, config: "AVDomainConfig | None" = None) -> OMG:
         return self.build_pipeline(config).omg
 
     def build_world(self, seed: int = 0) -> _AVWorld:

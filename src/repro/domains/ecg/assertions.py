@@ -15,6 +15,13 @@ is ``{"class": k, "probs": …}``.
 from __future__ import annotations
 
 from repro.core.consistency import ConsistencySpec, TemporalConsistencyAssertion
+from repro.core.spec import register_predicate
+
+
+@register_predicate("ecg.class_id")
+def predicted_class_identifier(output) -> int:
+    """``Id``: the window's predicted rhythm class (§4.1)."""
+    return output["class"]
 
 
 def ecg_consistency_spec(temporal_threshold: float = 30.0) -> ConsistencySpec:

@@ -21,6 +21,12 @@ import numpy as np
 from repro.core.database import AssertionDatabase
 from repro.core.runtime import OMG
 from repro.core.seeding import derive_seed
+from repro.core.spec import (
+    AssertionSuite,
+    ConsistencySpecDecl,
+    SuiteEntry,
+    TemporalDecl,
+)
 from repro.domains.ecg.assertions import make_ecg_assertion
 from repro.domains.registry import Domain, RawItem, RetrainableModel, register_domain
 from repro.utils.codec import register_result_type
@@ -124,7 +130,27 @@ class EcgDomain(Domain):
     def default_config(cls) -> EcgDomainConfig:
         return EcgDomainConfig()
 
-    def build_monitor(self, config: "EcgDomainConfig | None" = None) -> OMG:
+    def assertion_suite(self, config: "EcgDomainConfig | None" = None) -> AssertionSuite:
+        """The single 30 s oscillation assertion (named ``ECG``), as a spec."""
+        cfg = self._config(config)
+        return AssertionSuite(
+            name="ecg-builtin",
+            version=1,
+            domain="ecg",
+            entries=(
+                SuiteEntry(
+                    spec=ConsistencySpecDecl(
+                        name="ecg",
+                        id_fn="ecg.class_id",
+                        temporal_threshold=cfg.temporal_threshold,
+                        temporal=(TemporalDecl(mode="both", name="ECG"),),
+                    ),
+                    tags=("builtin", "ecg", "consistency"),
+                ),
+            ),
+        )
+
+    def _legacy_monitor(self, config: "EcgDomainConfig | None" = None) -> OMG:
         cfg = self._config(config)
         database = AssertionDatabase()
         database.add(make_ecg_assertion(cfg.temporal_threshold), domain="ecg")

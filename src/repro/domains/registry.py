@@ -7,8 +7,11 @@ grew a bespoke monitoring surface (``AVPipeline.observe_sample``,
 ECG free functions). This module collapses them into a single contract a
 serving layer can drive uniformly:
 
+- :meth:`Domain.assertion_suite` — the domain's assertions as a
+  declarative, pure-data :class:`~repro.core.spec.AssertionSuite`;
 - :meth:`Domain.build_monitor` — a fresh :class:`~repro.core.runtime.OMG`
-  runtime with the domain's assertions registered;
+  runtime with the domain's assertions registered (by default, the
+  compiled suite);
 - :meth:`Domain.build_world` — a seeded, deterministic data source
   (synthetic world plus whatever bootstrapped models the domain needs);
 - :meth:`Domain.iter_stream` — an unbounded iterator of *raw units*
@@ -33,9 +36,11 @@ from __future__ import annotations
 
 import abc
 import importlib
+import warnings
 from typing import Any, Iterator, NamedTuple
 
 from repro.core.runtime import OMG, MonitoringReport
+from repro.core.spec import AssertionSuite, compile_suite
 
 
 class MonitorRun(NamedTuple):
@@ -146,9 +151,56 @@ class Domain(abc.ABC):
         return config if config is not None else self.config
 
     # -- contract ------------------------------------------------------
-    @abc.abstractmethod
+    def assertion_suite(self, config: Any = None) -> AssertionSuite:
+        """This domain's assertions as a declarative, pure-data suite.
+
+        The canonical source of the domain's assertion set: serialize it,
+        diff it, ship it in a config, or hand an edited copy to
+        :meth:`~repro.serve.MonitorService.apply_suite`. The default
+        :meth:`build_monitor` compiles it, so overriding this method is
+        all a new domain needs to plug its assertions into serving,
+        snapshots, and the ``assertions`` CLI.
+        """
+        raise NotImplementedError(
+            f"domain {self.name or type(self).__name__!r} declares no "
+            "assertion suite; override assertion_suite() (preferred) or "
+            "build_monitor()"
+        )
+
     def build_monitor(self, config: Any = None) -> OMG:
-        """A fresh runtime with this domain's assertions registered."""
+        """A fresh runtime with this domain's assertions registered.
+
+        Default: compile :meth:`assertion_suite` — bit-identical to the
+        pre-spec hand-built monitors (``tests/domains/test_suites.py``).
+        Domains with assertions that cannot be expressed as specs may
+        override this directly.
+        """
+        return OMG(compile_suite(self.assertion_suite(config)))
+
+    def legacy_monitor(self, config: Any = None) -> OMG:
+        """Deprecated (this PR only): the pre-spec hand-built monitor.
+
+        Produces the imperatively wired runtime the domain shipped before
+        the declarative suite existed. Scheduled for removal; use
+        :meth:`build_monitor`, which compiles the same assertion set from
+        :meth:`assertion_suite`.
+        """
+        warnings.warn(
+            f"legacy_monitor() is deprecated; domain {self.name!r} now "
+            "compiles its declarative assertion_suite() — use "
+            "build_monitor()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._legacy_monitor(config)
+
+    def _legacy_monitor(self, config: Any = None) -> OMG:
+        """Hand-built monitor construction kept for the deprecation shim
+        (and the suite-equivalence tests)."""
+        raise NotImplementedError(
+            f"domain {self.name or type(self).__name__!r} has no legacy "
+            "hand-built monitor"
+        )
 
     def build_pipeline(self, config: Any = None):
         """The domain's offline pipeline object, when it has one.

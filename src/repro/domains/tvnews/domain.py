@@ -15,8 +15,13 @@ from dataclasses import dataclass, field
 
 from repro.core.runtime import OMG
 from repro.core.seeding import derive_seed
+from repro.core.spec import AssertionSuite, ConsistencySpecDecl, SuiteEntry
 from repro.domains.registry import Domain, RawItem, register_domain
-from repro.domains.tvnews.pipeline import TVNewsPipeline, TVNewsPipelineConfig
+from repro.domains.tvnews.pipeline import (
+    NEWS_ATTRIBUTES,
+    TVNewsPipeline,
+    TVNewsPipelineConfig,
+)
 from repro.worlds.tvnews import TVNewsWorld, TVNewsWorldConfig
 
 
@@ -42,7 +47,26 @@ class TVNewsDomain(Domain):
         """The offline pipeline (the registry entry point experiments use)."""
         return TVNewsPipeline(self._config(config).pipeline)
 
-    def build_monitor(self, config: "TVNewsDomainConfig | None" = None) -> OMG:
+    def assertion_suite(self, config: "TVNewsDomainConfig | None" = None) -> AssertionSuite:
+        """The three ``news`` attribute-consistency assertions, as a spec."""
+        return AssertionSuite(
+            name="tvnews-builtin",
+            version=1,
+            domain="tvnews",
+            entries=(
+                SuiteEntry(
+                    spec=ConsistencySpecDecl(
+                        name="news",
+                        id_fn="tvnews.face_id",
+                        attrs_fn="tvnews.face_attrs",
+                        attr_keys=tuple(NEWS_ATTRIBUTES),
+                    ),
+                    tags=("builtin", "tvnews", "consistency"),
+                ),
+            ),
+        )
+
+    def _legacy_monitor(self, config: "TVNewsDomainConfig | None" = None) -> OMG:
         return self.build_pipeline(config).omg
 
     def build_world(self, seed: int = 0) -> TVNewsWorld:

@@ -21,12 +21,29 @@ import numpy as np
 from repro.core.consistency import ConsistencySpec, generate_assertions
 from repro.core.database import AssertionDatabase
 from repro.core.runtime import OMG, MonitoringReport
+from repro.core.spec import register_predicate
 from repro.core.types import StreamItem
 from repro.domains.registry import MonitorRun
 from repro.tracking.tracker import IoUTracker
 
 #: The three checked attributes, in registration order.
 NEWS_ATTRIBUTES = ("identity", "gender", "hair")
+
+
+@register_predicate("tvnews.face_id")
+def face_cluster_identifier(output) -> tuple:
+    """``Id``: the scene-local (video, scene, cluster) face identifier."""
+    return output["face_id"]
+
+
+@register_predicate("tvnews.face_attrs")
+def face_attributes(output) -> dict:
+    """``Attrs``: the three predicted labels checked for consistency."""
+    return {
+        "identity": output["identity"],
+        "gender": output["gender"],
+        "hair": output["hair"],
+    }
 
 
 def news_consistency_spec() -> ConsistencySpec:

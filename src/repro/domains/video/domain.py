@@ -13,6 +13,13 @@ from dataclasses import dataclass, field
 
 from repro.core.runtime import OMG
 from repro.core.seeding import derive_seed
+from repro.core.spec import (
+    AssertionSuite,
+    ConsistencySpecDecl,
+    PerItemSpec,
+    SuiteEntry,
+    TemporalDecl,
+)
 from repro.domains.registry import Domain, RawItem, RetrainableModel, register_domain
 from repro.domains.video.pipeline import VideoPipeline, VideoPipelineConfig
 from repro.tracking.tracker import IoUTracker
@@ -157,7 +164,42 @@ class VideoDomain(Domain):
         """The offline pipeline (the registry entry point experiments use)."""
         return VideoPipeline(self._config(config).pipeline)
 
-    def build_monitor(self, config: "VideoDomainConfig | None" = None) -> OMG:
+    def assertion_suite(self, config: "VideoDomainConfig | None" = None) -> AssertionSuite:
+        """``multibox`` + the flicker/appear consistency pair, as specs."""
+        p = self._config(config).pipeline
+        return AssertionSuite(
+            name="video-builtin",
+            version=1,
+            domain="video",
+            entries=(
+                SuiteEntry(
+                    spec=PerItemSpec(
+                        name="multibox",
+                        predicate="video.multibox",
+                        params={"iou_threshold": p.multibox_iou},
+                        description="three vehicles should not highly overlap",
+                        taxonomy_class="domain knowledge",
+                    ),
+                    tags=("builtin", "video"),
+                ),
+                SuiteEntry(
+                    spec=ConsistencySpecDecl(
+                        name="video",
+                        id_fn="video.track_id",
+                        attrs_fn="video.class_attr",
+                        temporal_threshold=p.temporal_threshold,
+                        temporal=(
+                            TemporalDecl(mode="gap", name="flicker"),
+                            TemporalDecl(mode="run", name="appear"),
+                        ),
+                        weak_label_fn="video.interpolate_box",
+                    ),
+                    tags=("builtin", "video", "consistency"),
+                ),
+            ),
+        )
+
+    def _legacy_monitor(self, config: "VideoDomainConfig | None" = None) -> OMG:
         return self.build_pipeline(config).omg
 
     def build_world(self, seed: int = 0) -> _VideoWorld:

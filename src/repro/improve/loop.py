@@ -96,6 +96,12 @@ class ImproveConfig:
         :class:`FireStore` ring bound per stream.
     max_versions:
         :class:`ModelRegistry` ring bound; ``None`` = keep all.
+    suite:
+        Optional declarative :class:`~repro.core.spec.AssertionSuite`
+        the fleet monitors with instead of the domain's built-in set
+        (what ``python -m repro improve --suite FILE`` loads). Must
+        target the loop's domain. The suite rides along in loop
+        snapshots like every other config field.
     """
 
     domain: str = "ecg"
@@ -113,8 +119,14 @@ class ImproveConfig:
     max_pool: "int | None" = None
     fires_per_stream: int = 256
     max_versions: "int | None" = None
+    suite: "object | None" = None
 
     def __post_init__(self) -> None:
+        if self.suite is not None and self.suite.domain and self.suite.domain != self.domain:
+            raise ValueError(
+                f"suite {self.suite.name!r} targets domain "
+                f"{self.suite.domain!r}, not {self.domain!r}"
+            )
         if self.policy not in POLICY_NAMES:
             raise ValueError(
                 f"policy must be one of {', '.join(POLICY_NAMES)}, got {self.policy!r}"
@@ -594,11 +606,16 @@ class ImprovementLoop:
         self._domain_config = domain_config
         seed = config.seed
         self.service = MonitorService(
-            self.domain, config=ServiceConfig(snapshot_on_evict=True)
+            self.domain,
+            config=ServiceConfig(snapshot_on_evict=True),
+            suite=config.suite,
         )
         self.fire_store = FireStore(max_per_stream=config.fires_per_stream)
         self.service.on_fire(self.fire_store.add)
-        self.assertion_names = list(self.domain.build_monitor().database.names())
+        if config.suite is not None:
+            self.assertion_names = list(config.suite.assertion_names())
+        else:
+            self.assertion_names = list(self.domain.build_monitor().database.names())
         self.policy = SelectionPolicy(
             config.policy,
             seed=derive_seed(seed, "improve", "policy"),

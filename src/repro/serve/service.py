@@ -17,7 +17,12 @@ layer on top of the :mod:`repro.domains.registry` contract:
 - ``on_fire`` routing that tags every record with its stream id;
 - ``snapshot()`` / ``restore()`` — the whole fleet's evaluator state as
   one JSON payload, so sessions checkpoint and resume bit-identically
-  (see :meth:`repro.core.runtime.OMG.snapshot`).
+  (see :meth:`repro.core.runtime.OMG.snapshot`);
+- ``apply_suite(suite, tick=…)`` — live reconfiguration: hot-add,
+  remove, and re-weight assertions across every session at a raw-unit
+  boundary from a declarative
+  :class:`~repro.core.spec.AssertionSuite` (which also templates new
+  sessions and rides along in snapshots).
 
 Determinism contract: an interleaved multi-stream ingest produces, per
 stream, exactly the report a solo run over that stream's items produces
@@ -36,9 +41,11 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.core.runtime import MonitoringReport
+from repro.core.runtime import OMG, MonitoringReport
+from repro.core.spec import AssertionSuite, compile_suite
 from repro.core.types import AssertionRecord
 from repro.domains.registry import Domain, get_domain
+from repro.utils.codec import from_jsonable, to_jsonable
 
 #: Version tag of the :meth:`MonitorService.snapshot` payload layout.
 SERVICE_SNAPSHOT_FORMAT = 1
@@ -106,10 +113,26 @@ class StreamSession:
     Evict a broken session and start the stream fresh.
     """
 
-    def __init__(self, stream_id: str, domain: Domain, now: float) -> None:
+    def __init__(
+        self,
+        stream_id: str,
+        domain: Domain,
+        now: float,
+        suite: "AssertionSuite | None" = None,
+        *,
+        _monitor: "OMG | None" = None,
+    ) -> None:
         self.stream_id = stream_id
         self.domain = domain
-        self.monitor = domain.build_monitor()
+        #: The declarative suite this session monitors with (``None`` =
+        #: the domain's built-in assertion set).
+        self.suite = suite
+        if _monitor is not None:  # the restore path built it already
+            self.monitor = _monitor
+        elif suite is not None:
+            self.monitor = OMG(compile_suite(suite))
+        else:
+            self.monitor = domain.build_monitor()
         self.state = domain.new_state()
         self.created_at = now
         self.last_used = now
@@ -160,13 +183,40 @@ class StreamSession:
             "n_raw": self.n_raw,
         }
 
+    def apply_suite(self, suite: AssertionSuite) -> dict:
+        """Hot-reconfigure this session's assertion set (see
+        :meth:`repro.core.runtime.OMG.apply_suite`)."""
+        self._check_usable()
+        diff = self.monitor.apply_suite(suite)
+        self.suite = suite
+        return diff
+
     @classmethod
     def restore(
-        cls, stream_id: str, domain: Domain, payload: dict, now: float
+        cls,
+        stream_id: str,
+        domain: Domain,
+        payload: dict,
+        now: float,
+        suite: "AssertionSuite | None" = None,
     ) -> "StreamSession":
-        """Rebuild a session from :meth:`snapshot` output."""
-        session = cls(stream_id, domain, now)
-        session.monitor.restore(payload["monitor"])
+        """Rebuild a session from :meth:`snapshot` output.
+
+        When the monitor payload embeds a declarative suite (every
+        suite-compiled runtime's does), the exact snapshotted assertion
+        set is rebuilt from it — so a fleet restores correctly even
+        across an :meth:`MonitorService.apply_suite` boundary, where the
+        service's current template differs from what this stream ran.
+        """
+        monitor_payload = payload["monitor"]
+        if monitor_payload.get("suite") is not None:
+            monitor = OMG.from_snapshot(monitor_payload)
+            session = cls(
+                stream_id, domain, now, suite=monitor.suite, _monitor=monitor
+            )
+        else:
+            session = cls(stream_id, domain, now, suite=suite)
+            session.monitor.restore(monitor_payload)
         session.state = domain.state_restore(payload["state"])
         session.n_raw = int(payload["n_raw"])
         return session
@@ -251,6 +301,7 @@ class MonitorService:
         domain_config: Any = None,
         config: "ServiceConfig | None" = None,
         clock: "Callable[[], float] | None" = None,
+        suite: "AssertionSuite | None" = None,
     ) -> None:
         if isinstance(domain, str):
             domain = get_domain(domain, domain_config)
@@ -259,13 +310,26 @@ class MonitorService:
                 "domain_config is only valid with a domain name; a Domain "
                 "instance already carries its config"
             )
+        if suite is not None and suite.domain and domain.name and suite.domain != domain.name:
+            raise ValueError(
+                f"suite {suite.name!r} targets domain {suite.domain!r}, "
+                f"this service serves {domain.name!r}"
+            )
         self.domain = domain
         self.config = config if config is not None else ServiceConfig()
         self._clock = clock if clock is not None else time.monotonic
+        #: The declarative suite new sessions monitor with (``None`` =
+        #: the domain's built-in set); updated by :meth:`apply_suite`.
+        self._suite = suite
         self._sessions: "OrderedDict[str, StreamSession]" = OrderedDict()
         self._fire_actions: list = []
         self._evict_actions: list = []
         self._executor: "ThreadPoolExecutor | None" = None
+
+    @property
+    def suite(self) -> "AssertionSuite | None":
+        """The suite template new sessions are built with."""
+        return self._suite
 
     # ------------------------------------------------------------------
     # Sessions and eviction
@@ -292,7 +356,7 @@ class MonitorService:
         self._purge_expired(now)
         session = self._sessions.get(stream_id)
         if session is None:
-            session = StreamSession(stream_id, self.domain, now)
+            session = StreamSession(stream_id, self.domain, now, suite=self._suite)
             self._sessions[stream_id] = session
             self._enforce_capacity()
         else:
@@ -333,10 +397,61 @@ class MonitorService:
             )
         now = self._clock()
         self._purge_expired(now)
-        session = StreamSession.restore(stream_id, self.domain, payload, now)
+        session = StreamSession.restore(
+            stream_id, self.domain, payload, now, suite=self._suite
+        )
         self._sessions[stream_id] = session
         self._enforce_capacity()
         return session
+
+    # ------------------------------------------------------------------
+    # Live reconfiguration
+    # ------------------------------------------------------------------
+    def apply_suite(
+        self, suite: AssertionSuite, *, tick: "int | None" = None
+    ) -> dict:
+        """Hot-reconfigure the whole fleet's assertion set to ``suite``.
+
+        Every live session's runtime is diffed against the new suite at
+        its current item boundary (see
+        :meth:`repro.core.runtime.OMG.apply_suite`): unchanged entries
+        keep their evaluator state and fire history, added entries start
+        fresh evaluators (warmed on the bounded recent window, no
+        retroactive fire records), removed entries drop their live
+        state — their past fires survive wherever ``on_fire`` routed
+        them (e.g. a :class:`~repro.improve.fires.FireStore`). New
+        sessions created afterwards are compiled from ``suite`` too.
+
+        ``tick`` asserts the raw-unit boundary: when given, every live
+        session must have consumed exactly ``tick`` raw units, otherwise
+        nothing is changed and a ``ValueError`` names the offender. Fires
+        after the boundary are identical to a fleet freshly started on
+        the new suite and fast-forwarded through the same pre-boundary
+        units (``tests/serve/test_apply_suite.py``), and
+        snapshot → restore across the boundary stays bit-identical.
+
+        Returns ``{stream_id: diff}`` with each session's
+        added/removed/kept/replaced assertion names. Broken sessions are
+        skipped (evict them).
+        """
+        if suite.domain and self.domain.name and suite.domain != self.domain.name:
+            raise ValueError(
+                f"suite {suite.name!r} targets domain {suite.domain!r}, "
+                f"this service serves {self.domain.name!r}"
+            )
+        self._purge_expired(self._clock())
+        live = [s for s in self._sessions.values() if s.broken is None]
+        if tick is not None:
+            for session in live:
+                if session.n_raw != tick:
+                    raise ValueError(
+                        f"apply_suite(tick={tick}) is not a raw-unit boundary "
+                        f"for stream {session.stream_id!r}, which has consumed "
+                        f"{session.n_raw} unit(s)"
+                    )
+        diffs = {session.stream_id: session.apply_suite(suite) for session in live}
+        self._suite = suite
+        return diffs
 
     def _purge_expired(self, now: float) -> None:
         ttl = self.config.session_ttl
@@ -495,6 +610,8 @@ class MonitorService:
                 stream_reports[stream_id] = session.report()
         if stream_reports:
             names = next(iter(stream_reports.values())).assertion_names
+        elif self._suite is not None:
+            names = self._suite.assertion_names()
         else:
             names = self.domain.build_monitor().database.names()
         row_offsets: dict = {}
@@ -541,7 +658,7 @@ class MonitorService:
         indeterminate and must not be persisted.
         """
         self._purge_expired(self._clock())
-        return {
+        payload = {
             "format": SERVICE_SNAPSHOT_FORMAT,
             "domain": self.domain.name,
             "sessions": [
@@ -550,6 +667,11 @@ class MonitorService:
                 if session.broken is None
             ],
         }
+        if self._suite is not None:
+            # The template for sessions created after the restore; each
+            # live session's monitor payload embeds its own suite too.
+            payload["suite"] = to_jsonable(self._suite)
+        return payload
 
     def restore(self, payload: dict) -> None:
         """Replace live sessions with the fleet captured by :meth:`snapshot`.
@@ -576,10 +698,12 @@ class MonitorService:
                 f"serves {self.domain.name!r}"
             )
         now = self._clock()
+        if payload.get("suite") is not None:
+            self._suite = from_jsonable(payload["suite"])
         restored: "OrderedDict[str, StreamSession]" = OrderedDict()
         for stream_id, session_payload in payload["sessions"]:
             restored[stream_id] = StreamSession.restore(
-                stream_id, self.domain, session_payload, now
+                stream_id, self.domain, session_payload, now, suite=self._suite
             )
         for stream_id in list(self._sessions):
             self.evict(stream_id)

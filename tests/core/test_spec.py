@@ -1,0 +1,591 @@
+"""The declarative assertion-spec layer (``repro/core/spec.py``).
+
+Covers the predicate registry, every spec dataclass's codec round trip
+(the suite file format's substrate), the compiler's lowering onto the
+assertion machinery, suite evolution helpers, lint, file I/O, and the
+database/engine primitives suite diffs lower onto (disable → enable with
+fire-count preservation).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.database import AssertionDatabase
+from repro.core.runtime import OMG
+from repro.core.spec import (
+    AssertionSuite,
+    CompositeSpec,
+    ConsistencySpecDecl,
+    PerItemSpec,
+    RollingWindowSpec,
+    SuiteEntry,
+    TemporalDecl,
+    compile_spec,
+    compile_suite,
+    get_predicate,
+    is_factory_predicate,
+    lint_suite,
+    load_suite,
+    register_predicate,
+    save_suite,
+    spec_assertion_names,
+    suite_from_payload,
+    suite_payload,
+)
+from repro.utils.codec import from_jsonable, to_jsonable
+
+
+# Test vocabulary, registered once at import (re-registration of the
+# same callables is a no-op, so repeated collection stays safe).
+@register_predicate("test.count_over")
+def count_over(inp, outputs, threshold=2):
+    """Severity = number of outputs beyond ``threshold``."""
+    return float(max(0, len(outputs) - threshold))
+
+
+@register_predicate("test.always_one")
+def always_one(inp, outputs):
+    return 1.0
+
+
+@register_predicate("test.window_spread")
+def window_spread(inputs, outputs_lists):
+    """Rolling predicate: output-count spread over the window."""
+    counts = [len(outs) for outs in outputs_lists]
+    return float(max(counts) - min(counts))
+
+
+@register_predicate("test.ident")
+def ident(output):
+    return output.get("id")
+
+
+def roundtrip(obj):
+    return from_jsonable(json.loads(json.dumps(to_jsonable(obj))))
+
+
+def suite_of(*entries, name="test-suite", version=1, domain=""):
+    return AssertionSuite(name=name, version=version, domain=domain, entries=tuple(entries))
+
+
+class TestPredicateRegistry:
+    def test_lookup_and_kind(self):
+        assert get_predicate("test.count_over") is count_over
+        assert not is_factory_predicate("test.count_over")
+        from repro.domains.video import assertions as video_assertions
+
+        assert is_factory_predicate("video.multibox")
+        assert get_predicate("video.multibox") is video_assertions.multibox_assertion_factory
+
+    def test_unknown_predicate_is_keyerror_with_hint(self):
+        with pytest.raises(KeyError, match="register_predicate"):
+            get_predicate("test.nope")
+
+    def test_conflicting_registration_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            register_predicate("test.count_over", lambda i, o: 0.0)
+
+    def test_reregistering_same_callable_is_noop(self):
+        assert register_predicate("test.count_over", count_over) is count_over
+
+
+class TestSpecValidation:
+    def test_per_item_requires_names(self):
+        with pytest.raises(ValueError):
+            PerItemSpec(name="", predicate="test.always_one")
+        with pytest.raises(ValueError):
+            PerItemSpec(name="x", predicate="")
+
+    def test_rolling_window_requires_window_ge_2(self):
+        with pytest.raises(ValueError, match="window"):
+            RollingWindowSpec(name="w", predicate="test.window_spread", window=1)
+
+    def test_temporal_decl_mode_checked(self):
+        with pytest.raises(ValueError, match="mode"):
+            TemporalDecl(mode="sideways")
+
+    def test_consistency_decl_zero_assertions_rejected(self):
+        # The satellite regression: no attribute keys and no temporal
+        # threshold would silently generate nothing.
+        with pytest.raises(ValueError, match="zero"):
+            ConsistencySpecDecl(name="empty", id_fn="test.ident")
+
+    def test_consistency_decl_attr_keys_need_attrs_fn(self):
+        with pytest.raises(ValueError, match="attrs_fn"):
+            ConsistencySpecDecl(name="x", id_fn="test.ident", attr_keys=("a",))
+
+    def test_consistency_decl_temporal_needs_threshold(self):
+        with pytest.raises(ValueError, match="temporal_threshold"):
+            ConsistencySpecDecl(
+                name="x", id_fn="test.ident", temporal=(TemporalDecl(),)
+            )
+
+    def test_composite_validation(self):
+        child = PerItemSpec(name="c", predicate="test.always_one")
+        with pytest.raises(ValueError, match="op"):
+            CompositeSpec(name="x", op="xor", children=(child,))
+        with pytest.raises(ValueError, match="children"):
+            CompositeSpec(name="x", op="and", children=())
+        with pytest.raises(ValueError, match="one weight per child"):
+            CompositeSpec(name="x", op="weighted", children=(child,), weights=(1.0, 2.0))
+        with pytest.raises(ValueError, match="ConsistencySpecDecl"):
+            CompositeSpec(
+                name="x",
+                op="and",
+                children=(
+                    ConsistencySpecDecl(
+                        name="c", id_fn="test.ident", temporal_threshold=1.0
+                    ),
+                ),
+            )
+
+    def test_entry_weight_checked(self):
+        spec = PerItemSpec(name="p", predicate="test.always_one")
+        with pytest.raises(ValueError, match="weight"):
+            SuiteEntry(spec=spec, weight=0.0)
+        with pytest.raises(ValueError, match="re-weighted"):
+            SuiteEntry(
+                spec=ConsistencySpecDecl(
+                    name="c", id_fn="test.ident", temporal_threshold=1.0
+                ),
+                weight=2.0,
+            )
+
+    def test_suite_rejects_duplicate_entry_names(self):
+        spec = PerItemSpec(name="p", predicate="test.always_one")
+        with pytest.raises(ValueError, match="two entries"):
+            suite_of(SuiteEntry(spec=spec), SuiteEntry(spec=spec))
+
+
+class TestCodecRoundTrips:
+    """Satellite: every spec dataclass survives real JSON bit-exactly."""
+
+    def test_per_item_spec(self):
+        spec = PerItemSpec(
+            name="crowded",
+            predicate="test.count_over",
+            params={"threshold": 3},
+            description="too many outputs",
+            taxonomy_class="domain knowledge",
+        )
+        assert roundtrip(spec) == spec
+
+    def test_rolling_window_spec(self):
+        spec = RollingWindowSpec(
+            name="spread",
+            predicate="test.window_spread",
+            window=5,
+            taxonomy_class="perturbation",
+        )
+        assert roundtrip(spec) == spec
+
+    def test_consistency_decl_with_temporal_names(self):
+        spec = ConsistencySpecDecl(
+            name="track",
+            id_fn="test.ident",
+            attrs_fn="test.ident",
+            attr_keys=("cls", "color"),
+            temporal_threshold=0.4,
+            temporal=(
+                TemporalDecl(mode="gap", name="flicker"),
+                TemporalDecl(mode="run", name="appear"),
+            ),
+            weak_label_fn="test.ident",
+        )
+        assert roundtrip(spec) == spec
+
+    def test_composite_spec_nested(self):
+        inner = CompositeSpec(
+            name="either",
+            op="or",
+            children=(
+                PerItemSpec(name="a", predicate="test.always_one"),
+                PerItemSpec(name="b", predicate="test.count_over"),
+            ),
+        )
+        spec = CompositeSpec(
+            name="mixed",
+            op="weighted",
+            children=(inner, PerItemSpec(name="c", predicate="test.always_one")),
+            weights=(0.5, 2.0),
+            taxonomy_class="domain knowledge",
+        )
+        assert roundtrip(spec) == spec
+
+    def test_suite_with_tags_disabled_entries_and_nesting(self):
+        suite = suite_of(
+            SuiteEntry(
+                spec=PerItemSpec(name="a", predicate="test.always_one"),
+                tags=("alpha", "beta"),
+                author="dev@example",
+                weight=1.5,
+            ),
+            SuiteEntry(
+                spec=ConsistencySpecDecl(
+                    name="c", id_fn="test.ident", temporal_threshold=2.0
+                ),
+                enabled=False,
+            ),
+            SuiteEntry(
+                spec=CompositeSpec(
+                    name="combo",
+                    op="and",
+                    children=(
+                        PerItemSpec(name="x", predicate="test.always_one"),
+                        PerItemSpec(name="y", predicate="test.count_over"),
+                    ),
+                ),
+            ),
+            name="full",
+            version=7,
+            domain="video",
+        )
+        assert roundtrip(suite) == suite
+
+    def test_builtin_domain_suites_round_trip(self):
+        from repro.domains.registry import domain_names, get_domain
+
+        for name in domain_names():
+            suite = get_domain(name).assertion_suite()
+            assert roundtrip(suite) == suite
+
+
+class TestCompiler:
+    def stream(self, *counts):
+        from repro.core.types import make_stream
+
+        return make_stream([[{"id": i} for i in range(c)] for c in counts])
+
+    def test_per_item_spec_binds_params(self):
+        (assertion,) = compile_spec(
+            PerItemSpec(
+                name="crowded", predicate="test.count_over", params={"threshold": 1}
+            )
+        )
+        severities = assertion.evaluate_stream(self.stream(1, 3, 0))
+        np.testing.assert_array_equal(severities, [0.0, 2.0, 0.0])
+        assert assertion.name == "crowded"
+        # per-item streaming hook present
+        assert callable(assertion.evaluate_item)
+
+    def test_factory_predicate_yields_renamed_assertion(self):
+        from repro.domains.video.assertions import MultiboxAssertion  # registers
+
+        (assertion,) = compile_spec(
+            PerItemSpec(
+                name="overlap3",
+                predicate="video.multibox",
+                params={"iou_threshold": 0.2},
+                taxonomy_class="domain knowledge",
+            )
+        )
+        assert isinstance(assertion, MultiboxAssertion)
+        assert assertion.name == "overlap3"
+        assert assertion.iou_threshold == 0.2
+
+    def test_rolling_window_spec(self):
+        (assertion,) = compile_spec(
+            RollingWindowSpec(name="spread", predicate="test.window_spread", window=3)
+        )
+        severities = assertion.evaluate_stream(self.stream(1, 1, 4, 4))
+        np.testing.assert_array_equal(severities, [0.0, 0.0, 3.0, 3.0])
+
+    def test_weighted_entry_scales_severity(self):
+        entry = SuiteEntry(
+            spec=PerItemSpec(
+                name="crowded", predicate="test.count_over", params={"threshold": 1}
+            ),
+            weight=2.5,
+        )
+        database = compile_suite(suite_of(entry))
+        severities = database.get("crowded").evaluate_stream(self.stream(3))
+        np.testing.assert_array_equal(severities, [5.0])
+
+    def test_composite_and_or_weighted(self):
+        items = self.stream(0, 2, 5)
+        a = PerItemSpec(name="a", predicate="test.count_over", params={"threshold": 1})
+        b = PerItemSpec(name="b", predicate="test.count_over", params={"threshold": 4})
+        # a → [0,1,4]; b → [0,0,1]
+        (both,) = compile_spec(CompositeSpec(name="both", op="and", children=(a, b)))
+        np.testing.assert_array_equal(both.evaluate_stream(items), [0.0, 0.0, 1.0])
+        (either,) = compile_spec(CompositeSpec(name="either", op="or", children=(a, b)))
+        np.testing.assert_array_equal(either.evaluate_stream(items), [0.0, 1.0, 4.0])
+        (mix,) = compile_spec(
+            CompositeSpec(name="mix", op="weighted", children=(a, b), weights=(1.0, 10.0))
+        )
+        np.testing.assert_array_equal(mix.evaluate_stream(items), [0.0, 1.0, 14.0])
+
+    def test_composite_streams_per_item_online(self):
+        a = PerItemSpec(name="a", predicate="test.count_over", params={"threshold": 1})
+        b = PerItemSpec(name="b", predicate="test.always_one")
+        suite = suite_of(SuiteEntry(spec=CompositeSpec(name="c", op="and", children=(a, b))))
+        omg = OMG(compile_suite(suite))
+        for outputs in ([{"id": 0}], [{"id": 0}, {"id": 1}, {"id": 2}]):
+            omg.observe(None, outputs)
+        online = omg.online_report()
+        offline = OMG(compile_suite(suite)).monitor_outputs(
+            [[{"id": 0}], [{"id": 0}, {"id": 1}, {"id": 2}]]
+        )
+        np.testing.assert_array_equal(online.severities, offline.severities)
+        np.testing.assert_array_equal(online.severities[:, 0], [0.0, 1.0])
+
+    def test_composite_with_rolling_child_streams_via_replay(self):
+        # Regression: a rolling-window child must disable the composite's
+        # per-item fast path (FunctionAssertion always *has* evaluate_item,
+        # but guards it for window > 1).
+        spec = CompositeSpec(
+            name="mixed-window",
+            op="or",
+            children=(
+                PerItemSpec(name="a", predicate="test.always_one"),
+                RollingWindowSpec(
+                    name="r", predicate="test.window_spread", window=3
+                ),
+            ),
+        )
+        (assertion,) = compile_spec(spec)
+        assert not callable(getattr(assertion, "evaluate_item", None))
+        suite = suite_of(SuiteEntry(spec=spec))
+        streams = [[{"id": 0}], [{"id": 0}, {"id": 1}], [{"id": 0}]]
+        omg = OMG(compile_suite(suite))
+        for outputs in streams:
+            omg.observe(None, outputs)  # must not raise
+        offline = OMG(compile_suite(suite)).monitor_outputs(streams)
+        np.testing.assert_array_equal(
+            omg.online_report().severities, offline.severities
+        )
+
+    def test_consistency_decl_generates_named_assertions(self):
+        decl = ConsistencySpecDecl(
+            name="track",
+            id_fn="test.ident",
+            temporal_threshold=2.0,
+            temporal=(TemporalDecl("gap", "flicker"), TemporalDecl("run", "appear")),
+        )
+        assert spec_assertion_names(decl) == ("flicker", "appear")
+        assertions = compile_spec(decl)
+        assert [a.name for a in assertions] == ["flicker", "appear"]
+        # one shared ConsistencySpec instance across the generated family
+        assert assertions[0].spec is assertions[1].spec
+
+    def test_compile_suite_registers_disabled_entries(self):
+        suite = suite_of(
+            SuiteEntry(spec=PerItemSpec(name="on", predicate="test.always_one")),
+            SuiteEntry(
+                spec=PerItemSpec(name="off", predicate="test.always_one"),
+                enabled=False,
+            ),
+        )
+        database = compile_suite(suite)
+        assert database.names() == ["on"]
+        assert database.all_names() == ["on", "off"]
+        assert database.suite == suite
+
+    def test_duplicate_expanded_names_fail_compile(self):
+        suite = suite_of(
+            SuiteEntry(spec=PerItemSpec(name="x", predicate="test.always_one")),
+            SuiteEntry(
+                spec=ConsistencySpecDecl(
+                    name="c",
+                    id_fn="test.ident",
+                    temporal_threshold=1.0,
+                    temporal=(TemporalDecl("both", "x"),),
+                )
+            ),
+        )
+        with pytest.raises(ValueError, match="already registered"):
+            compile_suite(suite)
+
+
+class TestSuiteEvolution:
+    def base(self):
+        return suite_of(
+            SuiteEntry(spec=PerItemSpec(name="a", predicate="test.always_one"), tags=("t1",)),
+            SuiteEntry(spec=PerItemSpec(name="b", predicate="test.always_one"), tags=("t2",)),
+        )
+
+    def test_with_entry_without_and_versions(self):
+        suite = self.base()
+        grown = suite.with_entry(
+            SuiteEntry(spec=PerItemSpec(name="c", predicate="test.always_one"))
+        )
+        assert grown.entry_names() == ["a", "b", "c"]
+        assert grown.version == suite.version + 1
+        shrunk = grown.without("a")
+        assert shrunk.entry_names() == ["b", "c"]
+        with pytest.raises(KeyError):
+            grown.without("nope")
+        with pytest.raises(ValueError, match="replace=True"):
+            suite.with_entry(SuiteEntry(spec=PerItemSpec(name="a", predicate="test.always_one")))
+
+    def test_enable_weight_and_tags(self):
+        suite = self.base().with_enabled("a", False).with_weight("b", 3.0)
+        assert suite.assertion_names() == ["b"]
+        assert suite.assertion_names(include_disabled=True) == ["a", "b"]
+        assert suite.get("b").weight == 3.0
+        assert [e.name for e in suite.tagged("t1")] == ["a"]
+
+    def test_diff(self):
+        old = self.base()
+        new = old.without("a").with_entry(
+            SuiteEntry(spec=PerItemSpec(name="c", predicate="test.always_one"))
+        ).with_weight("b", 2.0)
+        diff = old.diff(new)
+        assert diff.added == ("c",)
+        assert diff.removed == ("a",)
+        assert diff.changed == ("b",)
+        assert bool(diff)
+        assert not old.diff(old)
+
+
+class TestLint:
+    def test_builtin_suites_are_clean(self):
+        from repro.domains.registry import domain_names, get_domain
+
+        for name in domain_names():
+            assert lint_suite(get_domain(name).assertion_suite()) == []
+
+    def test_unresolved_predicate_reported(self):
+        suite = suite_of(SuiteEntry(spec=PerItemSpec(name="x", predicate="test.missing")))
+        problems = lint_suite(suite)
+        assert any("test.missing" in p for p in problems)
+
+    def test_custom_taxonomy_reported(self):
+        suite = suite_of(SuiteEntry(spec=PerItemSpec(name="x", predicate="test.always_one")))
+        problems = lint_suite(suite)
+        assert any("taxonomy" in p for p in problems)
+
+    def test_duplicate_names_reported_before_compile(self):
+        suite = suite_of(
+            SuiteEntry(spec=PerItemSpec(name="x", predicate="test.always_one")),
+            SuiteEntry(
+                spec=ConsistencySpecDecl(
+                    name="c",
+                    id_fn="test.ident",
+                    temporal_threshold=1.0,
+                    temporal=(TemporalDecl("both", "x"),),
+                )
+            ),
+        )
+        assert any("generated by both" in p for p in lint_suite(suite))
+
+
+class TestSuiteFiles:
+    def test_save_load_round_trip(self, tmp_path):
+        suite = suite_of(
+            SuiteEntry(
+                spec=PerItemSpec(
+                    name="crowded",
+                    predicate="test.count_over",
+                    params={"threshold": 2},
+                    taxonomy_class="domain knowledge",
+                )
+            )
+        )
+        path = str(tmp_path / "suite.json")
+        save_suite(suite, path)
+        assert load_suite(path) == suite
+
+    def test_payload_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="format"):
+            suite_from_payload({"format": 99, "suite": {}})
+        with pytest.raises(ValueError, match="suite"):
+            suite_from_payload({"format": 1})
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            load_suite(str(path))
+
+    def test_payload_is_json_loadable(self):
+        suite = suite_of(SuiteEntry(spec=PerItemSpec(name="x", predicate="test.always_one")))
+        payload = json.loads(json.dumps(suite_payload(suite)))
+        assert suite_from_payload(payload) == suite
+
+
+class TestDatabasePrimitives:
+    """Satellite: the primitives suite diffs lower onto."""
+
+    def build(self):
+        database = AssertionDatabase()
+        from repro.core.assertion import FunctionAssertion
+
+        database.add(
+            FunctionAssertion(lambda i, o: float(len(o)), "n_out"),
+            tags=("volume", "core"),
+        )
+        database.add(
+            FunctionAssertion(lambda i, o: 1.0, "heartbeat"), tags=("core",)
+        )
+        database.add(FunctionAssertion(lambda i, o: 0.0, "silent"))
+        return database
+
+    def test_disable_and_enabled_by_tags(self):
+        database = self.build()
+        assert database.enabled_by_tags("core") == ["n_out", "heartbeat"]
+        assert database.enabled_by_tags("volume") == ["n_out"]
+        database.disable("n_out")
+        assert database.names() == ["heartbeat", "silent"]
+        assert database.enabled_by_tags("core") == ["heartbeat"]
+        database.enable("n_out")
+        # registration slot (column order) is preserved across the cycle
+        assert database.names() == ["n_out", "heartbeat", "silent"]
+
+    def test_remove(self):
+        database = self.build()
+        database.remove("heartbeat")
+        assert database.all_names() == ["n_out", "silent"]
+        with pytest.raises(KeyError):
+            database.remove("heartbeat")
+
+    def test_disable_enable_preserves_fire_counts(self):
+        database = self.build()
+        omg = OMG(database)
+        omg.observe(None, [1, 2])
+        before = omg.online_report().fire_counts()
+        assert before["n_out"] == 1
+        database.disable("n_out")
+        omg.observe(None, [1, 2, 3])  # not evaluated by n_out
+        assert "n_out" not in omg.online_report().fire_counts()
+        database.enable("n_out")
+        omg.observe(None, [1])
+        after = omg.online_report().fire_counts()
+        # the pre-disable fire survives, plus the post-enable one;
+        # the item observed while disabled was never evaluated.
+        assert after["n_out"] == 2
+
+    def test_disable_enable_preserves_fires_across_snapshot(self):
+        suite = suite_of(
+            SuiteEntry(
+                spec=PerItemSpec(
+                    name="crowded",
+                    predicate="test.count_over",
+                    params={"threshold": 1},
+                    taxonomy_class="domain knowledge",
+                )
+            )
+        )
+        omg = OMG(compile_suite(suite))
+        omg.observe(None, [{"id": 0}, {"id": 1}])  # fires
+        omg.database.disable("crowded")
+        payload = json.loads(json.dumps(omg.snapshot()))
+
+        resumed = OMG(compile_suite(suite.with_enabled("crowded", False)))
+        resumed.restore(payload)
+        resumed.database.enable("crowded")
+        resumed.observe(None, [{"id": 0}, {"id": 1}, {"id": 2}])
+        counts = resumed.online_report().fire_counts()
+        assert counts["crowded"] == 2  # pre-disable fire + fresh fire
+
+    def test_remove_assertion_drops_streaming_state(self):
+        database = self.build()
+        omg = OMG(database)
+        omg.observe(None, [1, 2])
+        omg.remove_assertion("n_out")
+        assert "n_out" not in omg.database
+        report = omg.online_report()
+        assert "n_out" not in report.assertion_names
+        payload = omg.snapshot()
+        assert "n_out" not in payload["streaming"]["log"]
+        assert "n_out" not in payload["streaming"]["evaluators"]

@@ -1,0 +1,274 @@
+"""Live fleet reconfiguration: ``MonitorService.apply_suite``.
+
+The acceptance bar: applying a new suite at a raw-unit boundary ``T`` on
+a running 4-stream fleet yields fires after ``T`` identical to a fresh
+fleet started on the new suite and fast-forwarded through the same
+pre-boundary units — and snapshot → restore across the reconfiguration
+boundary stays bit-identical.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.seeding import derive_seed
+from repro.core.spec import (
+    AssertionSuite,
+    PerItemSpec,
+    SuiteEntry,
+    register_predicate,
+)
+from repro.improve.fires import FireStore
+from repro.serve import MonitorService
+
+SEED = 7
+STREAMS = [f"s{k}" for k in range(4)]
+
+
+@register_predicate("test.crowded_scene")
+def crowded_scene(inp, outputs, threshold=1):
+    """Severity = faces beyond ``threshold`` in one sample."""
+    return float(max(0, len(outputs) - threshold))
+
+
+def crowded_entry(weight=1.0, threshold=1):
+    return SuiteEntry(
+        spec=PerItemSpec(
+            name="crowded",
+            predicate="test.crowded_scene",
+            params={"threshold": threshold},
+            description="unusually many faces in one sample",
+            taxonomy_class="domain knowledge",
+        ),
+        tags=("test",),
+        weight=weight,
+    )
+
+
+def build_fleet(suite=None):
+    """A 4-stream tvnews service plus per-stream world iterators."""
+    service = MonitorService("tvnews", suite=suite)
+    iterators = {
+        stream_id: service.domain.iter_stream(
+            service.domain.build_world(derive_seed(SEED, "apply-suite", k))
+        )
+        for k, stream_id in enumerate(STREAMS)
+    }
+    return service, iterators
+
+
+def ingest_rounds(service, iterators, n_rounds):
+    """Interleave ``n_rounds`` raw units per stream; returns the fires."""
+    fires = []
+    for _ in range(n_rounds):
+        fires.extend(
+            service.ingest_batch(
+                [(stream_id, next(iterators[stream_id])) for stream_id in STREAMS]
+            )
+        )
+    return fires
+
+
+def fire_keys(fires):
+    return [
+        (f.stream_id, f.record.assertion_name, f.record.item_index, f.record.severity)
+        for f in fires
+    ]
+
+
+def assert_same_reports(a, b):
+    fa, fb = a.fleet_report(), b.fleet_report()
+    assert list(fa.stream_reports) == list(fb.stream_reports)
+    assert fa.aggregate.assertion_names == fb.aggregate.assertion_names
+    np.testing.assert_array_equal(fa.aggregate.severities, fb.aggregate.severities)
+
+
+class TestApplySuite:
+    def test_reconfigured_fleet_matches_fresh_fleet_after_boundary(self):
+        T, M = 6, 4
+        base_suite = None  # the domain's built-in template
+        new_suite = MonitorService("tvnews").domain.assertion_suite().with_entry(
+            crowded_entry()
+        )
+
+        live, live_iters = build_fleet(base_suite)
+        ingest_rounds(live, live_iters, T)
+        diffs = live.apply_suite(new_suite, tick=T)
+        assert set(diffs) == set(STREAMS)
+        for diff in diffs.values():
+            assert diff["added"] == ["crowded"]
+            assert diff["removed"] == []
+            assert sorted(diff["kept"]) == [
+                "news:attr:gender",
+                "news:attr:hair",
+                "news:attr:identity",
+            ]
+        live_fires = ingest_rounds(live, live_iters, M)
+
+        # Reference: a fleet started fresh on the new suite, fast-forwarded
+        # through the same pre-boundary units.
+        fresh, fresh_iters = build_fleet(new_suite)
+        ingest_rounds(fresh, fresh_iters, T)
+        fresh_fires = ingest_rounds(fresh, fresh_iters, M)
+
+        post_boundary = [
+            key
+            for key in fire_keys(fresh_fires)
+        ]
+        assert fire_keys(live_fires) == post_boundary
+        assert any(key[1] == "crowded" for key in post_boundary), (
+            "the added assertion should fire in this window — otherwise the "
+            "equivalence above is vacuous"
+        )
+        # Full per-stream severity matrices agree too: kept evaluators
+        # carry identical full-stream state, added ones were warmed on
+        # the (complete, window-bounded) history.
+        assert_same_reports(live, fresh)
+
+    def test_tick_guard_names_the_offending_stream(self):
+        service, iterators = build_fleet()
+        ingest_rounds(service, iterators, 2)
+        service.ingest(STREAMS[0], next(iterators[STREAMS[0]]))  # s0 now at 3
+        new_suite = service.domain.assertion_suite().with_entry(crowded_entry())
+        with pytest.raises(ValueError, match="'s0'"):
+            service.apply_suite(new_suite, tick=2)
+        # nothing changed: the old columns are still being served
+        assert "crowded" not in service.fleet_report().aggregate.assertion_names
+
+    def test_removed_assertions_keep_their_fires_in_the_fire_store(self):
+        service, iterators = build_fleet()
+        store = FireStore()
+        service.on_fire(store.add)
+        ingest_rounds(service, iterators, 8)
+        removed_fires = {
+            name: count
+            for name, count in store.fire_counts().items()
+            if name.startswith("news:")
+        }
+        assert removed_fires, "need real fires for this test to mean anything"
+
+        only_crowded = AssertionSuite(
+            name="tvnews-crowded",
+            version=2,
+            domain="tvnews",
+            entries=(crowded_entry(),),
+        )
+        diffs = service.apply_suite(only_crowded, tick=8)
+        for diff in diffs.values():
+            assert sorted(diff["removed"]) == [
+                "news:attr:gender",
+                "news:attr:hair",
+                "news:attr:identity",
+            ]
+        # live reports only serve the new suite's columns …
+        assert service.fleet_report().aggregate.assertion_names == ["crowded"]
+        # … while the store still holds the removed assertions' history.
+        for name, count in removed_fires.items():
+            assert store.fire_counts().get(name) == count
+
+    def test_snapshot_restore_across_the_reconfiguration_boundary(self):
+        new_suite = MonitorService("tvnews").domain.assertion_suite().with_entry(
+            crowded_entry()
+        )
+        live, live_iters = build_fleet()
+        ingest_rounds(live, live_iters, 4)
+        live.apply_suite(new_suite, tick=4)
+        ingest_rounds(live, live_iters, 2)
+
+        payload = json.loads(json.dumps(live.snapshot()))
+        resumed = MonitorService.from_snapshot(payload)
+        assert resumed.suite == new_suite
+        resumed_iters = {
+            stream_id: resumed.domain.iter_stream(
+                resumed.domain.build_world(derive_seed(SEED, "apply-suite", k))
+            )
+            for k, stream_id in enumerate(STREAMS)
+        }
+        for stream_id in STREAMS:  # fast-forward the deterministic worlds
+            for _ in range(resumed.session(stream_id).n_raw):
+                next(resumed_iters[stream_id])
+
+        live_fires = ingest_rounds(live, live_iters, 3)
+        resumed_fires = ingest_rounds(resumed, resumed_iters, 3)
+        assert fire_keys(live_fires) == fire_keys(resumed_fires)
+        assert_same_reports(live, resumed)
+
+    def test_restore_session_rebuilds_from_embedded_suite_after_template_moves_on(self):
+        # A session snapshotted before a template change restores with the
+        # assertion set it actually ran, not the service's newer template.
+        service, iterators = build_fleet()
+        service.ingest(STREAMS[0], next(iterators[STREAMS[0]]))
+        old_payload = json.loads(json.dumps(service.session(STREAMS[0]).snapshot()))
+        service.apply_suite(
+            service.domain.assertion_suite().with_entry(crowded_entry()), tick=None
+        )
+        service.evict(STREAMS[0])
+        session = service.restore_session(STREAMS[0], old_payload)
+        assert session.monitor.database.names() == [
+            "news:attr:identity",
+            "news:attr:gender",
+            "news:attr:hair",
+        ]
+
+    def test_new_sessions_follow_the_applied_template(self):
+        service, iterators = build_fleet()
+        ingest_rounds(service, iterators, 1)
+        new_suite = service.domain.assertion_suite().with_entry(crowded_entry())
+        service.apply_suite(new_suite, tick=1)
+        late = service.session("late-joiner")
+        assert late.monitor.database.names() == [
+            "news:attr:identity",
+            "news:attr:gender",
+            "news:attr:hair",
+            "crowded",
+        ]
+
+    def test_disable_then_enable_by_suite_preserves_fire_history(self):
+        service, iterators = build_fleet()
+        ingest_rounds(service, iterators, 8)
+        before = service.fleet_report().fire_counts()
+        assert before["news:attr:identity"] > 0
+        suite = service.domain.assertion_suite()
+
+        service.apply_suite(suite.with_enabled("news", False), tick=8)
+        assert service.fleet_report().aggregate.assertion_names == []
+
+        ingest_rounds(service, iterators, 1)
+        reenabled = suite.with_enabled("news", False).with_enabled("news", True)
+        service.apply_suite(reenabled, tick=9)
+        after = service.fleet_report().fire_counts()
+        # every pre-disable fire is still in the severity log
+        assert after["news:attr:identity"] >= before["news:attr:identity"]
+
+    def test_reweight_scales_future_severities(self):
+        suite = AssertionSuite(
+            name="tvnews-crowded",
+            version=1,
+            domain="tvnews",
+            entries=(crowded_entry(weight=1.0),),
+        )
+        service, iterators = build_fleet(suite)
+        ingest_rounds(service, iterators, 2)
+        baseline = service.fleet_report().aggregate.severities.copy()
+        assert baseline.sum() > 0
+
+        diffs = service.apply_suite(suite.with_weight("crowded", 2.0), tick=2)
+        for diff in diffs.values():
+            assert diff["replaced"] == ["crowded"]
+        # replaced evaluators restart from the warm-up replay: the whole
+        # (window-bounded) history is re-scored under the new weight.
+        doubled = service.fleet_report().aggregate.severities
+        np.testing.assert_array_equal(doubled, baseline * 2.0)
+
+    def test_wrong_domain_suite_rejected(self):
+        service, _ = build_fleet()
+        foreign = AssertionSuite(
+            name="video-ish",
+            domain="video",
+            entries=(crowded_entry(),),
+        )
+        with pytest.raises(ValueError, match="targets domain"):
+            service.apply_suite(foreign)
+        with pytest.raises(ValueError, match="targets domain"):
+            MonitorService("tvnews", suite=foreign)

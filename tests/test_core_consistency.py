@@ -193,3 +193,10 @@ class TestGenerateAssertions:
     def test_invalid_threshold(self):
         with pytest.raises(ValueError):
             ConsistencySpec(id_fn=lambda o: o, temporal_threshold=0.0)
+
+    def test_spec_generating_zero_assertions_rejected_at_construction(self):
+        # Regression: no attrs_fn and no temporal threshold used to build
+        # a spec that silently generated nothing; now construction names
+        # the offending spec.
+        with pytest.raises(ValueError, match="'hollow'.*zero"):
+            ConsistencySpec(id_fn=lambda o: o, name="hollow")
