@@ -1,0 +1,77 @@
+"""Bench: the network serving front-end under closed- and open-loop load.
+
+Runs the same saturation sweep ``python -m repro loadtest`` exposes —
+real TCP sockets, concurrent clients, a fresh server per point — on the
+TV-news domain (model-free raw units, so the timer sees the serving
+stack: framing, admission, batch coalescing, the service fan-out).
+
+Asserted, per point: the no-silent-drops ledger holds exactly
+(offered == accepted + rejected; completed + failed == accepted), every
+measured latency is finite, and closed-loop throughput grows (>= 1.2x)
+from 1 client to 4 — the batching front-end must extract concurrency,
+not serialize it away. The open-loop saturation point additionally
+proves the bounded queue pushes back explicitly under a deliberately
+tiny ``max_pending``.
+
+The ``BENCH_SERVE`` lines are machine-readable for the nightly CI job
+summary; the committed ``BENCH_serve.json`` at the repo root records the
+same sweep for point-by-point comparison across PRs.
+"""
+
+import math
+
+import pytest
+
+from conftest import run_once
+
+from repro.serve import LoadTestConfig, run_loadtest
+
+#: Full reproduction runs take minutes; excluded from the fast tier via -m "not slow".
+pytestmark = pytest.mark.slow
+
+CLOSED_CONFIG = LoadTestConfig(
+    domain="tvnews",
+    client_counts=(1, 4),
+    mode="closed",
+    duration=2.0,
+    warmup=0.5,
+)
+
+SATURATION_CONFIG = LoadTestConfig(
+    domain="tvnews",
+    client_counts=(4,),
+    mode="open",
+    rate=3000.0,
+    duration=1.0,
+    warmup=0.0,
+    max_pending=8,
+    max_delay=0.02,
+)
+
+
+def check_point(point) -> None:
+    assert point.ledger_ok, point.as_dict()
+    assert point.completed + point.failed == point.accepted
+    assert point.failed == 0
+    if point.n_samples:
+        for value in point.latency_ms.values():
+            assert math.isfinite(value) and value > 0
+
+
+def test_closed_loop_sweep_scales_with_clients(benchmark):
+    result = run_once(benchmark, run_loadtest, CLOSED_CONFIG, echo=print)
+    one, four = result.points
+    for point in result.points:
+        check_point(point)
+        assert point.n_samples > 0
+    # batching must extract concurrency from 4 closed-loop clients
+    assert four.items_per_s >= 1.2 * one.items_per_s
+
+
+def test_open_loop_saturation_pushes_back_explicitly():
+    result = run_loadtest(SATURATION_CONFIG, echo=print)
+    (point,) = result.points
+    assert point.ledger_ok, point.as_dict()
+    assert point.completed + point.failed == point.accepted
+    assert point.rejected > 0  # the bounded queue refused, loudly
+    assert point.accepted > 0  # ... while still doing real work

@@ -13,6 +13,13 @@ Subcommands:
 - ``assertions list|show|lint|diff`` — inspect, export, validate, and
   compare declarative assertion suites (built-in per domain, or JSON
   files written by ``assertions show --json`` / ``repro.core.save_suite``).
+- ``serve DOMAIN`` — run the asyncio TCP front-end
+  (:class:`~repro.serve.MonitorServer`): newline-delimited JSON requests,
+  batched ingestion, bounded-queue backpressure, optional checkpoint via
+  ``--snapshot`` and a ``--ready-file`` announcing the bound port.
+- ``loadtest [DOMAIN]`` — closed/open-loop load harness against a
+  self-hosted server; sweeps ``--clients`` counts and writes latency
+  percentiles + throughput to ``BENCH_serve.json``.
 
 Examples
 --------
@@ -30,6 +37,10 @@ Examples
    $ python -m repro assertions lint suite.json
    $ python -m repro assertions diff tvnews suite.json
    $ python -m repro stream tvnews --suite suite.json --items 3
+   $ python -m repro serve tvnews --port 7781
+   $ python -m repro serve tvnews --ready-file server.json --snapshot fleet.json
+   $ python -m repro loadtest tvnews --clients 1,4,8 --duration 3
+   $ python -m repro loadtest tvnews --mode open --rate 500 --out BENCH_serve.json
 """
 
 from __future__ import annotations
@@ -537,6 +548,179 @@ def _cmd_stream(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the asyncio network front-end until interrupted.
+
+    Binds (ephemeral port by default — ``--ready-file`` announces the
+    actual address), optionally restores a fleet snapshot first, and on
+    SIGINT/SIGTERM writes the fleet back to ``--snapshot`` so a
+    restarted server resumes every stream's session state bit-exactly.
+    """
+    import asyncio
+    import os
+    import signal
+
+    from repro.domains.registry import domain_names
+    from repro.serve import MonitorServer, MonitorService, ServerConfig, ServiceConfig
+    from repro.serve.snapshot import load_snapshot_payload, save_service_snapshot
+    from repro.utils.io import atomic_write_json
+
+    if args.domain not in domain_names():
+        raise SystemExit(
+            f"error: unknown domain {args.domain!r}; "
+            f"registered domains: {', '.join(domain_names())}"
+        )
+    suite = _resolve_suite(args.suite) if args.suite else None
+    try:
+        service = MonitorService(
+            args.domain,
+            config=ServiceConfig(parallel=not args.serial),
+            suite=suite,
+        )
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            max_delay=args.max_delay,
+            max_pending=args.max_pending,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+    restored = 0
+    if args.snapshot and os.path.exists(args.snapshot):
+        try:
+            payload = load_snapshot_payload(args.snapshot)
+            service.restore(payload)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        if args.suite:
+            # Like `stream`: the snapshot pins the fleet's suite; a
+            # different --suite would silently reconfigure the resumed
+            # fleet (that is apply_suite's job, not resume's).
+            pinned = (
+                from_jsonable(payload["suite"])
+                if payload.get("suite") is not None
+                else None
+            )
+            if pinned != suite:
+                raise SystemExit(
+                    f"error: --suite {args.suite} conflicts with the snapshot "
+                    f"({args.snapshot} was written with a different assertion "
+                    "suite); drop the flag to resume, or delete the snapshot "
+                    "to start over"
+                )
+        restored = len(service)
+
+    async def _main() -> None:
+        server = MonitorServer(service, config)
+        await server.start()
+        # Explicit handlers, not KeyboardInterrupt: a server launched as
+        # a shell background job inherits SIGINT ignored, and SIGTERM
+        # would otherwise kill us before the shutdown snapshot.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # e.g. non-main thread / platforms without support
+        print(
+            f"[{args.domain}] serving on {server.host}:{server.port}"
+            + (f" — {restored} stream(s) restored from {args.snapshot}"
+               if restored else ""),
+            flush=True,
+        )
+        if args.ready_file:
+            atomic_write_json(
+                {
+                    "host": server.host,
+                    "port": server.port,
+                    "domain": args.domain,
+                    "pid": os.getpid(),
+                },
+                args.ready_file,
+            )
+        try:
+            await stop.wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+        print("interrupted — shutting down", flush=True)
+    except KeyboardInterrupt:  # signal arrived before the handlers did
+        print("interrupted — shutting down", flush=True)
+    if args.snapshot:
+        save_service_snapshot(service, args.snapshot)
+        print(
+            f"Snapshot written to {args.snapshot} "
+            "(restart the same command to resume the fleet)"
+        )
+    return 0
+
+
+def _parse_client_counts(text: str) -> tuple:
+    """``"1,4,8"`` → ``(1, 4, 8)`` for the saturation sweep."""
+    try:
+        counts = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit(
+            f"error: --clients expects comma-separated integers, got {text!r}"
+        ) from None
+    if not counts:
+        raise SystemExit("error: --clients needs at least one client count")
+    return counts
+
+
+def _cmd_loadtest(args) -> int:
+    """Saturation sweep against a self-hosted server; writes BENCH_serve.json."""
+    from repro.domains.registry import domain_names
+    from repro.serve import LoadTestConfig, run_loadtest, write_bench
+
+    if args.domain not in domain_names():
+        raise SystemExit(
+            f"error: unknown domain {args.domain!r}; "
+            f"registered domains: {', '.join(domain_names())}"
+        )
+    try:
+        config = LoadTestConfig(
+            domain=args.domain,
+            client_counts=_parse_client_counts(args.clients),
+            mode=args.mode,
+            duration=args.duration,
+            warmup=args.warmup,
+            items=args.items,
+            rate=args.rate,
+            seed=args.seed,
+            pool_units=args.pool_units,
+            max_batch=args.max_batch,
+            max_delay=args.max_delay,
+            max_pending=args.max_pending,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+    result = run_loadtest(config, echo=None if args.json else print)
+    payload = write_bench(result, args.out)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print()
+        print(result.format_table())
+        print(f"\nSweep written to {args.out}")
+    bad = [point.clients for point in result.points if not point.ledger_ok]
+    if bad:
+        # Should be impossible: the server accounts every offered unit.
+        print(
+            "error: accounting ledger violated (offered != accepted + rejected) "
+            f"at client count(s) {bad} — units were silently dropped",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_improve(args) -> int:
     """Run the closed improvement loop over a serving fleet.
 
@@ -766,6 +950,67 @@ def build_parser() -> argparse.ArgumentParser:
                           help="disable the ingest_batch thread fan-out")
     p_stream.add_argument("--json", action="store_true", help="machine-readable output")
     p_stream.set_defaults(fn=_cmd_stream)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the asyncio TCP serving front-end for one domain"
+    )
+    p_serve.add_argument("domain", help="registered domain (av, ecg, tvnews, video)")
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (default 0 = ephemeral; see --ready-file)")
+    p_serve.add_argument("--max-batch", type=int, default=32,
+                         help="most raw units coalesced into one service batch")
+    p_serve.add_argument("--max-delay", type=float, default=0.005,
+                         help="seconds a unit may wait for batch-mates before flush")
+    p_serve.add_argument("--max-pending", type=int, default=1024,
+                         help="admitted-unit bound; beyond it requests get "
+                              "an explicit `overloaded` error")
+    p_serve.add_argument("--suite", default=None, metavar="FILE",
+                         help="declarative assertion suite to monitor with "
+                              "(a domain name or a suite JSON file; pinned by --snapshot)")
+    p_serve.add_argument("--snapshot", default=None, metavar="PATH",
+                         help="fleet checkpoint: restored first if it exists, "
+                              "written on shutdown (Ctrl-C)")
+    p_serve.add_argument("--ready-file", default=None, metavar="PATH",
+                         help="write {host, port, domain, pid} JSON once listening")
+    p_serve.add_argument("--serial", action="store_true",
+                         help="disable the ingest_batch thread fan-out")
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadtest",
+        help="closed/open-loop load harness with a client-count saturation sweep",
+    )
+    p_load.add_argument("domain", nargs="?", default="tvnews",
+                        help="registered domain to serve (default tvnews)")
+    p_load.add_argument("--clients", default="1,4", metavar="N,N,...",
+                        help="comma-separated client counts, one sweep point each")
+    p_load.add_argument("--mode", choices=["closed", "open"], default="closed",
+                        help="closed: one request in flight per client; "
+                             "open: fixed offered --rate, pipelined")
+    p_load.add_argument("--duration", type=float, default=2.0,
+                        help="measured seconds per sweep point")
+    p_load.add_argument("--warmup", type=float, default=0.5,
+                        help="seconds excluded from latency measurement")
+    p_load.add_argument("--items", type=int, default=None,
+                        help="closed loop: exactly N units per client "
+                             "instead of a timed window (CI smoke)")
+    p_load.add_argument("--rate", type=float, default=200.0,
+                        help="open loop: aggregate offered units/s")
+    p_load.add_argument("--seed", type=int, default=0,
+                        help="root seed for the pre-generated unit pools")
+    p_load.add_argument("--pool-units", type=int, default=32,
+                        help="pre-generated raw units per client (cycled)")
+    p_load.add_argument("--max-batch", type=int, default=32,
+                        help="server knob: units per service batch")
+    p_load.add_argument("--max-delay", type=float, default=0.002,
+                        help="server knob: batch coalescing window (s)")
+    p_load.add_argument("--max-pending", type=int, default=1024,
+                        help="server knob: admitted-unit bound (backpressure)")
+    p_load.add_argument("--out", default="BENCH_serve.json", metavar="PATH",
+                        help="where to write the sweep payload")
+    p_load.add_argument("--json", action="store_true", help="machine-readable output")
+    p_load.set_defaults(fn=_cmd_loadtest)
 
     p_improve = sub.add_parser(
         "improve",

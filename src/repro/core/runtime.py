@@ -48,15 +48,19 @@ from repro.core.consistency import (
 from repro.core.database import AssertionDatabase
 from repro.core.streaming import StreamingEngine
 from repro.core.types import AssertionRecord, StreamItem, make_stream
-from repro.utils.codec import from_jsonable, to_jsonable
+from repro.utils.codec import from_jsonable, register_result_type, to_jsonable
 
 #: Version tag of the :meth:`OMG.snapshot` payload layout.
 SNAPSHOT_FORMAT = 1
 
 
+@register_result_type
 @dataclass
 class MonitoringReport:
     """Result of monitoring a stream with a set of assertions.
+
+    Codec-registered so reports cross the network serving layer's
+    NDJSON frames losslessly (severities bit-exact).
 
     Attributes
     ----------

@@ -1,0 +1,739 @@
+"""Asyncio network front-end for :class:`~repro.serve.MonitorService`.
+
+``MonitorService`` was in-process only; this module puts it on the
+network so real traffic can reach a monitored fleet: newline-delimited
+JSON over TCP (framing in :mod:`repro.utils.framing`), one request
+document per line, one response document per request.
+
+Design contract (``tests/serve/test_net.py`` pins each clause):
+
+- **Batching with a max-delay flush.** Ingest requests queue into a
+  single pipeline; the worker coalesces up to ``max_batch`` raw units
+  per :meth:`MonitorService.ingest_batch_outcomes` call, waiting at most
+  ``max_delay`` seconds from the first queued unit — low-rate traffic is
+  never parked indefinitely waiting for a full batch.
+- **Strict per-stream ordering.** The pipeline is FIFO and batches
+  execute one at a time, and ``ingest_batch`` groups preserve arrival
+  order per stream — so two requests for the same ``stream_id`` are
+  applied in the order the server received them, even when their batches
+  interleave many streams or they arrived on different connections.
+- **Bounded-queue backpressure, no silent drops.** At most
+  ``max_pending`` raw units may be queued; a unit beyond that is
+  *rejected immediately* with a typed ``overloaded`` error response.
+  Every offered unit is accounted for: ``accepted + rejected ==
+  offered`` (:class:`ServerStats`), and every accepted unit eventually
+  gets exactly one response.
+- **Structured error surfaces.** ``malformed-unit`` (a unit broke its
+  session), ``broken-session`` (use of a fail-stopped stream),
+  ``unknown-domain`` (request pinned a domain this server does not
+  serve), ``unknown-stream``, ``bad-request``, ``overloaded``, and
+  ``internal`` — each a typed error payload, never a dropped connection.
+  A multi-pair ``ingest_batch`` request reports *every* failed stream
+  (per-pair outcomes via :class:`~repro.serve.service.PairOutcome`),
+  not just the first.
+
+The protocol (request → response, one JSON document per line)::
+
+    {"op": "ingest", "id": 1, "stream_id": "s0", "raw": <codec unit>}
+    → {"id": 1, "ok": true, "result": {"stream_id": "s0", "fires": [...]}}
+
+    {"op": "ingest", "id": 2, "stream_id": "s0", "raw": <bad unit>}
+    → {"id": 2, "ok": false,
+       "error": {"type": "malformed-unit", "stream_id": "s0",
+                 "message": "..."}}
+
+Ops: ``ping``, ``ingest``, ``ingest_batch``, ``report``,
+``fleet_report``, ``snapshot``, ``restore``, ``evict``, ``stats``.
+Any request may carry ``"domain"``; a mismatch with the served domain is
+an ``unknown-domain`` error. See the README's "Network serving & load
+testing" section for the full payload reference.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.core.runtime import MonitoringReport
+from repro.serve.service import (
+    BrokenSessionError,
+    FleetReport,
+    MonitorService,
+    PairOutcome,
+)
+from repro.utils.codec import from_jsonable
+from repro.utils.framing import MAX_FRAME_BYTES, FrameError, decode_frame, encode_frame
+
+#: Protocol version, echoed by ``ping``.
+PROTOCOL_VERSION = 1
+
+#: Queue sentinel that tells the worker to drain out.
+_SHUTDOWN = object()
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Network and batching knobs of :class:`MonitorServer`.
+
+    Attributes
+    ----------
+    host / port:
+        Bind address; port 0 picks an ephemeral port (read it back from
+        :attr:`MonitorServer.port`).
+    max_batch:
+        Raw-unit cap per coalesced ``ingest_batch`` flush.
+    max_delay:
+        Seconds the first queued unit of a batch may wait for company
+        before the batch flushes anyway.
+    max_pending:
+        Bound on queued-but-unfinished raw units; admission beyond it is
+        rejected with an ``overloaded`` error (never silently dropped).
+    max_frame_bytes:
+        Per-line bound on both received and sent frames.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_batch: int = 32
+    max_delay: float = 0.005
+    max_pending: int = 1024
+    max_frame_bytes: int = MAX_FRAME_BYTES
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {self.max_delay}")
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")
+        if self.max_frame_bytes < 1:
+            raise ValueError(
+                f"max_frame_bytes must be >= 1, got {self.max_frame_bytes}"
+            )
+
+
+@dataclass
+class ServerStats:
+    """Raw-unit accounting; the no-silent-drops ledger.
+
+    ``offered == accepted + rejected_overload + rejected_bad`` at every
+    instant, and once the pipeline drains, ``completed + failed ==
+    accepted`` — every accepted unit produced exactly one ok/error
+    response.
+    """
+
+    offered: int = 0
+    accepted: int = 0
+    rejected_overload: int = 0
+    rejected_bad: int = 0
+    completed: int = 0
+    failed: int = 0
+    batches: int = 0
+
+    @property
+    def rejected(self) -> int:
+        return self.rejected_overload + self.rejected_bad
+
+    def as_dict(self) -> dict:
+        return {
+            "offered": self.offered,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "rejected_overload": self.rejected_overload,
+            "rejected_bad": self.rejected_bad,
+            "completed": self.completed,
+            "failed": self.failed,
+            "batches": self.batches,
+        }
+
+
+@dataclass
+class _Request:
+    """One queued protocol request, bound to its connection."""
+
+    op: str
+    request_id: object
+    conn: "_Connection"
+    payload: dict
+    #: Decoded ``(stream_id, raw)`` pairs for ingest ops.
+    pairs: list = field(default_factory=list)
+
+    @property
+    def n_units(self) -> int:
+        return len(self.pairs)
+
+
+class _Connection:
+    """Per-connection state: an outgoing queue drained by a writer task,
+    so one slow consumer never stalls the shared ingest pipeline."""
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.outgoing: "asyncio.Queue" = asyncio.Queue()
+        self.writer_task: "asyncio.Task | None" = None
+        self.closed = False
+
+    def send(self, document: dict) -> None:
+        if not self.closed:
+            self.outgoing.put_nowait(encode_frame(document))
+
+    async def drain_writer(self) -> None:
+        try:
+            while True:
+                data = await self.outgoing.get()
+                if data is None:
+                    break
+                self.writer.write(data)
+                await self.writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self.closed = True
+            self.writer.close()
+
+
+class MonitorServer:
+    """Serve one :class:`MonitorService` fleet over TCP (see module doc).
+
+    The server owns a single worker task: connection handlers only
+    validate, admit, and enqueue; the worker coalesces batches, drives
+    the service (in a thread, so the event loop keeps accepting and
+    rejecting while a batch is in flight), and routes responses back.
+    The service must not be touched by other threads while the server
+    runs.
+
+    Usage::
+
+        server = MonitorServer(MonitorService("tvnews"))
+        await server.start()
+        ...  # clients connect to server.host:server.port
+        await server.stop()
+    """
+
+    def __init__(
+        self, service: MonitorService, config: "ServerConfig | None" = None
+    ) -> None:
+        self.service = service
+        self.config = config if config is not None else ServerConfig()
+        self.stats = ServerStats()
+        self._queue: "asyncio.Queue" = asyncio.Queue()
+        self._pending_units = 0
+        self._server: "asyncio.base_events.Server | None" = None
+        self._worker_task: "asyncio.Task | None" = None
+        self._connections: "set[_Connection]" = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=self.config.max_frame_bytes + 1024,
+        )
+        self._worker_task = asyncio.create_task(self._worker())
+
+    @property
+    def host(self) -> str:
+        return self._bound_address()[0]
+
+    @property
+    def port(self) -> int:
+        return self._bound_address()[1]
+
+    def _bound_address(self) -> tuple:
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def stop(self) -> None:
+        """Stop accepting, drain queued work, close every connection."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        if self._worker_task is not None:
+            self._queue.put_nowait(_SHUTDOWN)
+            await self._worker_task
+            self._worker_task = None
+        for conn in list(self._connections):
+            conn.outgoing.put_nowait(None)
+            if conn.writer_task is not None:
+                await conn.writer_task
+        self._connections.clear()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # Connection handling: validate, admit, enqueue
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(writer)
+        conn.writer_task = asyncio.create_task(conn.drain_writer())
+        self._connections.add(conn)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    # An overlong line cannot be resynced reliably —
+                    # answer once and hang up.
+                    conn.send(_error_doc(None, "bad-request", "frame too long"))
+                    break
+                if not line:
+                    break
+                self._handle_line(line, conn)
+        finally:
+            self._connections.discard(conn)
+            conn.outgoing.put_nowait(None)
+            await conn.writer_task
+
+    def _handle_line(self, line: bytes, conn: _Connection) -> None:
+        try:
+            request = decode_frame(line, max_bytes=self.config.max_frame_bytes)
+        except FrameError as exc:
+            conn.send(_error_doc(None, "bad-request", str(exc)))
+            return
+        if not isinstance(request, dict) or not isinstance(request.get("op"), str):
+            conn.send(_error_doc(None, "bad-request", 'expected {"op": ..., ...}'))
+            return
+        request_id = request.get("id")
+        op = request["op"]
+        domain = request.get("domain")
+        if domain is not None and domain != self.service.domain.name:
+            conn.send(
+                _error_doc(
+                    request_id,
+                    "unknown-domain",
+                    f"this server serves domain {self.service.domain.name!r}, "
+                    f"not {domain!r}",
+                    domain=self.service.domain.name,
+                )
+            )
+            return
+        if op == "ping":
+            conn.send(
+                {
+                    "id": request_id,
+                    "ok": True,
+                    "result": {
+                        "domain": self.service.domain.name,
+                        "protocol": PROTOCOL_VERSION,
+                    },
+                }
+            )
+            return
+        if op in ("ingest", "ingest_batch"):
+            self._admit_ingest(op, request_id, request, conn)
+            return
+        if op in ("report", "fleet_report", "snapshot", "restore", "evict", "stats"):
+            self._queue.put_nowait(_Request(op, request_id, conn, request))
+            return
+        conn.send(_error_doc(request_id, "bad-request", f"unknown op {op!r}"))
+
+    def _admit_ingest(
+        self, op: str, request_id, request: dict, conn: _Connection
+    ) -> None:
+        try:
+            if op == "ingest":
+                raw_pairs = [(request["stream_id"], request["raw"])]
+            else:
+                raw_pairs = [(sid, raw) for sid, raw in request["pairs"]]
+            if not all(isinstance(sid, str) for sid, _raw in raw_pairs):
+                raise TypeError("stream ids must be strings")
+        except (KeyError, TypeError, ValueError):
+            self.stats.offered += 1
+            self.stats.rejected_bad += 1
+            conn.send(
+                _error_doc(
+                    request_id,
+                    "bad-request",
+                    "ingest needs stream_id+raw; ingest_batch needs "
+                    "pairs=[[stream_id, raw], ...]",
+                )
+            )
+            return
+        self.stats.offered += len(raw_pairs)
+        budget = self.config.max_pending - self._pending_units
+        if len(raw_pairs) > budget:
+            self.stats.rejected_overload += len(raw_pairs)
+            conn.send(
+                _error_doc(
+                    request_id,
+                    "overloaded",
+                    f"{self._pending_units} unit(s) pending of "
+                    f"{self.config.max_pending} allowed; retry later",
+                    pending=self._pending_units,
+                    limit=self.config.max_pending,
+                )
+            )
+            return
+        try:
+            pairs = [(sid, from_jsonable(raw)) for sid, raw in raw_pairs]
+        except (TypeError, ValueError) as exc:
+            self.stats.rejected_bad += len(raw_pairs)
+            conn.send(
+                _error_doc(
+                    request_id,
+                    "malformed-unit",
+                    f"raw unit does not decode: {exc}",
+                )
+            )
+            return
+        self.stats.accepted += len(pairs)
+        self._pending_units += len(pairs)
+        self._queue.put_nowait(_Request(op, request_id, conn, request, pairs=pairs))
+
+    # ------------------------------------------------------------------
+    # Worker: coalesce, flush, respond
+    # ------------------------------------------------------------------
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        carry = None
+        while True:
+            item = carry if carry is not None else await self._queue.get()
+            carry = None
+            if item is _SHUTDOWN:
+                return
+            if item.op not in ("ingest", "ingest_batch"):
+                await self._execute_control(item)
+                continue
+            batch = [item]
+            n_units = item.n_units
+            deadline = loop.time() + self.config.max_delay
+            while n_units < self.config.max_batch:
+                remaining = deadline - loop.time()
+                try:
+                    if remaining <= 0:
+                        nxt = self._queue.get_nowait()
+                    else:
+                        nxt = await asyncio.wait_for(self._queue.get(), remaining)
+                except (asyncio.QueueEmpty, asyncio.TimeoutError):
+                    break
+                if nxt is _SHUTDOWN or nxt.op not in ("ingest", "ingest_batch"):
+                    carry = nxt  # flush first, then handle it in order
+                    break
+                batch.append(nxt)
+                n_units += nxt.n_units
+            await self._flush(batch, loop)
+
+    async def _flush(self, batch: list, loop) -> None:
+        pairs: list = []
+        slices = []
+        for item in batch:
+            start = len(pairs)
+            pairs.extend(item.pairs)
+            slices.append((item, start, len(pairs)))
+        self.stats.batches += 1
+        try:
+            outcomes = await loop.run_in_executor(
+                None, lambda: self.service.ingest_batch_outcomes(pairs)
+            )
+        except Exception as exc:  # e.g. batch wider than the LRU bound
+            for item, _start, _stop in slices:
+                item.conn.send(
+                    _error_doc(
+                        item.request_id,
+                        "internal",
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                )
+            self.stats.failed += len(pairs)
+            self._pending_units -= len(pairs)
+            return
+        for item, start, stop in slices:
+            item.conn.send(self._ingest_response(item, outcomes[start:stop]))
+        self._pending_units -= len(pairs)
+
+    def _ingest_response(self, item: _Request, outcomes: list) -> dict:
+        results = []
+        failed_streams: "OrderedDict[str, bool]" = OrderedDict()
+        for outcome in outcomes:
+            if outcome.ok:
+                self.stats.completed += 1
+                results.append(
+                    {
+                        "ok": True,
+                        "stream_id": outcome.stream_id,
+                        "fires": [fire.record for fire in outcome.fires],
+                    }
+                )
+            else:
+                self.stats.failed += 1
+                failed_streams[outcome.stream_id] = True
+                results.append(
+                    {"ok": False, "error": _outcome_error(outcome)}
+                )
+        if item.op == "ingest":
+            (result,) = results
+            if result["ok"]:
+                return {"id": item.request_id, "ok": True, "result": result}
+            return {"id": item.request_id, "ok": False, "error": result["error"]}
+        # A multi-pair batch reports every failed stream, not just the
+        # first — the per-pair outcomes plus a summary list.
+        return {
+            "id": item.request_id,
+            "ok": not failed_streams,
+            "result": {
+                "results": results,
+                "failed_streams": list(failed_streams),
+            },
+        }
+
+    async def _execute_control(self, item: _Request) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(None, lambda: self._control(item))
+        except KeyError as exc:
+            item.conn.send(
+                _error_doc(
+                    item.request_id,
+                    "unknown-stream",
+                    f"no live stream {exc.args[0]!r}",
+                )
+            )
+            return
+        except BrokenSessionError as exc:
+            item.conn.send(
+                _error_doc(item.request_id, "broken-session", str(exc))
+            )
+            return
+        except ValueError as exc:
+            item.conn.send(_error_doc(item.request_id, "bad-request", str(exc)))
+            return
+        except Exception as exc:
+            item.conn.send(
+                _error_doc(
+                    item.request_id, "internal", f"{type(exc).__name__}: {exc}"
+                )
+            )
+            return
+        item.conn.send({"id": item.request_id, "ok": True, "result": result})
+
+    def _control(self, item: _Request) -> dict:
+        # Runs on an executor thread; the worker awaits it, so the
+        # service still sees strictly serialized access.
+        op, request = item.op, item.payload
+        if op == "report":
+            stream_id = request.get("stream_id")
+            if not isinstance(stream_id, str):
+                raise ValueError("report needs a stream_id")
+            return {
+                "stream_id": stream_id,
+                "report": self.service.report(stream_id),
+            }
+        if op == "fleet_report":
+            fleet = self.service.fleet_report()
+            return {
+                "domain": fleet.domain,
+                "stream_reports": dict(fleet.stream_reports),
+                "aggregate": fleet.aggregate,
+                "row_offsets": fleet.row_offsets,
+            }
+        if op == "snapshot":
+            return {"snapshot": self.service.snapshot()}
+        if op == "restore":
+            snapshot = request.get("snapshot")
+            if not isinstance(snapshot, dict):
+                raise ValueError("restore needs a snapshot payload")
+            self.service.restore(snapshot)
+            return {"streams": self.service.stream_ids()}
+        if op == "evict":
+            stream_id = request.get("stream_id")
+            if not isinstance(stream_id, str):
+                raise ValueError("evict needs a stream_id")
+            self.service.evict(stream_id)
+            return {"stream_id": stream_id}
+        # stats (reads only counters + session ids; still serialized)
+        payload = self.stats.as_dict()
+        payload["pending"] = self._pending_units
+        payload["streams"] = len(self.service)
+        payload["domain"] = self.service.domain.name
+        return payload
+
+
+def _error_doc(request_id, error_type: str, message: str, **extra) -> dict:
+    error = {"type": error_type, "message": message}
+    error.update(extra)
+    return {"id": request_id, "ok": False, "error": error}
+
+
+def _outcome_error(outcome: PairOutcome) -> dict:
+    """Typed wire error for one failed :class:`PairOutcome`."""
+    exc = outcome.error
+    if outcome.skipped or isinstance(exc, BrokenSessionError):
+        error_type = "broken-session"
+        message = (
+            f"stream {outcome.stream_id!r} is broken"
+            + (
+                " (an earlier unit of this stream failed in the same batch)"
+                if outcome.skipped
+                else f": {exc}"
+            )
+        )
+    else:
+        error_type = "malformed-unit"
+        message = f"unit broke stream {outcome.stream_id!r}: {type(exc).__name__}: {exc}"
+    return {
+        "type": error_type,
+        "stream_id": outcome.stream_id,
+        "message": message,
+    }
+
+
+# ----------------------------------------------------------------------
+# Client
+# ----------------------------------------------------------------------
+class ServiceError(Exception):
+    """A typed error response from the server (``ok: false``)."""
+
+    def __init__(self, error: dict) -> None:
+        self.error = error if isinstance(error, dict) else {"message": str(error)}
+        self.type = self.error.get("type", "unknown")
+        super().__init__(f"{self.type}: {self.error.get('message', '')}")
+
+
+class ServiceClient:
+    """Asyncio NDJSON client for :class:`MonitorServer`.
+
+    Supports both call-and-wait (:meth:`request` and the typed helpers)
+    and pipelining (:meth:`submit`, which returns a future resolving to
+    the raw response envelope — what the open-loop load generator uses).
+    Request ids are assigned per connection; responses correlate by id,
+    so many requests may be in flight at once.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._futures: "dict[int, asyncio.Future]" = {}
+        self._next_id = 0
+        self._reader_task = asyncio.create_task(self._read_responses())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_FRAME_BYTES + 1024
+        )
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except ConnectionError:
+            pass
+        self._fail_pending(ConnectionError("client closed"))
+
+    async def _read_responses(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = decode_frame(line)
+                future = self._futures.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (FrameError, ConnectionError, ValueError) as exc:
+            self._fail_pending(exc)
+        else:
+            self._fail_pending(ConnectionError("server closed the connection"))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for future in self._futures.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._futures.clear()
+
+    def submit(self, op: str, **fields) -> "asyncio.Future":
+        """Send one request without waiting; resolves to the envelope."""
+        request_id = self._next_id
+        self._next_id += 1
+        future = asyncio.get_running_loop().create_future()
+        self._futures[request_id] = future
+        request = {"op": op, "id": request_id}
+        request.update(fields)
+        self._writer.write(encode_frame(request))
+        return future
+
+    async def request(self, op: str, **fields) -> dict:
+        """Send one request, await its response, raise on ``ok: false``."""
+        envelope = await self.submit(op, **fields)
+        if not envelope.get("ok"):
+            raise ServiceError(envelope.get("error"))
+        return envelope.get("result") or {}
+
+    # -- typed helpers -------------------------------------------------
+    async def ping(self) -> dict:
+        return await self.request("ping")
+
+    async def ingest(self, stream_id: str, raw) -> list:
+        """Feed one raw unit; returns decoded fresh AssertionRecords."""
+        result = await self.request("ingest", stream_id=stream_id, raw=raw)
+        return [from_jsonable(record) for record in result["fires"]]
+
+    async def ingest_batch(self, pairs: list) -> dict:
+        """Feed many ``(stream_id, raw)`` pairs as one request.
+
+        Returns the result document: per-pair ``results`` (fires decoded)
+        plus ``failed_streams`` naming every stream that failed. Unlike
+        :meth:`ingest`, per-stream failures do not raise — inspect the
+        outcomes, exactly like
+        :meth:`MonitorService.ingest_batch_outcomes`.
+        """
+        envelope = await self.submit(
+            "ingest_batch", pairs=[[sid, raw] for sid, raw in pairs]
+        )
+        if envelope.get("result") is None:
+            raise ServiceError(envelope.get("error"))
+        result = envelope["result"]
+        for entry in result["results"]:
+            if entry.get("ok"):
+                entry["fires"] = [from_jsonable(r) for r in entry["fires"]]
+        return result
+
+    async def report(self, stream_id: str) -> MonitoringReport:
+        result = await self.request("report", stream_id=stream_id)
+        return from_jsonable(result["report"])
+
+    async def fleet_report(self) -> FleetReport:
+        result = await self.request("fleet_report")
+        return FleetReport(
+            domain=result["domain"],
+            stream_reports=OrderedDict(
+                (sid, from_jsonable(report))
+                for sid, report in result["stream_reports"].items()
+            ),
+            aggregate=from_jsonable(result["aggregate"]),
+            row_offsets=result["row_offsets"],
+        )
+
+    async def snapshot(self) -> dict:
+        return (await self.request("snapshot"))["snapshot"]
+
+    async def restore(self, snapshot: dict) -> list:
+        return (await self.request("restore", snapshot=snapshot))["streams"]
+
+    async def evict(self, stream_id: str) -> None:
+        await self.request("evict", stream_id=stream_id)
+
+    async def stats(self) -> dict:
+        return await self.request("stats")

@@ -51,6 +51,60 @@ from repro.utils.codec import from_jsonable, to_jsonable
 SERVICE_SNAPSHOT_FORMAT = 1
 
 
+class BrokenSessionError(RuntimeError):
+    """Use of a session that fail-stopped on an earlier unit.
+
+    A ``RuntimeError`` subclass so pre-existing ``except RuntimeError``
+    handlers keep working; the network front-end (:mod:`repro.serve.net`)
+    types on it to emit a ``broken-session`` error payload instead of a
+    generic failure.
+    """
+
+
+class BatchIngestError(RuntimeError):
+    """One or more stream groups of an :meth:`MonitorService.ingest_batch`
+    failed.
+
+    Carries *every* failed stream, not just the first: ``failures`` maps
+    each failed ``stream_id`` to the exception that broke it, in batch
+    group order. Sibling streams' units were still ingested and their
+    fires dispatched before this was raised. A ``RuntimeError`` subclass
+    (with each underlying error quoted in the message) so callers that
+    matched the old single-exception behavior keep working.
+    """
+
+    def __init__(self, failures: "OrderedDict[str, Exception]") -> None:
+        self.failures = failures
+        detail = "; ".join(
+            f"{stream_id!r} ({type(exc).__name__}: {exc})"
+            for stream_id, exc in failures.items()
+        )
+        super().__init__(
+            f"ingest_batch failed on {len(failures)} stream(s): {detail}"
+        )
+
+
+@dataclass(frozen=True)
+class PairOutcome:
+    """Per-pair result of :meth:`MonitorService.ingest_batch_outcomes`.
+
+    Exactly one of ``fires`` / ``error`` is set. ``skipped`` marks a pair
+    that was never attempted because an *earlier* unit of the same stream
+    broke the session within the same batch (its ``error`` is that
+    earlier exception) — the network server reports these as
+    ``broken-session`` rather than blaming the unit itself.
+    """
+
+    stream_id: str
+    fires: "list | None" = None
+    error: "Exception | None" = None
+    skipped: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
 @dataclass(frozen=True)
 class StreamFire:
     """An assertion fire with stream provenance (``on_fire`` payload)."""
@@ -149,7 +203,7 @@ class StreamSession:
 
     def _check_usable(self) -> None:
         if self.broken is not None:
-            raise RuntimeError(
+            raise BrokenSessionError(
                 f"stream {self.stream_id!r} is broken after a failed unit "
                 f"({self.broken!r}); evict it and start a fresh session"
             ) from self.broken
@@ -463,7 +517,14 @@ class MonitorService:
             if now - session.last_used > ttl
         ]
         for stream_id in expired:
-            self.evict(stream_id)
+            # Re-check before each eviction: an ``on_evict`` hook may
+            # legally re-enter the service (see ``_dispatch``), and any
+            # re-entrant access purges expired sessions itself — so a
+            # later id in ``expired`` can already be gone (or even have
+            # been re-created and touched) by the time we reach it.
+            session = self._sessions.get(stream_id)
+            if session is not None and now - session.last_used > ttl:
+                self.evict(stream_id)
 
     def _enforce_capacity(self) -> None:
         limit = self.config.max_sessions
@@ -516,6 +577,62 @@ class MonitorService:
         groups fan out over a shared thread pool — sessions are
         independent, so results are bit-identical to serial ingestion.
         ``on_fire`` hooks run after the whole batch, in pair order.
+
+        When stream groups fail, a :class:`BatchIngestError` names every
+        failed stream (not just the first) and maps each to its
+        exception; the failed sessions are broken (fail-stop), sibling
+        streams' fires were already dispatched.
+        """
+        by_position, errors, _positions, fires = self._run_batch(pairs, parallel)
+        if errors:
+            raise BatchIngestError(errors)
+        return fires
+
+    def ingest_batch_outcomes(
+        self, pairs: list, *, parallel: "bool | None" = None
+    ) -> list:
+        """Like :meth:`ingest_batch`, but never raises for per-stream
+        failures: returns one :class:`PairOutcome` per pair, in order.
+
+        The structured form the network front-end serves: successful
+        pairs carry their fires, the pair that broke its stream carries
+        the exception, and later pairs of that stream in the same batch
+        are marked ``skipped`` (never attempted — the session was already
+        broken). Fires dispatch exactly as in :meth:`ingest_batch`.
+        """
+        pairs = list(pairs)
+        by_position, errors, failed_positions, _fires = self._run_batch(
+            pairs, parallel
+        )
+        outcomes = []
+        for position, (stream_id, _raw) in enumerate(pairs):
+            if position in by_position:
+                outcomes.append(
+                    PairOutcome(
+                        stream_id,
+                        fires=[
+                            StreamFire(stream_id, record)
+                            for record in by_position[position]
+                        ],
+                    )
+                )
+            else:
+                outcomes.append(
+                    PairOutcome(
+                        stream_id,
+                        error=errors[stream_id],
+                        skipped=position != failed_positions[stream_id],
+                    )
+                )
+        return outcomes
+
+    def _run_batch(self, pairs: list, parallel: "bool | None") -> tuple:
+        """Shared batch core: group, fan out, dispatch fires.
+
+        Returns ``(by_position, errors, failed_positions, fires)`` where
+        ``errors`` maps every failed stream id to its exception (group
+        order) and ``failed_positions`` maps it to the pair position that
+        actually raised (later positions of that stream were skipped).
         """
         pairs = list(pairs)
         if parallel is None:
@@ -569,21 +686,22 @@ class MonitorService:
             per_group = [run_group(stream_id) for stream_id in groups]
 
         by_position: dict = {}
-        errors: list = []
-        for done, error in per_group:
+        errors: "OrderedDict[str, Exception]" = OrderedDict()
+        failed_positions: dict = {}
+        for stream_id, (done, error) in zip(groups, per_group):
             for position, records in done:
                 by_position[position] = records
             if error is not None:
-                errors.append(error)
+                errors[stream_id] = error
+                # The group entry after the last completed one raised.
+                failed_positions[stream_id] = groups[stream_id][len(done)][0]
         fires = [
             StreamFire(stream_id, record)
             for position, (stream_id, _raw) in enumerate(pairs)
             for record in by_position.get(position, ())
         ]
         self._dispatch(fires)
-        if errors:
-            raise errors[0]
-        return fires
+        return by_position, errors, failed_positions, fires
 
     # ------------------------------------------------------------------
     # Reporting
@@ -706,7 +824,20 @@ class MonitorService:
                 stream_id, self.domain, session_payload, now, suite=self._suite
             )
         for stream_id in list(self._sessions):
-            self.evict(stream_id)
+            if stream_id in self._sessions:  # a hook may have evicted it
+                self.evict(stream_id)
+        if self._sessions:
+            # An ``on_evict`` hook created sessions while the old fleet
+            # was being torn down; assigning ``restored`` would silently
+            # clobber them. There is no principled merge (the hook's
+            # session and the snapshot may claim the same stream id with
+            # different histories), so refuse loudly.
+            raise RuntimeError(
+                "on_evict hooks created session(s) "
+                f"{list(self._sessions)} while restore was tearing down "
+                "the old fleet; they would be silently discarded — do not "
+                "re-create sessions from eviction hooks during restore"
+            )
         self._sessions = restored
         # A snapshot may hold more sessions than this service's LRU bound
         # allows; evict from the least-recently-used end (snapshot order)

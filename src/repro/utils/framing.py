@@ -1,0 +1,69 @@
+"""Newline-delimited JSON framing for the network serving layer.
+
+The network front-end (:mod:`repro.serve.net`) speaks NDJSON over TCP:
+one frame per line, each line one JSON document. :func:`encode_frame`
+runs :func:`repro.utils.codec.to_jsonable` over the whole document, so
+codec-registered dataclasses (raw domain units, fire records,
+:class:`~repro.core.runtime.MonitoringReport` s) can be embedded
+directly and cross the wire losslessly, floats bit-exact included.
+
+:func:`decode_frame` deliberately does **not** run ``from_jsonable``:
+several payloads (service snapshots, suite files) are *stored* in their
+codec-encoded form and must round-trip untouched — a wholesale decode
+would materialize their inner tags at the wrong layer. Receivers decode
+the specific fields that carry live objects (``raw``, ``fires``,
+``report``) with :func:`~repro.utils.codec.from_jsonable` themselves.
+
+Frames are bounded (:data:`MAX_FRAME_BYTES` by default) so one
+malformed or hostile line cannot buffer unbounded memory; both ends
+surface oversize or unparseable lines as :class:`FrameError`, which the
+server maps to a typed ``bad-request`` error payload rather than a
+dropped connection.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.utils.codec import to_jsonable
+
+#: Default per-frame byte bound (newline included) on both ends.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+class FrameError(ValueError):
+    """A line that is not one well-formed, size-bounded JSON document."""
+
+
+def encode_frame(obj) -> bytes:
+    """One NDJSON frame: codec-encoded ``obj``, compact, newline-terminated.
+
+    ``to_jsonable`` passes plain dict/list/scalar structures through
+    unchanged (already-encoded payloads stay as-is) and encodes any
+    registered dataclasses, tuples, and arrays found inside.
+    """
+    try:
+        text = json.dumps(to_jsonable(obj), separators=(",", ":"))
+    except TypeError as exc:
+        raise FrameError(f"frame payload is not codec-encodable: {exc}") from exc
+    return text.encode("utf-8") + b"\n"
+
+
+def decode_frame(line: "bytes | str", *, max_bytes: int = MAX_FRAME_BYTES):
+    """Parse one received line into a plain JSON structure.
+
+    Accepts the line with or without its trailing newline. Raises
+    :class:`FrameError` on oversize input, undecodable bytes, or
+    malformed JSON. Codec tags inside are left encoded (see the module
+    docstring for why).
+    """
+    if isinstance(line, str):
+        line = line.encode("utf-8")
+    if len(line) > max_bytes:
+        raise FrameError(
+            f"frame of {len(line)} bytes exceeds the {max_bytes}-byte bound"
+        )
+    try:
+        return json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"not a JSON frame: {exc}") from exc

@@ -7,20 +7,42 @@ import os
 
 
 def atomic_write_json(payload: dict, path: str) -> None:
-    """Write ``payload`` to ``path`` as JSON, atomically.
+    """Write ``payload`` to ``path`` as JSON, atomically and durably.
 
     Temp file + rename, with a per-PID temp name so concurrent
     checkpointers to the same path never interleave writes into one temp
     file — the pattern the experiment artifact cache established.
+
+    The temp file is flushed and fsynced before the rename, and the
+    containing directory is fsynced after it (POSIX only): without the
+    file fsync, a power loss after ``os.replace`` can leave the *target*
+    pointing at data the kernel never wrote back — a truncated or empty
+    snapshot with the final name; without the directory fsync, the
+    rename itself may not survive. Readers therefore always see either
+    the complete old JSON or the complete new JSON.
     """
     tmp_path = f"{path}.{os.getpid()}.tmp"
     try:
         with open(tmp_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp_path, path)
+        _fsync_directory(os.path.dirname(os.path.abspath(path)))
     finally:
         if os.path.exists(tmp_path):
             os.remove(tmp_path)
+
+
+def _fsync_directory(dir_path: str) -> None:
+    """Flush a directory entry (the rename) to disk; no-op off POSIX."""
+    if os.name != "posix":  # pragma: no cover - Windows cannot open dirs
+        return
+    dir_fd = os.open(dir_path or ".", os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
 
 
 def read_json(path: str) -> dict:

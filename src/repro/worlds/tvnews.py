@@ -71,9 +71,14 @@ class FaceObservation:
         )
 
 
+@register_result_type
 @dataclass(frozen=True)
 class Scene:
-    """One scene: consecutive samples sharing anchors and framing."""
+    """One scene: consecutive samples sharing anchors and framing.
+
+    Codec-registered: a scene is the tvnews domain's raw unit, so it
+    must cross the network serving layer's NDJSON frames losslessly.
+    """
 
     video_id: int
     scene_id: int

@@ -1,0 +1,436 @@
+"""The asyncio TCP front-end: bit-identity with direct service calls,
+per-stream ordering under interleaved batches, bounded-queue
+backpressure with a complete accounting ledger, and the typed error
+surface."""
+
+import asyncio
+import contextlib
+import json
+
+import pytest
+
+from repro.core.database import AssertionDatabase
+from repro.core.runtime import OMG
+from repro.core.seeding import derive_seed
+from repro.domains.registry import Domain, RawItem
+from repro.serve import (
+    MonitorServer,
+    MonitorService,
+    ServerConfig,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+)
+from tests.serve.test_service import (
+    SyntheticDomain,
+    assert_reports_equal,
+    raw_units,
+)
+
+
+class ExplodingDomain(SyntheticDomain):
+    """String units are malformed and break their stream (fail-stop)."""
+
+    def item_from_raw(self, raw, state=None):
+        if isinstance(raw, str):
+            raise RuntimeError(f"malformed unit {raw}")
+        return super().item_from_raw(raw, state)
+
+
+class SeqDomain(Domain):
+    """Records server-side arrival order of every unit, per stream."""
+
+    name = "seq"
+
+    def __init__(self):
+        self.observed = {}
+
+    def build_monitor(self, config=None) -> OMG:
+        omg = OMG(AssertionDatabase(), window_size=4)
+        omg.add_assertion(lambda inp, outputs: 0.0, name="noop")
+        return omg
+
+    def build_world(self, seed: int = 0):
+        return None
+
+    def iter_stream(self, world):
+        return iter(())
+
+    def item_from_raw(self, raw, state=None):
+        self.observed.setdefault(raw["sid"], []).append(raw["seq"])
+        return [RawItem([], None)]
+
+
+@contextlib.asynccontextmanager
+async def serving(service, **knobs):
+    """A started server plus a client factory; tears both down."""
+    server = MonitorServer(service, ServerConfig(**knobs))
+    await server.start()
+    clients = []
+
+    async def connect() -> ServiceClient:
+        client = await ServiceClient.connect(server.host, server.port)
+        clients.append(client)
+        return client
+
+    try:
+        yield server, connect
+    finally:
+        for client in clients:
+            await client.close()
+        await server.stop()
+
+
+class TestWireBitIdentity:
+    def test_interleaved_tcp_clients_match_direct_service(self):
+        n_streams, n_raw = 4, 12
+        units = {f"s{k}": raw_units(50 + k, n_raw) for k in range(n_streams)}
+
+        async def over_the_wire():
+            service = MonitorService(SyntheticDomain())
+            async with serving(service) as (server, connect):
+                async def drive(sid):
+                    client = await connect()
+                    fires = []
+                    for raw in units[sid]:
+                        fires.extend(await client.ingest(sid, raw))
+                    return sid, fires
+
+                driven = await asyncio.gather(*(drive(sid) for sid in units))
+                client = await connect()
+                reports = {sid: await client.report(sid) for sid in units}
+                return dict(driven), reports
+
+        wire_fires, wire_reports = asyncio.run(over_the_wire())
+
+        for sid, raws in units.items():
+            solo = MonitorService(SyntheticDomain())
+            direct_fires = []
+            for raw in raws:
+                direct_fires.extend(fire.record for fire in solo.ingest(sid, raw))
+            # the records that crossed the wire are the direct ones,
+            # bit-exact (floats included), and the accumulated session
+            # state behind them matches too
+            assert wire_fires[sid] == direct_fires
+            assert_reports_equal(wire_reports[sid], solo.report(sid))
+
+    def test_tvnews_tcp_run_matches_repro_stream_cli(self):
+        """The server path is bit-identical to `python -m repro stream`
+        with the same seeds (the acceptance criterion)."""
+        from tests.experiments.test_cli import run_cli
+
+        n_streams, n_items, seed = 2, 4, 0
+
+        async def over_the_wire():
+            service = MonitorService("tvnews")
+            async with serving(service) as (server, connect):
+                domain = service.domain
+
+                async def drive(k):
+                    client = await connect()
+                    sid = f"tvnews-{k}"
+                    stream = domain.iter_stream(
+                        domain.build_world(derive_seed(seed, "stream", k))
+                    )
+                    for _ in range(n_items):
+                        await client.ingest(sid, next(stream))
+
+                await asyncio.gather(*(drive(k) for k in range(n_streams)))
+                client = await connect()
+                return await client.fleet_report()
+
+        fleet = asyncio.run(over_the_wire())
+        payload = json.loads(
+            run_cli(
+                "stream", "tvnews", "--streams", str(n_streams),
+                "--items", str(n_items), "--seed", str(seed), "--json",
+            ).stdout
+        )
+        assert set(fleet.stream_reports) == set(payload["streams"])
+        for sid, report in fleet.stream_reports.items():
+            assert report.n_items == payload["streams"][sid]["n_items"]
+            assert report.fire_counts() == payload["streams"][sid]["fire_counts"]
+        assert fleet.aggregate.n_items == payload["fleet"]["n_items"]
+        assert fleet.fire_counts() == payload["fleet"]["fire_counts"]
+
+    def test_restart_from_snapshot_matches_uninterrupted_run(self):
+        units = {f"s{k}": raw_units(70 + k, 16) for k in range(2)}
+
+        async def interrupted():
+            service_a = MonitorService(SyntheticDomain())
+            async with serving(service_a) as (server, connect):
+                client = await connect()
+                for i in range(8):
+                    for sid in units:
+                        await client.ingest(sid, units[sid][i])
+                checkpoint = await client.snapshot()
+            # "restart": a brand-new service + server resumes the fleet
+            # from the wire-transported snapshot
+            service_b = MonitorService(SyntheticDomain())
+            async with serving(service_b) as (server, connect):
+                client = await connect()
+                assert sorted(await client.restore(checkpoint)) == sorted(units)
+                for i in range(8, 16):
+                    for sid in units:
+                        await client.ingest(sid, units[sid][i])
+                return {sid: await client.report(sid) for sid in units}
+
+        wire_reports = asyncio.run(interrupted())
+        solo = MonitorService(SyntheticDomain())
+        for i in range(16):
+            for sid in units:
+                solo.ingest(sid, units[sid][i])
+        for sid in units:
+            assert_reports_equal(wire_reports[sid], solo.report(sid))
+
+
+class TestOrdering:
+    def test_per_stream_fifo_across_pipelined_clients_and_batches(self):
+        """Each stream's units are applied in send order even when the
+        worker coalesces requests from many connections into one
+        service batch."""
+        domain = SeqDomain()
+        n = 25
+
+        async def drive():
+            service = MonitorService(domain)
+            async with serving(service, max_batch=8, max_delay=0.02) as (
+                server,
+                connect,
+            ):
+                a, b, c = await connect(), await connect(), await connect()
+                # a and b pipeline their own stream; c mixes both streams
+                # inside ingest_batch requests
+                futs = []
+                for i in range(n):
+                    futs.append(a.submit("ingest", stream_id="sa",
+                                         raw={"sid": "sa", "seq": i}))
+                    futs.append(b.submit("ingest", stream_id="sb",
+                                         raw={"sid": "sb", "seq": i}))
+                    futs.append(c.submit("ingest_batch", pairs=[
+                        ["sc", {"sid": "sc", "seq": 2 * i}],
+                        ["sd", {"sid": "sd", "seq": i}],
+                        ["sc", {"sid": "sc", "seq": 2 * i + 1}],
+                    ]))
+                envelopes = await asyncio.gather(*futs)
+                assert all(env["ok"] for env in envelopes)
+                stats = await a.stats()
+                # coalescing actually happened (else this test proves
+                # nothing about cross-request batches)
+                assert stats["batches"] < stats["accepted"]
+
+        asyncio.run(drive())
+        assert domain.observed["sa"] == list(range(n))
+        assert domain.observed["sb"] == list(range(n))
+        assert domain.observed["sc"] == list(range(2 * n))
+        assert domain.observed["sd"] == list(range(n))
+
+
+class TestBatchingAndBackpressure:
+    def test_pipelined_ingests_coalesce_under_max_delay(self):
+        async def drive():
+            service = MonitorService(SyntheticDomain())
+            async with serving(service, max_batch=16, max_delay=0.05) as (
+                server,
+                connect,
+            ):
+                client = await connect()
+                raw = raw_units(0, 1)[0]
+                futs = [
+                    client.submit("ingest", stream_id=f"s{i % 4}", raw=raw)
+                    for i in range(32)
+                ]
+                envelopes = await asyncio.gather(*futs)
+                assert all(env["ok"] for env in envelopes)
+                return await client.stats()
+
+        stats = asyncio.run(drive())
+        assert stats["completed"] == 32
+        assert stats["batches"] < 32  # coalesced, not one batch per request
+
+    def test_max_delay_zero_flushes_immediately(self):
+        async def drive():
+            service = MonitorService(SyntheticDomain())
+            async with serving(service, max_delay=0.0) as (server, connect):
+                client = await connect()
+                fires = await client.ingest("s", raw_units(0, 1)[0])
+                assert isinstance(fires, list)
+                return await client.stats()
+
+        stats = asyncio.run(drive())
+        assert stats["completed"] == 1
+
+    def test_backpressure_is_explicit_and_accounted(self):
+        """The acceptance ledger: accepted + rejected == offered, every
+        rejection an explicit `overloaded` error, nothing silently
+        dropped, and the queue drains completely."""
+        n_offered = 60
+
+        async def drive():
+            service = MonitorService(SyntheticDomain())
+            async with serving(
+                service, max_pending=2, max_batch=2, max_delay=0.01
+            ) as (server, connect):
+                client = await connect()
+                raw = raw_units(0, 1)[0]
+                futs = [
+                    client.submit("ingest", stream_id="s", raw=raw)
+                    for _ in range(n_offered)
+                ]
+                envelopes = await asyncio.gather(*futs)
+                ok = sum(1 for env in envelopes if env["ok"])
+                overloaded = [
+                    env["error"] for env in envelopes if not env["ok"]
+                ]
+                assert all(err["type"] == "overloaded" for err in overloaded)
+                assert all(
+                    err["limit"] == 2 and "pending" in err for err in overloaded
+                )
+                stats = await client.stats()  # queued after all ingests
+                return ok, len(overloaded), stats
+
+        ok, rejected, stats = asyncio.run(drive())
+        assert ok >= 1  # at least the first admission succeeded
+        assert rejected >= 1  # the tiny bound actually pushed back
+        assert ok + rejected == n_offered  # every request answered
+        assert stats["offered"] == n_offered
+        assert stats["accepted"] == ok
+        assert stats["rejected_overload"] == rejected
+        assert stats["accepted"] + stats["rejected"] == stats["offered"]
+        assert stats["completed"] + stats["failed"] == stats["accepted"]
+        assert stats["pending"] == 0  # fully drained
+
+
+class TestErrorSurface:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_malformed_unit_then_broken_session(self):
+        async def drive():
+            service = MonitorService(ExplodingDomain())
+            async with serving(service) as (server, connect):
+                client = await connect()
+                good = raw_units(0, 1)[0]
+                await client.ingest("s", good)
+                with pytest.raises(ServiceError) as excinfo:
+                    await client.ingest("s", "boom")
+                assert excinfo.value.type == "malformed-unit"
+                assert excinfo.value.error["stream_id"] == "s"
+                # fail-stop: the stream now rejects everything, loudly
+                with pytest.raises(ServiceError) as excinfo:
+                    await client.ingest("s", good)
+                assert excinfo.value.type == "broken-session"
+                with pytest.raises(ServiceError) as excinfo:
+                    await client.report("s")
+                assert excinfo.value.type == "broken-session"
+                # eviction clears the slot; the id is usable again
+                await client.evict("s")
+                assert isinstance(await client.ingest("s", good), list)
+
+        self.run(drive())
+
+    def test_batch_response_names_every_failed_stream(self):
+        async def drive():
+            service = MonitorService(ExplodingDomain())
+            async with serving(service) as (server, connect):
+                client = await connect()
+                good = raw_units(0, 1)[0]
+                result = await client.ingest_batch(
+                    [
+                        ("ok", good),
+                        ("bad1", "boom1"),
+                        ("bad2", "boom2"),
+                        ("bad1", good),  # skipped: bad1 already broke
+                    ]
+                )
+                assert result["failed_streams"] == ["bad1", "bad2"]
+                entries = result["results"]
+                assert entries[0]["ok"]
+                assert entries[1]["error"]["type"] == "malformed-unit"
+                assert "boom1" in entries[1]["error"]["message"]
+                assert entries[2]["error"]["type"] == "malformed-unit"
+                assert entries[3]["error"]["type"] == "broken-session"
+
+        self.run(drive())
+
+    def test_unknown_stream_and_unknown_domain(self):
+        async def drive():
+            service = MonitorService(SyntheticDomain())
+            async with serving(service) as (server, connect):
+                client = await connect()
+                with pytest.raises(ServiceError) as excinfo:
+                    await client.report("nope")
+                assert excinfo.value.type == "unknown-stream"
+                with pytest.raises(ServiceError) as excinfo:
+                    await client.request("ping", domain="tvnews")
+                assert excinfo.value.type == "unknown-domain"
+                assert excinfo.value.error["domain"] == "synthetic"
+
+        self.run(drive())
+
+    def test_bad_requests_are_typed_not_dropped(self):
+        async def drive():
+            service = MonitorService(SyntheticDomain())
+            async with serving(service) as (server, connect):
+                client = await connect()
+                with pytest.raises(ServiceError) as excinfo:
+                    await client.request("frobnicate")
+                assert excinfo.value.type == "bad-request"
+                with pytest.raises(ServiceError) as excinfo:
+                    await client.request("ingest")  # missing stream_id/raw
+                assert excinfo.value.type == "bad-request"
+                # raw garbage on a fresh socket gets an id-less error
+                # frame back, not a hangup
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                assert response["id"] is None
+                assert response["error"]["type"] == "bad-request"
+                writer.close()
+                await writer.wait_closed()
+
+        self.run(drive())
+
+    def test_ping_and_stats_roundtrip(self):
+        async def drive():
+            service = MonitorService(SyntheticDomain())
+            async with serving(service) as (server, connect):
+                client = await connect()
+                pong = await client.ping()
+                assert pong["domain"] == "synthetic"
+                await client.ingest("s", raw_units(0, 1)[0])
+                stats = await client.stats()
+                assert stats["domain"] == "synthetic"
+                assert stats["streams"] == 1
+                assert stats["offered"] == stats["accepted"] == 1
+
+        self.run(drive())
+
+    def test_internal_error_answers_every_batched_request(self):
+        # A whole-batch service failure (batch wider than the LRU bound)
+        # must produce one typed `internal` response per request, and
+        # the pending counter must still drain.
+        async def drive():
+            service = MonitorService(
+                SyntheticDomain(), config=ServiceConfig(max_sessions=2)
+            )
+            async with serving(service, max_delay=0.05) as (server, connect):
+                client = await connect()
+                raw = raw_units(0, 1)[0]
+                futs = [
+                    client.submit("ingest", stream_id=f"s{i}", raw=raw)
+                    for i in range(3)  # coalesce into one 3-stream batch
+                ]
+                envelopes = await asyncio.gather(*futs)
+                assert all(not env["ok"] for env in envelopes)
+                assert all(
+                    env["error"]["type"] == "internal" for env in envelopes
+                )
+                stats = await client.stats()
+                assert stats["pending"] == 0
+                assert stats["completed"] + stats["failed"] == stats["accepted"]
+
+        self.run(drive())

@@ -408,3 +408,164 @@ class TestServiceConstruction:
     def test_by_name_uses_registry(self):
         service = MonitorService("tvnews")
         assert service.domain.name == "tvnews"
+
+
+class TestBatchErrorAggregation:
+    """Satellite fix: a multi-stream batch failure names *every* failed
+    stream, not just the first group's exception."""
+
+    class TwoBombsDomain(SyntheticDomain):
+        def item_from_raw(self, raw, state=None):
+            if isinstance(raw, str):
+                raise RuntimeError(f"malformed unit {raw}")
+            return super().item_from_raw(raw, state)
+
+    def test_aggregate_error_names_every_failed_stream(self):
+        from repro.serve import BatchIngestError
+
+        service = MonitorService(self.TwoBombsDomain())
+        crowded = [{"id": 0, "color": "red"}] * 4
+        with pytest.raises(BatchIngestError) as excinfo:
+            service.ingest_batch(
+                [("good", crowded), ("bad1", "boom1"), ("bad2", "boom2")],
+                parallel=False,
+            )
+        err = excinfo.value
+        assert list(err.failures) == ["bad1", "bad2"]
+        assert "boom1" in str(err) and "boom2" in str(err)
+        assert "bad1" in str(err) and "bad2" in str(err)
+        # backward compatible: still a RuntimeError, siblings unharmed,
+        # both failed sessions fail-stopped
+        assert isinstance(err, RuntimeError)
+        assert service.report("good").n_items == 1
+        assert service.session("bad1").broken is not None
+        assert service.session("bad2").broken is not None
+
+    def test_outcomes_are_per_pair_and_mark_skipped_tail(self):
+        service = MonitorService(self.TwoBombsDomain())
+        crowded = [{"id": 0, "color": "red"}] * 4
+        outcomes = service.ingest_batch_outcomes(
+            [("good", crowded), ("bad", "boom"), ("bad", crowded)],
+            parallel=False,
+        )
+        assert [o.stream_id for o in outcomes] == ["good", "bad", "bad"]
+        assert outcomes[0].ok and outcomes[0].fires
+        assert not outcomes[1].ok and not outcomes[1].skipped
+        assert "boom" in str(outcomes[1].error)
+        # the second "bad" unit was never attempted: the session had
+        # already broken earlier in the same batch
+        assert not outcomes[2].ok and outcomes[2].skipped
+
+    def test_outcomes_match_ingest_batch_fires_when_all_ok(self):
+        service_a = MonitorService(SyntheticDomain())
+        service_b = MonitorService(SyntheticDomain())
+        units = {f"s{k}": raw_units(40 + k, 10) for k in range(3)}
+        for i in range(10):
+            pairs = [(sid, units[sid][i]) for sid in units]
+            fires = service_a.ingest_batch(pairs)
+            outcomes = service_b.ingest_batch_outcomes(pairs)
+            assert all(o.ok for o in outcomes)
+            flat = [f for o in outcomes for f in o.fires]
+            assert flat == fires
+
+
+class TestReentrantHooks:
+    """Satellite fixes: hooks that re-enter the service during purge and
+    restore must not crash or silently lose sessions."""
+
+    def make_clock(self):
+        state = {"now": 0.0}
+        return state, (lambda: state["now"])
+
+    def test_purge_survives_on_evict_hook_reentering_the_service(self):
+        # The hook's re-entrant call purges the other expired session
+        # itself; the outer purge loop must tolerate the id vanishing
+        # (pre-fix: KeyError from evicting an already-gone stream).
+        state, clock = self.make_clock()
+        service = MonitorService(
+            SyntheticDomain(), config=ServiceConfig(session_ttl=10.0), clock=clock
+        )
+        raw = raw_units(0, 1)[0]
+        evicted = []
+
+        def reenter(session):
+            evicted.append(session.stream_id)
+            service.fleet_report()  # re-entrant: purges expired sessions too
+
+        service.on_evict(reenter)
+        service.ingest("a", raw)
+        service.ingest("b", raw)
+        state["now"] = 20.0  # both expired
+        service.ingest("fresh", raw)  # triggers the purge
+        assert sorted(evicted) == ["a", "b"]
+        assert service.stream_ids() == ["fresh"]
+
+    def test_purge_skips_session_recreated_by_hook(self):
+        # A hook that *re-creates* an expired stream id yields a fresh,
+        # recently-used session; the outer loop must not evict it.
+        state, clock = self.make_clock()
+        service = MonitorService(
+            SyntheticDomain(), config=ServiceConfig(session_ttl=10.0), clock=clock
+        )
+        raw = raw_units(0, 1)[0]
+
+        def resurrect(session):
+            if session.stream_id == "a":
+                service.ingest("b", raw)  # re-creates b before its turn
+
+        service.on_evict(resurrect)
+        service.ingest("a", raw)
+        service.ingest("b", raw)
+        state["now"] = 20.0
+        service.fleet_report()  # purge runs: evicts a, hook re-creates b
+        assert service.stream_ids() == ["b"]
+        assert service.session("b").last_used == 20.0
+
+    def test_restore_refuses_sessions_created_by_evict_hooks(self):
+        # Pre-fix: `restore` overwrote _sessions wholesale, silently
+        # discarding anything an on_evict hook created mid-teardown.
+        service = MonitorService(SyntheticDomain())
+        raw = raw_units(0, 1)[0]
+        service.ingest("a", raw)
+        snapshot = service.snapshot()
+        service.on_evict(lambda session: service.ingest("sneaky", raw))
+        with pytest.raises(RuntimeError, match="sneaky"):
+            service.restore(snapshot)
+
+    def test_restore_tolerates_hook_evicting_other_sessions(self):
+        # A hook that *evicts* (not creates) during teardown is fine.
+        service = MonitorService(SyntheticDomain())
+        raw = raw_units(0, 1)[0]
+        service.ingest("a", raw)
+        snapshot = service.snapshot()
+        service.ingest("b", raw)
+
+        def evict_sibling(session):
+            if session.stream_id == "a" and "b" in service:
+                service.evict("b")
+
+        service.on_evict(evict_sibling)
+        service.restore(snapshot)
+        assert service.stream_ids() == ["a"]
+
+
+class TestTtlBoundary:
+    """Satellite test: the TTL comparison is strict — a session idle for
+    exactly ``session_ttl`` seconds is still alive."""
+
+    def test_exactly_ttl_idle_is_kept_just_over_is_evicted(self):
+        state = {"now": 0.0}
+        service = MonitorService(
+            SyntheticDomain(),
+            config=ServiceConfig(session_ttl=10.0),
+            clock=lambda: state["now"],
+        )
+        raw = raw_units(0, 1)[0]
+        service.ingest("s", raw)
+        state["now"] = 10.0  # idle == ttl: strictly-greater, so alive
+        assert service.report("s").n_items == 1
+        assert list(service.fleet_report().stream_reports) == ["s"]
+        state["now"] = 10.0 + 1e-9  # the instant after: expired
+        assert service.snapshot()["sessions"] == []
+        with pytest.raises(KeyError):
+            service.report("s")
