@@ -1,0 +1,149 @@
+"""Sharded monitor fleet: consistent-hash routing + live migration.
+
+One process caps how many monitored streams a
+:class:`~repro.serve.MonitorService` can hold; the :mod:`repro.fleet`
+package is the step from "a service" to "a fleet". This example runs
+the whole stack in-process (two worker shards behind a
+:class:`~repro.fleet.FleetRouter` on an ephemeral port — the production
+flavor, ``python -m repro fleet tvnews --shards 2``, runs each shard as
+its own OS process):
+
+1. a plain :class:`~repro.serve.ServiceClient` dials the *router*
+   exactly as it would a single server — the NDJSON wire protocol is
+   identical — and streams six tvnews feeds; the consistent-hash ring
+   places each feed on a shard deterministically;
+2. mid-run, one feed is **live-migrated** between shards: the router
+   freezes the feed (buffering its units), snapshots the session at a
+   raw-unit boundary on the source shard, restores it on the target,
+   flips the routing pin, and flushes the buffer — zero units lost or
+   reordered, and the final report is bit-identical to a run that
+   never migrated;
+3. the merged ``fleet_report`` / ``stats`` views stack every shard's
+   rows exactly as one big unsharded service would;
+4. a coordinated fleet snapshot (quiesce all shards → one versioned
+   payload) is restored onto a *fresh* fleet, which keeps serving.
+
+Run:  python examples/sharded_fleet.py
+"""
+
+import asyncio
+
+from repro.fleet import FleetRouter
+from repro.serve import MonitorServer, MonitorService, ServiceClient
+
+N_SHARDS = 2
+N_FEEDS = 6
+UNITS_BEFORE_MIGRATION = 4
+UNITS_AFTER_MIGRATION = 4
+
+
+async def start_fleet():
+    """Two in-process worker shards behind a started router."""
+    servers = {}
+    for index in range(N_SHARDS):
+        server = MonitorServer(MonitorService("tvnews"))
+        await server.start()
+        servers[f"shard-{index}"] = server
+    router = FleetRouter(
+        "tvnews",
+        {name: (server.host, server.port) for name, server in servers.items()},
+    )
+    await router.start()
+    return router, servers
+
+
+async def stop_fleet(router, servers):
+    await router.stop()
+    for server in servers.values():
+        await server.stop()
+
+
+async def main() -> None:
+    router, servers = await start_fleet()
+    print(
+        f"Fleet of {N_SHARDS} shards behind {router.host}:{router.port} "
+        "(one NDJSON endpoint, same protocol as a single server)"
+    )
+
+    domain = MonitorService("tvnews").domain
+    streams = {
+        f"feed-{k}": domain.iter_stream(domain.build_world(seed=k))
+        for k in range(N_FEEDS)
+    }
+    client = await ServiceClient.connect(router.host, router.port)
+
+    # 1. Interleaved ingest: the ring decides placement per stream.
+    for _ in range(UNITS_BEFORE_MIGRATION):
+        await client.ingest_batch(
+            [(feed, next(stream)) for feed, stream in streams.items()]
+        )
+    placement = {
+        name: server.service.stream_ids() for name, server in servers.items()
+    }
+    for name, feeds in sorted(placement.items()):
+        print(f"  {name}: {', '.join(feeds) or '(empty)'}")
+
+    # 2. Live migration, mid-run, at a raw-unit boundary.
+    feed = "feed-0"
+    source = router.table.owner(feed)
+    target = next(name for name in servers if name != source)
+    move = await client.request(
+        "migrate", stream_id=feed, to=target, tick=UNITS_BEFORE_MIGRATION
+    )
+    print(
+        f"Migrated {feed}: {move['from']} -> {move['to']} "
+        f"at unit {move['n_raw']} (moved={move['moved']})"
+    )
+
+    for _ in range(UNITS_AFTER_MIGRATION):
+        await client.ingest_batch(
+            [(feed, next(stream)) for feed, stream in streams.items()]
+        )
+
+    # 3. Merged views: one fleet report, one summed ledger.
+    fleet = await client.fleet_report()
+    stats = await client.stats()
+    print(fleet.format_table())
+    total = N_FEEDS * (UNITS_BEFORE_MIGRATION + UNITS_AFTER_MIGRATION)
+    assert stats["offered"] == stats["accepted"] == stats["completed"] == total
+    print(
+        f"Ledger: offered={stats['offered']} completed={stats['completed']} "
+        f"failed={stats['failed']} across {len(stats['shards'])} shards"
+    )
+
+    # Proof: an unsharded, never-migrated service over the same units
+    # produces the identical aggregate.
+    direct = MonitorService("tvnews")
+    fresh = {
+        f"feed-{k}": domain.iter_stream(domain.build_world(seed=k))
+        for k in range(N_FEEDS)
+    }
+    for _ in range(UNITS_BEFORE_MIGRATION + UNITS_AFTER_MIGRATION):
+        direct.ingest_batch([(f, next(s)) for f, s in fresh.items()])
+    assert (
+        fleet.aggregate.total_fires() == direct.fleet_report().aggregate.total_fires()
+    )
+    print("Bit-identity with the unsharded run: OK")
+
+    # 4. Coordinated snapshot -> fresh fleet -> keep serving.
+    payload = await client.snapshot()
+    await client.close()
+    await stop_fleet(router, servers)
+
+    router, servers = await start_fleet()
+    client = await ServiceClient.connect(router.host, router.port)
+    restored = await client.restore(payload)
+    print(f"Restored {len(restored)} feeds onto a fresh fleet: {restored}")
+    await client.ingest_batch(
+        [(feed, next(stream)) for feed, stream in streams.items()]
+    )
+    report = await client.report("feed-0")
+    print(
+        f"feed-0 keeps serving after restore: {report.n_items} items monitored"
+    )
+    await client.close()
+    await stop_fleet(router, servers)
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -18,8 +18,14 @@ Subcommands:
   batched ingestion, bounded-queue backpressure, optional checkpoint via
   ``--snapshot`` and a ``--ready-file`` announcing the bound port.
 - ``loadtest [DOMAIN]`` — closed/open-loop load harness against a
-  self-hosted server; sweeps ``--clients`` counts and writes latency
-  percentiles + throughput to ``BENCH_serve.json``.
+  self-hosted server; sweeps ``--clients`` counts (and ``--shards``
+  fleet sizes) and writes latency percentiles + throughput to
+  ``BENCH_serve.json``.
+- ``fleet DOMAIN --shards N`` — run a sharded monitor fleet: worker
+  shard processes behind a consistent-hash router speaking the same
+  protocol as ``serve``, with live snapshot-based stream migration
+  (the ``migrate``/``rebalance`` ops) and coordinated fleet snapshots
+  via ``--snapshot``.
 
 Examples
 --------
@@ -41,6 +47,9 @@ Examples
    $ python -m repro serve tvnews --ready-file server.json --snapshot fleet.json
    $ python -m repro loadtest tvnews --clients 1,4,8 --duration 3
    $ python -m repro loadtest tvnews --mode open --rate 500 --out BENCH_serve.json
+   $ python -m repro loadtest tvnews --shards 1,2 --clients 4
+   $ python -m repro fleet tvnews --shards 2 --ready-file fleet.json
+   $ python -m repro fleet tvnews --shards 2 --snapshot fleet-snap.json
 """
 
 from __future__ import annotations
@@ -660,17 +669,144 @@ def _cmd_serve(args) -> int:
     return 0
 
 
-def _parse_client_counts(text: str) -> tuple:
-    """``"1,4,8"`` → ``(1, 4, 8)`` for the saturation sweep."""
+def _parse_counts(text: str, flag: str) -> tuple:
+    """``"1,4,8"`` → ``(1, 4, 8)`` for the sweep axes."""
     try:
         counts = tuple(int(part) for part in text.split(",") if part.strip())
     except ValueError:
         raise SystemExit(
-            f"error: --clients expects comma-separated integers, got {text!r}"
+            f"error: {flag} expects comma-separated integers, got {text!r}"
         ) from None
     if not counts:
-        raise SystemExit("error: --clients needs at least one client count")
+        raise SystemExit(f"error: {flag} needs at least one count")
     return counts
+
+
+def _cmd_fleet(args) -> int:
+    """Run a sharded monitor fleet: worker processes + routing front-end.
+
+    Spawns ``--shards`` worker processes (one MonitorServer each), waits
+    for readiness, and serves the whole fleet through one consistent-hash
+    router endpoint speaking the identical protocol as ``serve`` — so
+    clients, the loadtest, and the migrate/rebalance ops all talk to one
+    address. With ``--snapshot`` an existing coordinated fleet snapshot
+    is restored on start and a fresh one written on shutdown.
+    """
+    import asyncio
+    import os
+    import signal
+    import tempfile
+
+    from repro.domains.registry import domain_names
+    from repro.fleet.manager import FleetManager
+    from repro.fleet.router import FleetRouter, RouterConfig
+    from repro.fleet.snapshot import (
+        SnapshotFormatError,
+        load_fleet_snapshot,
+        save_fleet_snapshot,
+    )
+    from repro.utils.io import atomic_write_json
+
+    if args.domain not in domain_names():
+        raise SystemExit(
+            f"error: unknown domain {args.domain!r}; "
+            f"registered domains: {', '.join(domain_names())}"
+        )
+    if args.shards < 1:
+        raise SystemExit("error: --shards must be >= 1")
+
+    restore_payload = None
+    if args.snapshot and os.path.exists(args.snapshot):
+        try:
+            restore_payload = load_fleet_snapshot(args.snapshot)
+        except SnapshotFormatError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        if restore_payload["domain"] != args.domain:
+            raise SystemExit(
+                f"error: {args.snapshot} is a fleet snapshot for domain "
+                f"{restore_payload['domain']!r}, not {args.domain!r}"
+            )
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-fleet-")
+    manager = FleetManager(
+        args.domain,
+        args.shards,
+        workdir=workdir,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay,
+        max_pending=args.max_pending,
+        serial=args.serial,
+    )
+    try:
+        specs = manager.start()
+    except RuntimeError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+    final_snapshot = {}
+
+    async def _main() -> None:
+        router = FleetRouter(
+            args.domain,
+            manager.addresses(),
+            RouterConfig(host=args.host, port=args.port),
+        )
+        await router.start()
+        if restore_payload is not None:
+            restored = await router.restore_fleet(restore_payload)
+            n_streams = sum(len(v) for v in restored["shards"].values())
+            print(
+                f"{n_streams} stream(s) restored from {args.snapshot}",
+                flush=True,
+            )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        print(
+            f"[{args.domain}] fleet of {args.shards} shard(s) on "
+            f"{router.host}:{router.port} "
+            f"(workers: {', '.join(f'{s.name}={s.host}:{s.port}' for s in specs.values())})",
+            flush=True,
+        )
+        if args.ready_file:
+            atomic_write_json(
+                {
+                    "host": router.host,
+                    "port": router.port,
+                    "domain": args.domain,
+                    "pid": os.getpid(),
+                    "shards": {
+                        name: {"host": s.host, "port": s.port, "pid": s.pid}
+                        for name, s in specs.items()
+                    },
+                },
+                args.ready_file,
+            )
+        try:
+            await stop.wait()
+            if args.snapshot:
+                final_snapshot["payload"] = await router.fleet_snapshot()
+        finally:
+            await router.stop()
+
+    try:
+        try:
+            asyncio.run(_main())
+            print("interrupted — shutting down", flush=True)
+        except KeyboardInterrupt:  # signal arrived before the handlers did
+            print("interrupted — shutting down", flush=True)
+    finally:
+        manager.stop()
+    if args.snapshot and final_snapshot:
+        save_fleet_snapshot(final_snapshot["payload"], args.snapshot)
+        print(
+            f"Fleet snapshot written to {args.snapshot} "
+            "(restart the same command to resume every shard)"
+        )
+    return 0
 
 
 def _cmd_loadtest(args) -> int:
@@ -686,7 +822,8 @@ def _cmd_loadtest(args) -> int:
     try:
         config = LoadTestConfig(
             domain=args.domain,
-            client_counts=_parse_client_counts(args.clients),
+            client_counts=_parse_counts(args.clients, "--clients"),
+            shard_counts=_parse_counts(args.shards, "--shards"),
             mode=args.mode,
             duration=args.duration,
             warmup=args.warmup,
@@ -985,6 +1122,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="registered domain to serve (default tvnews)")
     p_load.add_argument("--clients", default="1,4", metavar="N,N,...",
                         help="comma-separated client counts, one sweep point each")
+    p_load.add_argument("--shards", default="1", metavar="N,N,...",
+                        help="comma-separated fleet sizes; shards > 1 stands up "
+                             "worker processes behind the consistent-hash router")
     p_load.add_argument("--mode", choices=["closed", "open"], default="closed",
                         help="closed: one request in flight per client; "
                              "open: fixed offered --rate, pipelined")
@@ -1011,6 +1151,36 @@ def build_parser() -> argparse.ArgumentParser:
                         help="where to write the sweep payload")
     p_load.add_argument("--json", action="store_true", help="machine-readable output")
     p_load.set_defaults(fn=_cmd_loadtest)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="run a sharded monitor fleet: worker shards behind a "
+             "consistent-hash router with live migration",
+    )
+    p_fleet.add_argument("domain", help="registered domain (av, ecg, tvnews, video)")
+    p_fleet.add_argument("--shards", type=int, default=2,
+                         help="worker shard processes to spawn (default 2)")
+    p_fleet.add_argument("--host", default="127.0.0.1", help="router bind address")
+    p_fleet.add_argument("--port", type=int, default=0,
+                         help="router TCP port (default 0 = ephemeral; see --ready-file)")
+    p_fleet.add_argument("--ready-file", default=None, metavar="PATH",
+                         help="write {host, port, domain, pid, shards} JSON once "
+                              "the whole fleet is listening")
+    p_fleet.add_argument("--snapshot", default=None, metavar="PATH",
+                         help="coordinated fleet checkpoint: restored first if it "
+                              "exists, written on shutdown (Ctrl-C)")
+    p_fleet.add_argument("--workdir", default=None, metavar="DIR",
+                         help="directory for worker ready files and logs "
+                              "(default: a fresh temp dir)")
+    p_fleet.add_argument("--max-batch", type=int, default=32,
+                         help="per-shard server knob: units per service batch")
+    p_fleet.add_argument("--max-delay", type=float, default=0.005,
+                         help="per-shard server knob: batch coalescing window (s)")
+    p_fleet.add_argument("--max-pending", type=int, default=1024,
+                         help="per-shard server knob: admitted-unit bound")
+    p_fleet.add_argument("--serial", action="store_true",
+                         help="disable the per-shard ingest_batch thread fan-out")
+    p_fleet.set_defaults(fn=_cmd_fleet)
 
     p_improve = sub.add_parser(
         "improve",

@@ -1,0 +1,171 @@
+"""Consistent-hash ownership of streams across shards.
+
+Two layers, both deterministic and JSON-snapshotable:
+
+- :class:`HashRing` — the classic consistent-hash ring with virtual
+  nodes: every shard hashes to ``replicas`` points on a 64-bit circle
+  and a key belongs to the first shard point at or after its own hash.
+  Ownership is a pure function of ``(stream_id, shard names, replicas)``
+  — no RNG, no process state — so a router restarted from nothing routes
+  every stream exactly where its predecessor did. Adding or removing a
+  shard only remaps the keys whose arc changed hands: about ``1/N`` of
+  them, never a full reshuffle (``tests/fleet/test_ring.py`` pins a
+  ``< 2/N`` bound).
+- :class:`RoutingTable` — the ring plus explicit per-stream *pins*.
+  Live migration (:meth:`repro.fleet.router.FleetRouter.rebalance`)
+  moves one stream at a time; the destination is recorded as a pin that
+  overrides the ring until the stream retires, so a migration is an
+  atomic ownership flip that never disturbs any other stream.
+
+The hash is ``blake2b`` (stdlib, keyed only by the bytes), *not*
+Python's ``hash()`` — the latter is salted per process and would give
+every worker a different ring.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+
+def stable_hash(key: str) -> int:
+    """64-bit stable hash of ``key`` — identical in every process."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes (see module docstring).
+
+    Parameters
+    ----------
+    shards:
+        Shard names; order does not matter (the ring sorts by hash).
+    replicas:
+        Virtual nodes per shard. More replicas = smoother spread at the
+        cost of a longer (still tiny) sorted array.
+    """
+
+    def __init__(self, shards, replicas: int = 64) -> None:
+        shards = list(shards)
+        if not shards:
+            raise ValueError("a HashRing needs at least one shard")
+        if len(set(shards)) != len(shards):
+            raise ValueError(f"duplicate shard names: {shards!r}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._shards = sorted(shards)
+        self._points: "list[int]" = []
+        self._owners: "list[str]" = []
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        ring = []
+        for shard in self._shards:
+            for replica in range(self.replicas):
+                ring.append((stable_hash(f"{shard}\x00{replica}"), shard))
+        # Ties (astronomically unlikely) resolve by shard name so the
+        # ring stays a pure function of its inputs.
+        ring.sort()
+        self._points = [point for point, _shard in ring]
+        self._owners = [shard for _point, shard in ring]
+
+    @property
+    def shards(self) -> list:
+        """Sorted shard names currently on the ring."""
+        return list(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: str) -> bool:
+        return shard in self._shards
+
+    def owner(self, key: str) -> str:
+        """The shard owning ``key`` — deterministic from the key alone."""
+        index = bisect.bisect_right(self._points, stable_hash(key))
+        if index == len(self._points):  # wrap past the top of the circle
+            index = 0
+        return self._owners[index]
+
+    def add_shard(self, shard: str) -> None:
+        """Grow the ring; only ~1/(N+1) of keys change owner."""
+        if shard in self._shards:
+            raise ValueError(f"shard {shard!r} is already on the ring")
+        self._shards.append(shard)
+        self._shards.sort()
+        self._rebuild()
+
+    def remove_shard(self, shard: str) -> None:
+        """Shrink the ring; only the removed shard's keys change owner."""
+        if shard not in self._shards:
+            raise ValueError(f"shard {shard!r} is not on the ring")
+        if len(self._shards) == 1:
+            raise ValueError("cannot remove the last shard")
+        self._shards.remove(shard)
+        self._rebuild()
+
+    def spread(self, keys) -> dict:
+        """shard → number of ``keys`` it owns (diagnostics and tests)."""
+        counts = {shard: 0 for shard in self._shards}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts
+
+    def snapshot(self) -> dict:
+        return {"shards": list(self._shards), "replicas": self.replicas}
+
+    @classmethod
+    def restore(cls, payload: dict) -> "HashRing":
+        return cls(payload["shards"], replicas=int(payload["replicas"]))
+
+
+class RoutingTable:
+    """A :class:`HashRing` plus explicit per-stream pins.
+
+    ``owner(stream_id)`` is the pinned shard when a migration placed the
+    stream somewhere, else the ring's deterministic owner. Pins are what
+    make a migration an *atomic* flip: the router installs the pin only
+    after the snapshot has been restored on the destination, so at every
+    instant exactly one shard owns the stream.
+    """
+
+    def __init__(self, ring: HashRing, pins: "dict | None" = None) -> None:
+        self.ring = ring
+        self._pins: "dict[str, str]" = dict(pins or {})
+        for stream_id, shard in self._pins.items():
+            if shard not in ring:
+                raise ValueError(
+                    f"pin {stream_id!r} -> {shard!r} names a shard not on the ring"
+                )
+
+    @property
+    def pins(self) -> dict:
+        """stream_id → shard for every migrated stream (a copy)."""
+        return dict(self._pins)
+
+    def owner(self, stream_id: str) -> str:
+        pinned = self._pins.get(stream_id)
+        return pinned if pinned is not None else self.ring.owner(stream_id)
+
+    def pin(self, stream_id: str, shard: str) -> None:
+        """Override the ring for one stream (the migration flip)."""
+        if shard not in self.ring:
+            raise ValueError(f"shard {shard!r} is not on the ring")
+        if self.ring.owner(stream_id) == shard:
+            # Moving a stream *home* needs no pin; drop any stale one so
+            # the table stays minimal.
+            self._pins.pop(stream_id, None)
+        else:
+            self._pins[stream_id] = shard
+
+    def unpin(self, stream_id: str) -> None:
+        self._pins.pop(stream_id, None)
+
+    def snapshot(self) -> dict:
+        return {"ring": self.ring.snapshot(), "pins": dict(self._pins)}
+
+    @classmethod
+    def restore(cls, payload: dict) -> "RoutingTable":
+        return cls(HashRing.restore(payload["ring"]), pins=payload.get("pins"))

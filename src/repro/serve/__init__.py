@@ -25,7 +25,9 @@ from repro.serve.loadtest import (
     write_bench,
 )
 from repro.serve.net import (
+    ConnectionLostError,
     MonitorServer,
+    ReconnectingClient,
     ServerConfig,
     ServerStats,
     ServiceClient,
@@ -40,6 +42,7 @@ from repro.serve.service import (
     ServiceConfig,
     StreamFire,
     StreamSession,
+    build_fleet_report,
 )
 from repro.serve.snapshot import (
     load_service_snapshot,
@@ -50,6 +53,7 @@ from repro.serve.snapshot import (
 __all__ = [
     "BatchIngestError",
     "BrokenSessionError",
+    "ConnectionLostError",
     "FleetReport",
     "LoadTestConfig",
     "LoadTestPoint",
@@ -57,6 +61,7 @@ __all__ = [
     "MonitorServer",
     "MonitorService",
     "PairOutcome",
+    "ReconnectingClient",
     "ServerConfig",
     "ServerStats",
     "ServiceClient",
@@ -64,6 +69,7 @@ __all__ = [
     "ServiceError",
     "StreamFire",
     "StreamSession",
+    "build_fleet_report",
     "load_service_snapshot",
     "load_snapshot_payload",
     "run_loadtest",

@@ -24,6 +24,13 @@ never leaks between points) and :func:`write_bench` persists the sweep
 as ``BENCH_serve.json`` — the committed trajectory later PRs must not
 regress (compare p99 and items/s line by line).
 
+``shard_counts`` extends the sweep along a second axis: with
+``shards > 1`` each point stands up a whole sharded fleet —
+:class:`~repro.fleet.manager.FleetManager` worker processes behind an
+in-process :class:`~repro.fleet.router.FleetRouter` — and the clients
+drive the router through the identical protocol, so the 1-shard and
+N-shard numbers are directly comparable.
+
 Raw units are pre-generated from the domain's seeded worlds *before*
 the clock starts (one world per client, cycled), so generation cost
 never pollutes latency numbers.
@@ -43,7 +50,8 @@ from repro.serve.service import MonitorService, ServiceConfig
 from repro.utils.io import atomic_write_json
 
 #: Schema version of the ``BENCH_serve.json`` payload.
-BENCH_FORMAT = 1
+#: 2: points carry ``shards`` (the sharded-fleet sweep axis).
+BENCH_FORMAT = 2
 
 
 @dataclass(frozen=True)
@@ -57,6 +65,7 @@ class LoadTestConfig:
 
     domain: str = "tvnews"
     client_counts: tuple = (1, 4)
+    shard_counts: tuple = (1,)
     mode: str = "closed"
     duration: float = 2.0
     warmup: float = 0.5
@@ -75,6 +84,10 @@ class LoadTestConfig:
             raise ValueError(
                 f"client_counts must be >= 1, got {self.client_counts!r}"
             )
+        if not self.shard_counts or any(s < 1 for s in self.shard_counts):
+            raise ValueError(
+                f"shard_counts must be >= 1, got {self.shard_counts!r}"
+            )
         if self.duration <= 0 and self.items is None:
             raise ValueError("duration must be > 0 (or give items)")
         if self.warmup < 0:
@@ -92,6 +105,7 @@ class LoadTestConfig:
         return {
             "domain": self.domain,
             "client_counts": list(self.client_counts),
+            "shard_counts": list(self.shard_counts),
             "mode": self.mode,
             "duration": self.duration,
             "warmup": self.warmup,
@@ -111,6 +125,7 @@ class LoadTestPoint:
 
     clients: int
     mode: str
+    shards: int
     elapsed: float
     measured: float
     n_samples: int
@@ -132,6 +147,7 @@ class LoadTestPoint:
         return {
             "clients": self.clients,
             "mode": self.mode,
+            "shards": self.shards,
             "elapsed_s": self.elapsed,
             "measured_s": self.measured,
             "n_samples": self.n_samples,
@@ -149,7 +165,8 @@ class LoadTestPoint:
     def summary_line(self) -> str:
         lat = self.latency_ms
         return (
-            f"BENCH_SERVE clients={self.clients} mode={self.mode} "
+            f"BENCH_SERVE clients={self.clients} shards={self.shards} "
+            f"mode={self.mode} "
             f"p50_ms={_fmt(lat.get('p50'))} p95_ms={_fmt(lat.get('p95'))} "
             f"p99_ms={_fmt(lat.get('p99'))} items_per_s={self.items_per_s:.1f} "
             f"offered={self.offered} accepted={self.accepted} "
@@ -178,6 +195,7 @@ class LoadTestResult:
         rows = [
             (
                 point.clients,
+                point.shards,
                 point.mode,
                 _fmt(point.latency_ms.get("p50")),
                 _fmt(point.latency_ms.get("p95")),
@@ -191,7 +209,7 @@ class LoadTestResult:
             for point in self.points
         ]
         return format_table(
-            ["Clients", "Mode", "p50 ms", "p95 ms", "p99 ms",
+            ["Clients", "Shards", "Mode", "p50 ms", "p95 ms", "p99 ms",
              "items/s", "Offered", "Accepted", "Rejected", "Ledger"],
             rows,
             title=f"Load test — domain {self.domain!r}, "
@@ -292,24 +310,95 @@ async def _open_client(
     await asyncio.gather(*trackers)
 
 
-async def _run_point(config: LoadTestConfig, n_clients: int) -> LoadTestPoint:
+class _SinglePoint:
+    """Endpoint for a 1-shard point: one in-process server."""
+
+    def __init__(self, config: LoadTestConfig) -> None:
+        self.config = config
+        self.server: "MonitorServer | None" = None
+
+    async def start(self) -> tuple:
+        self.server = MonitorServer(
+            MonitorService(self.config.domain, config=ServiceConfig(parallel=True)),
+            ServerConfig(
+                max_batch=self.config.max_batch,
+                max_delay=self.config.max_delay,
+                max_pending=self.config.max_pending,
+            ),
+        )
+        await self.server.start()
+        return self.server.host, self.server.port
+
+    async def stop(self) -> None:
+        if self.server is not None:
+            await self.server.stop()
+
+
+class _FleetPoint:
+    """Endpoint for an N-shard point: worker processes behind a router.
+
+    The workers are real subprocesses (:class:`FleetManager`) so each
+    shard gets its own GIL and pipeline; the router runs on the load
+    generator's loop and serves the identical protocol, which is what
+    makes the 1-shard and N-shard latency columns comparable.
+    """
+
+    def __init__(self, config: LoadTestConfig, n_shards: int) -> None:
+        self.config = config
+        self.n_shards = n_shards
+        self.manager = None
+        self.router = None
+        self._workdir: "str | None" = None
+
+    async def start(self) -> tuple:
+        import shutil
+        import tempfile
+
+        from repro.fleet.manager import FleetManager
+        from repro.fleet.router import FleetRouter
+
+        loop = asyncio.get_running_loop()
+        self._workdir = tempfile.mkdtemp(prefix="repro-fleet-loadtest-")
+        self.manager = FleetManager(
+            self.config.domain,
+            self.n_shards,
+            workdir=self._workdir,
+            max_batch=self.config.max_batch,
+            max_delay=self.config.max_delay,
+            max_pending=self.config.max_pending,
+        )
+        try:
+            await loop.run_in_executor(None, self.manager.start)
+        except Exception:
+            shutil.rmtree(self._workdir, ignore_errors=True)
+            raise
+        self.router = FleetRouter(self.config.domain, self.manager.addresses())
+        await self.router.start()
+        return self.router.host, self.router.port
+
+    async def stop(self) -> None:
+        import shutil
+
+        loop = asyncio.get_running_loop()
+        if self.router is not None:
+            await self.router.stop()
+        if self.manager is not None:
+            await loop.run_in_executor(None, self.manager.stop)
+        if self._workdir is not None:
+            shutil.rmtree(self._workdir, ignore_errors=True)
+
+
+async def _run_point(
+    config: LoadTestConfig, n_clients: int, n_shards: int = 1
+) -> LoadTestPoint:
     pools = _unit_pools(config, n_clients)
-    service = MonitorService(
-        config.domain, config=ServiceConfig(parallel=True)
+    endpoint = (
+        _SinglePoint(config) if n_shards == 1 else _FleetPoint(config, n_shards)
     )
-    server = MonitorServer(
-        service,
-        ServerConfig(
-            max_batch=config.max_batch,
-            max_delay=config.max_delay,
-            max_pending=config.max_pending,
-        ),
-    )
-    await server.start()
+    host, port = await endpoint.start()
     loop = asyncio.get_running_loop()
     clients = [
-        await ServiceClient.connect(server.host, server.port)
-        for _ in range(n_clients)
+        await ServiceClient.connect(host, port) for _ in range(n_clients)
     ]
     try:
         latencies: list = []
@@ -350,10 +439,11 @@ async def _run_point(config: LoadTestConfig, n_clients: int) -> LoadTestPoint:
     finally:
         for client in clients:
             await client.close()
-        await server.stop()
+        await endpoint.stop()
     return LoadTestPoint(
         clients=n_clients,
         mode=config.mode,
+        shards=n_shards,
         elapsed=elapsed,
         measured=measured,
         n_samples=len(latencies),
@@ -369,17 +459,19 @@ async def _run_point(config: LoadTestConfig, n_clients: int) -> LoadTestPoint:
 
 
 def run_loadtest(config: "LoadTestConfig | None" = None, *, echo=None) -> LoadTestResult:
-    """Run the full saturation sweep; one fresh server per point.
+    """Run the full saturation sweep; one fresh server (or fleet) per
+    ``(shards, clients)`` point.
 
     ``echo`` (e.g. ``print``) receives a progress line per point.
     """
     config = config if config is not None else LoadTestConfig()
     result = LoadTestResult(domain=config.domain, config=config)
-    for n_clients in config.client_counts:
-        point = asyncio.run(_run_point(config, n_clients))
-        result.points.append(point)
-        if echo is not None:
-            echo(point.summary_line())
+    for n_shards in config.shard_counts:
+        for n_clients in config.client_counts:
+            point = asyncio.run(_run_point(config, n_clients, n_shards))
+            result.points.append(point)
+            if echo is not None:
+                echo(point.summary_line())
     return result
 
 

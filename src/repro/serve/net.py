@@ -43,7 +43,11 @@ The protocol (request → response, one JSON document per line)::
                  "message": "..."}}
 
 Ops: ``ping``, ``ingest``, ``ingest_batch``, ``report``,
-``fleet_report``, ``snapshot``, ``restore``, ``evict``, ``stats``.
+``fleet_report``, ``snapshot``, ``restore``, ``evict``, ``stats``,
+``snapshot_stream``, ``restore_stream``, ``apply_suite``. The last
+three exist for the sharded fleet (:mod:`repro.fleet`): per-stream
+snapshot/restore are the two halves of a live migration, and
+``apply_suite`` lets the router reconfigure every shard in lockstep.
 Any request may carry ``"domain"``; a mismatch with the served domain is
 an ``unknown-domain`` error. See the README's "Network serving & load
 testing" section for the full payload reference.
@@ -56,13 +60,14 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.core.runtime import MonitoringReport
+from repro.core.spec import AssertionSuite
 from repro.serve.service import (
     BrokenSessionError,
     FleetReport,
     MonitorService,
     PairOutcome,
 )
-from repro.utils.codec import from_jsonable
+from repro.utils.codec import from_jsonable, to_jsonable
 from repro.utils.framing import MAX_FRAME_BYTES, FrameError, decode_frame, encode_frame
 
 #: Protocol version, echoed by ``ping``.
@@ -120,7 +125,9 @@ class ServerStats:
     ``offered == accepted + rejected_overload + rejected_bad`` at every
     instant, and once the pipeline drains, ``completed + failed ==
     accepted`` — every accepted unit produced exactly one ok/error
-    response.
+    response. ``per_stream`` breaks ``completed``/``failed`` down by
+    stream id (fleet totals alone cannot prove a migrated stream was
+    neither double-ingested nor dropped; the per-stream ledger can).
     """
 
     offered: int = 0
@@ -130,10 +137,23 @@ class ServerStats:
     completed: int = 0
     failed: int = 0
     batches: int = 0
+    per_stream: dict = field(default_factory=dict)
 
     @property
     def rejected(self) -> int:
         return self.rejected_overload + self.rejected_bad
+
+    def count_outcome(self, stream_id: str, ok: bool) -> None:
+        """Account one finished unit, fleet-wide and per stream."""
+        entry = self.per_stream.setdefault(
+            stream_id, {"completed": 0, "failed": 0}
+        )
+        if ok:
+            self.completed += 1
+            entry["completed"] += 1
+        else:
+            self.failed += 1
+            entry["failed"] += 1
 
     def as_dict(self) -> dict:
         return {
@@ -145,6 +165,10 @@ class ServerStats:
             "completed": self.completed,
             "failed": self.failed,
             "batches": self.batches,
+            "per_stream": {
+                stream_id: dict(entry)
+                for stream_id, entry in self.per_stream.items()
+            },
         }
 
 
@@ -336,7 +360,17 @@ class MonitorServer:
         if op in ("ingest", "ingest_batch"):
             self._admit_ingest(op, request_id, request, conn)
             return
-        if op in ("report", "fleet_report", "snapshot", "restore", "evict", "stats"):
+        if op in (
+            "report",
+            "fleet_report",
+            "snapshot",
+            "restore",
+            "evict",
+            "stats",
+            "snapshot_stream",
+            "restore_stream",
+            "apply_suite",
+        ):
             self._queue.put_nowait(_Request(op, request_id, conn, request))
             return
         conn.send(_error_doc(request_id, "bad-request", f"unknown op {op!r}"))
@@ -448,7 +482,8 @@ class MonitorServer:
                         f"{type(exc).__name__}: {exc}",
                     )
                 )
-            self.stats.failed += len(pairs)
+            for stream_id, _raw in pairs:
+                self.stats.count_outcome(stream_id, ok=False)
             self._pending_units -= len(pairs)
             return
         for item, start, stop in slices:
@@ -459,8 +494,8 @@ class MonitorServer:
         results = []
         failed_streams: "OrderedDict[str, bool]" = OrderedDict()
         for outcome in outcomes:
+            self.stats.count_outcome(outcome.stream_id, ok=outcome.ok)
             if outcome.ok:
-                self.stats.completed += 1
                 results.append(
                     {
                         "ok": True,
@@ -469,7 +504,6 @@ class MonitorServer:
                     }
                 )
             else:
-                self.stats.failed += 1
                 failed_streams[outcome.stream_id] = True
                 results.append(
                     {"ok": False, "error": _outcome_error(outcome)}
@@ -554,10 +588,51 @@ class MonitorServer:
                 raise ValueError("evict needs a stream_id")
             self.service.evict(stream_id)
             return {"stream_id": stream_id}
+        if op == "snapshot_stream":
+            # One stream's restorable session snapshot — the migration
+            # read half. Queued behind any in-flight ingest batches, so
+            # the payload always sits at a raw-unit boundary.
+            stream_id = request.get("stream_id")
+            if not isinstance(stream_id, str):
+                raise ValueError("snapshot_stream needs a stream_id")
+            session = self.service.session_snapshot(stream_id)
+            return {
+                "stream_id": stream_id,
+                "session": session,
+                "n_raw": session["n_raw"],
+            }
+        if op == "restore_stream":
+            # The migration write half: re-admit one stream exactly
+            # where another shard's snapshot_stream left it.
+            stream_id = request.get("stream_id")
+            session = request.get("session")
+            if not isinstance(stream_id, str) or not isinstance(session, dict):
+                raise ValueError("restore_stream needs stream_id + session")
+            restored = self.service.restore_session(stream_id, session)
+            return {"stream_id": stream_id, "n_raw": restored.n_raw}
+        if op == "apply_suite":
+            suite_payload = request.get("suite")
+            if not isinstance(suite_payload, dict):
+                raise ValueError("apply_suite needs a suite payload")
+            try:
+                suite = from_jsonable(suite_payload)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(f"suite payload does not decode: {exc}") from exc
+            if not isinstance(suite, AssertionSuite):
+                raise ValueError(
+                    "suite payload does not decode to an AssertionSuite "
+                    f"(got {type(suite).__name__})"
+                )
+            tick = request.get("tick")
+            if tick is not None and not isinstance(tick, int):
+                raise ValueError("apply_suite tick must be an integer")
+            diffs = self.service.apply_suite(suite, tick=tick)
+            return {"streams": diffs}
         # stats (reads only counters + session ids; still serialized)
         payload = self.stats.as_dict()
         payload["pending"] = self._pending_units
         payload["streams"] = len(self.service)
+        payload["sessions"] = self.service.session_units()
         payload["domain"] = self.service.domain.name
         return payload
 
@@ -628,6 +703,18 @@ class ServiceClient:
             host, port, limit=MAX_FRAME_BYTES + 1024
         )
         return cls(reader, writer)
+
+    @property
+    def connected(self) -> bool:
+        """False once the server hung up (or :meth:`close` ran).
+
+        The reader task fails every pending future *before* it finishes,
+        so when this turns False no submitted request can still be left
+        hanging — callers (the fleet router's shard links) check it to
+        avoid writing into a dead transport, where the bytes would
+        vanish without an error.
+        """
+        return not self._reader_task.done()
 
     async def close(self) -> None:
         self._reader_task.cancel()
@@ -734,6 +821,149 @@ class ServiceClient:
 
     async def evict(self, stream_id: str) -> None:
         await self.request("evict", stream_id=stream_id)
+
+    async def snapshot_stream(self, stream_id: str) -> dict:
+        """One stream's session snapshot (the migration read half)."""
+        return await self.request("snapshot_stream", stream_id=stream_id)
+
+    async def restore_stream(self, stream_id: str, session: dict) -> dict:
+        """Restore one session payload (the migration write half)."""
+        return await self.request(
+            "restore_stream", stream_id=stream_id, session=session
+        )
+
+    async def apply_suite(self, suite, tick: "int | None" = None) -> dict:
+        """Hot-swap the assertion suite on the server; returns diffs."""
+        return await self.request(
+            "apply_suite", suite=to_jsonable(suite), tick=tick
+        )
+
+    async def stats(self) -> dict:
+        return await self.request("stats")
+
+
+class ConnectionLostError(ConnectionError):
+    """Raised by :class:`ReconnectingClient` once its retry budget is
+    spent: the server stayed unreachable through every backoff attempt.
+
+    Carries ``attempts`` (connection attempts made) and ``last_error``
+    (the final underlying failure) so callers can log a precise story.
+    """
+
+    def __init__(self, message: str, *, attempts: int, last_error=None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class ReconnectingClient:
+    """A :class:`ServiceClient` wrapper that survives server bounces.
+
+    A plain client's in-flight requests die with the connection; this
+    wrapper redials with bounded exponential backoff (``retries``
+    attempts, ``backoff`` doubling up to ``max_backoff`` seconds) and —
+    for :meth:`request` — resends the request on the fresh connection.
+
+    Semantics are **at-least-once**: a request whose connection died
+    mid-flight may have been applied before the crash, so a resent
+    ingest can be ingested twice. That is fine for idempotent control
+    ops (``report``, ``stats``, ``snapshot``...) and for callers that
+    tolerate duplicates; callers needing exactly-once must not resend
+    (the fleet router's shard links deliberately fail such requests with
+    ``shard-unavailable`` instead of using this wrapper for ingest).
+
+    Once ``retries`` consecutive redials fail, every method raises
+    :class:`ConnectionLostError` naming the attempt count and the last
+    underlying error.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        retries: int = 5,
+        backoff: float = 0.05,
+        max_backoff: float = 1.0,
+    ) -> None:
+        if retries < 1:
+            raise ValueError(f"retries must be >= 1, got {retries}")
+        self.host = host
+        self.port = port
+        self.retries = retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self._client: "ServiceClient | None" = None
+
+    @classmethod
+    async def connect(cls, host: str, port: int, **knobs) -> "ReconnectingClient":
+        client = cls(host, port, **knobs)
+        await client._ensure_client()
+        return client
+
+    async def _ensure_client(self) -> ServiceClient:
+        if self._client is not None:
+            return self._client
+        delay = self.backoff
+        last_error: "Exception | None" = None
+        for attempt in range(1, self.retries + 1):
+            try:
+                self._client = await ServiceClient.connect(self.host, self.port)
+                return self._client
+            except OSError as exc:
+                last_error = exc
+                if attempt < self.retries:
+                    await asyncio.sleep(delay)
+                    delay = min(delay * 2, self.max_backoff)
+        raise ConnectionLostError(
+            f"{self.host}:{self.port} unreachable after {self.retries} "
+            f"attempt(s): {last_error}",
+            attempts=self.retries,
+            last_error=last_error,
+        )
+
+    async def _drop_client(self) -> None:
+        if self._client is not None:
+            client, self._client = self._client, None
+            await client.close()
+
+    async def close(self) -> None:
+        await self._drop_client()
+
+    async def request(self, op: str, **fields) -> dict:
+        """Call-and-wait with redial-and-resend (at-least-once).
+
+        :class:`ServiceError` (a typed ``ok: false`` response) is *not*
+        retried — the server answered; only transport failures are.
+        """
+        last_error: "Exception | None" = None
+        for _attempt in range(self.retries):
+            client = await self._ensure_client()
+            try:
+                return await client.request(op, **fields)
+            except ServiceError:
+                raise
+            except (ConnectionError, FrameError, OSError) as exc:
+                last_error = exc
+                await self._drop_client()
+        raise ConnectionLostError(
+            f"request {op!r} to {self.host}:{self.port} failed after "
+            f"{self.retries} attempt(s): {last_error}",
+            attempts=self.retries,
+            last_error=last_error,
+        )
+
+    # -- typed helpers (same shapes as ServiceClient) ------------------
+    async def ping(self) -> dict:
+        return await self.request("ping")
+
+    async def ingest(self, stream_id: str, raw) -> list:
+        result = await self.request("ingest", stream_id=stream_id, raw=raw)
+        return [from_jsonable(record) for record in result["fires"]]
+
+    async def report(self, stream_id: str) -> MonitoringReport:
+        result = await self.request("report", stream_id=stream_id)
+        return from_jsonable(result["report"])
 
     async def stats(self) -> dict:
         return await self.request("stats")

@@ -320,6 +320,57 @@ class FleetReport:
         )
 
 
+def build_fleet_report(
+    domain_name: str,
+    stream_reports: "OrderedDict[str, MonitoringReport]",
+    assertion_names,
+) -> FleetReport:
+    """Stack per-stream reports into a :class:`FleetReport`.
+
+    The shared aggregation core behind :meth:`MonitorService.fleet_report`
+    and the sharded router's cross-shard merge
+    (:meth:`repro.fleet.router.FleetRouter`): rows stack in
+    ``stream_reports`` order, each stream's records re-indexed by its row
+    offset so they stay unambiguous fleet-wide. ``assertion_names`` is
+    the column set used when no stream reported anything.
+    """
+    if stream_reports:
+        names = next(iter(stream_reports.values())).assertion_names
+    else:
+        names = assertion_names
+    row_offsets: dict = {}
+    offset = 0
+    matrices = []
+    records: list = []
+    for stream_id, report in stream_reports.items():
+        row_offsets[stream_id] = offset
+        matrices.append(report.severities)
+        for record in report.records:
+            records.append(
+                AssertionRecord(
+                    assertion_name=record.assertion_name,
+                    item_index=record.item_index + offset,
+                    severity=record.severity,
+                    context=stream_id,
+                )
+            )
+        offset += report.n_items
+    severities = (
+        np.vstack(matrices)
+        if matrices
+        else np.zeros((0, len(names)), dtype=np.float64)
+    )
+    aggregate = MonitoringReport(
+        assertion_names=list(names), severities=severities, records=records
+    )
+    return FleetReport(
+        domain=domain_name,
+        stream_reports=stream_reports,
+        aggregate=aggregate,
+        row_offsets=row_offsets,
+    )
+
+
 class MonitorService:
     """Serve many independent monitored streams of one domain.
 
@@ -434,6 +485,32 @@ class MonitorService:
         for action in self._evict_actions:
             action(session)
         return session
+
+    def session_snapshot(self, stream_id: str) -> dict:
+        """One live stream's restorable snapshot, without evicting it.
+
+        The migration read half: hand the payload to another service's
+        :meth:`restore_session` and the stream continues there
+        bit-identically. Raises ``KeyError`` when the stream is absent
+        (TTL expiry included — snapshotting does not count as use) and
+        :class:`BrokenSessionError` for broken sessions.
+        """
+        self._purge_expired(self._clock())
+        return self._sessions[stream_id].snapshot()
+
+    def session_units(self) -> dict:
+        """stream_id → raw units consumed, for every live session.
+
+        Broken sessions report their count too (their consumed total is
+        still exact — the failed unit never increments it). The fleet
+        router uses this to validate a migration/reconfiguration tick
+        across shards before touching anything.
+        """
+        self._purge_expired(self._clock())
+        return {
+            stream_id: session.n_raw
+            for stream_id, session in self._sessions.items()
+        }
 
     def restore_session(self, stream_id: str, payload: dict) -> StreamSession:
         """Re-admit one stream from a session snapshot.
@@ -726,43 +803,11 @@ class MonitorService:
         for stream_id, session in self._sessions.items():
             if session.broken is None:
                 stream_reports[stream_id] = session.report()
-        if stream_reports:
-            names = next(iter(stream_reports.values())).assertion_names
-        elif self._suite is not None:
+        if self._suite is not None:
             names = self._suite.assertion_names()
         else:
             names = self.domain.build_monitor().database.names()
-        row_offsets: dict = {}
-        offset = 0
-        matrices = []
-        records: list = []
-        for stream_id, report in stream_reports.items():
-            row_offsets[stream_id] = offset
-            matrices.append(report.severities)
-            for record in report.records:
-                records.append(
-                    AssertionRecord(
-                        assertion_name=record.assertion_name,
-                        item_index=record.item_index + offset,
-                        severity=record.severity,
-                        context=stream_id,
-                    )
-                )
-            offset += report.n_items
-        severities = (
-            np.vstack(matrices)
-            if matrices
-            else np.zeros((0, len(names)), dtype=np.float64)
-        )
-        aggregate = MonitoringReport(
-            assertion_names=list(names), severities=severities, records=records
-        )
-        return FleetReport(
-            domain=self.domain.name,
-            stream_reports=stream_reports,
-            aggregate=aggregate,
-            row_offsets=row_offsets,
-        )
+        return build_fleet_report(self.domain.name, stream_reports, names)
 
     # ------------------------------------------------------------------
     # Snapshot / restore

@@ -1,0 +1,140 @@
+"""Consistent-hash ring and routing-table semantics: deterministic
+ownership from the stream id alone, uniform spread, minimal remap on
+resize, and the pin layer migrations flip."""
+
+import pytest
+
+from repro.fleet.ring import HashRing, RoutingTable, stable_hash
+
+KEYS = [f"stream-{i}" for i in range(4000)]
+
+
+class TestStableHash:
+    def test_is_a_pure_function_of_the_key(self):
+        assert stable_hash("s0") == stable_hash("s0")
+        assert stable_hash("s0") != stable_hash("s1")
+
+    def test_pins_exact_values_across_processes(self):
+        # blake2b is process-stable by construction; pin two values so a
+        # hash-function change can never slip in silently (it would
+        # re-home every stream of every deployed fleet).
+        assert stable_hash("stream-0") == 0x57B057691E938340
+        assert stable_hash("") == 0xE4A6A0577479B2B4
+
+
+class TestHashRing:
+    def test_ownership_is_deterministic_from_the_key_alone(self):
+        a = HashRing(["shard-0", "shard-1", "shard-2"])
+        b = HashRing(["shard-2", "shard-0", "shard-1"])  # order irrelevant
+        for key in KEYS[:500]:
+            owner = a.owner(key)
+            assert owner == b.owner(key)
+            assert owner == a.owner(key)  # stable on re-ask
+
+    def test_spread_is_roughly_uniform(self):
+        n_shards = 4
+        ring = HashRing([f"shard-{i}" for i in range(n_shards)], replicas=64)
+        counts = ring.spread(KEYS)
+        expected = len(KEYS) / n_shards
+        # A chi-square-style bound: every shard within 50% of the ideal
+        # share. With 64 vnodes/shard the observed skew is far smaller;
+        # this guards against a degenerate ring (e.g. unsorted points).
+        for shard, count in counts.items():
+            assert 0.5 * expected < count < 1.5 * expected, counts
+
+    @pytest.mark.parametrize("n_before", [2, 4, 8])
+    def test_adding_a_shard_remaps_less_than_2_over_n(self, n_before):
+        before = HashRing([f"shard-{i}" for i in range(n_before)])
+        after = HashRing([f"shard-{i}" for i in range(n_before + 1)])
+        moved = sum(1 for key in KEYS if before.owner(key) != after.owner(key))
+        n_after = n_before + 1
+        assert moved / len(KEYS) < 2.0 / n_after, (
+            f"{moved}/{len(KEYS)} keys moved growing {n_before}->{n_after}"
+        )
+        # ...and every moved key landed on the new shard, nowhere else.
+        for key in KEYS:
+            if before.owner(key) != after.owner(key):
+                assert after.owner(key) == f"shard-{n_before}"
+
+    def test_removing_a_shard_only_remaps_its_own_keys(self):
+        ring = HashRing(["shard-0", "shard-1", "shard-2"])
+        owners_before = {key: ring.owner(key) for key in KEYS}
+        ring.remove_shard("shard-1")
+        for key in KEYS:
+            if owners_before[key] != "shard-1":
+                assert ring.owner(key) == owners_before[key]
+            else:
+                assert ring.owner(key) != "shard-1"
+
+    def test_add_remove_round_trip_restores_ownership(self):
+        ring = HashRing(["shard-0", "shard-1"])
+        owners = {key: ring.owner(key) for key in KEYS[:500]}
+        ring.add_shard("shard-2")
+        ring.remove_shard("shard-2")
+        assert owners == {key: ring.owner(key) for key in KEYS[:500]}
+
+    def test_snapshot_round_trip(self):
+        ring = HashRing(["a", "b", "c"], replicas=32)
+        clone = HashRing.restore(ring.snapshot())
+        assert clone.shards == ring.shards
+        assert clone.replicas == 32
+        for key in KEYS[:200]:
+            assert clone.owner(key) == ring.owner(key)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            HashRing([])
+        with pytest.raises(ValueError, match="duplicate"):
+            HashRing(["a", "a"])
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing(["a"], replicas=0)
+        ring = HashRing(["a", "b"])
+        with pytest.raises(ValueError, match="already"):
+            ring.add_shard("a")
+        with pytest.raises(ValueError, match="not on the ring"):
+            ring.remove_shard("zz")
+        ring.remove_shard("b")
+        with pytest.raises(ValueError, match="last shard"):
+            ring.remove_shard("a")
+
+
+class TestRoutingTable:
+    def test_pin_overrides_the_ring_for_one_stream_only(self):
+        table = RoutingTable(HashRing(["shard-0", "shard-1"]))
+        key = next(k for k in KEYS if table.ring.owner(k) == "shard-0")
+        other = next(k for k in KEYS if table.ring.owner(k) == "shard-0" and k != key)
+        table.pin(key, "shard-1")
+        assert table.owner(key) == "shard-1"
+        assert table.owner(other) == "shard-0"
+        assert table.pins == {key: "shard-1"}
+
+    def test_pinning_home_drops_the_pin(self):
+        table = RoutingTable(HashRing(["shard-0", "shard-1"]))
+        key = next(k for k in KEYS if table.ring.owner(k) == "shard-0")
+        table.pin(key, "shard-1")
+        table.pin(key, "shard-0")  # migrated back home
+        assert table.pins == {}
+        assert table.owner(key) == "shard-0"
+
+    def test_unpin_restores_ring_ownership(self):
+        table = RoutingTable(HashRing(["shard-0", "shard-1"]))
+        key = next(k for k in KEYS if table.ring.owner(k) == "shard-1")
+        table.pin(key, "shard-0")
+        table.unpin(key)
+        assert table.owner(key) == "shard-1"
+
+    def test_pin_to_unknown_shard_rejected(self):
+        table = RoutingTable(HashRing(["shard-0"]))
+        with pytest.raises(ValueError, match="not on the ring"):
+            table.pin("s", "ghost")
+        with pytest.raises(ValueError, match="not on the ring"):
+            RoutingTable(HashRing(["shard-0"]), pins={"s": "ghost"})
+
+    def test_snapshot_round_trip_keeps_pins(self):
+        table = RoutingTable(HashRing(["shard-0", "shard-1"], replicas=16))
+        key = next(k for k in KEYS if table.ring.owner(k) == "shard-0")
+        table.pin(key, "shard-1")
+        clone = RoutingTable.restore(table.snapshot())
+        assert clone.pins == {key: "shard-1"}
+        for probe in KEYS[:200]:
+            assert clone.owner(probe) == table.owner(probe)

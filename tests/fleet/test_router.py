@@ -1,0 +1,390 @@
+"""The fleet router: wire-compatibility with a single server
+(bit-identical reports, merged stats ledger), per-stream FIFO through
+the shard links, and the typed error surface for dead shards.
+
+``sharded()`` (in-process shards + router + client factory) is shared
+with ``test_migration.py`` and ``test_fleet_snapshot.py``.
+"""
+
+import asyncio
+import contextlib
+
+import pytest
+
+from repro.fleet import FleetRouter, RouterConfig
+from repro.serve import (
+    MonitorServer,
+    MonitorService,
+    ServerConfig,
+    ServiceClient,
+    ServiceError,
+)
+from tests.serve.test_net import SeqDomain
+from tests.serve.test_service import (
+    SyntheticDomain,
+    assert_reports_equal,
+    raw_units,
+)
+
+N_SHARDS = 2
+STREAMS = [f"s{k}" for k in range(4)]
+
+
+@contextlib.asynccontextmanager
+async def sharded(
+    domain_factory=SyntheticDomain,
+    n_shards=N_SHARDS,
+    *,
+    config=None,
+    suite=None,
+    **server_knobs,
+):
+    """An in-process fleet: ``n_shards`` started MonitorServers behind a
+    started FleetRouter, plus a client factory dialing the router.
+
+    Yields ``(router, servers, connect)`` where ``servers`` maps shard
+    name -> MonitorServer (so tests can reach each shard's service or
+    bounce a shard), and tears everything down afterwards.
+    """
+    servers = {}
+    for index in range(n_shards):
+        service = MonitorService(domain_factory(), suite=suite)
+        server = MonitorServer(service, ServerConfig(**server_knobs))
+        await server.start()
+        servers[f"shard-{index}"] = server
+    domain_name = next(iter(servers.values())).service.domain.name
+    router = FleetRouter(
+        domain_name,
+        {name: (server.host, server.port) for name, server in servers.items()},
+        config,
+    )
+    await router.start()
+    clients = []
+
+    async def connect() -> ServiceClient:
+        client = await ServiceClient.connect(router.host, router.port)
+        clients.append(client)
+        return client
+
+    try:
+        yield router, servers, connect
+    finally:
+        for client in clients:
+            await client.close()
+        await router.stop()
+        for server in servers.values():
+            await server.stop()
+
+
+FAST_LINKS = RouterConfig(link_retries=2, link_backoff=0.01, link_max_backoff=0.02)
+
+
+class TestWireCompatibility:
+    def test_ping_reports_router_role_and_shards(self):
+        async def drive():
+            async with sharded() as (router, servers, connect):
+                client = await connect()
+                return await client.ping()
+
+        pong = asyncio.run(drive())
+        assert pong["role"] == "router"
+        assert pong["domain"] == "synthetic"
+        assert pong["shards"] == ["shard-0", "shard-1"]
+
+    def test_interleaved_sharded_ingest_matches_direct_service(self):
+        n_raw = 10
+        units = {sid: raw_units(50 + k, n_raw) for k, sid in enumerate(STREAMS)}
+
+        async def over_the_fleet():
+            async with sharded() as (router, servers, connect):
+                a, b = await connect(), await connect()
+                for i in range(n_raw):
+                    # two clients, interleaved batches mixing streams
+                    ra = await a.ingest_batch(
+                        [[sid, units[sid][i]] for sid in STREAMS[:2]]
+                    )
+                    rb = await b.ingest_batch(
+                        [[sid, units[sid][i]] for sid in STREAMS[2:]]
+                    )
+                    assert ra["failed_streams"] == []
+                    assert rb["failed_streams"] == []
+                reports = {sid: await a.report(sid) for sid in STREAMS}
+                fleet = await b.fleet_report()
+                placement = {
+                    name: server.service.stream_ids()
+                    for name, server in servers.items()
+                }
+                owners = {sid: router.table.owner(sid) for sid in STREAMS}
+                return reports, fleet, placement, owners
+
+        reports, fleet, placement, owners = asyncio.run(over_the_fleet())
+
+        # Every stream lives on exactly the shard the table names.
+        for sid in STREAMS:
+            assert sid in placement[owners[sid]]
+            for name, ids in placement.items():
+                if name != owners[sid]:
+                    assert sid not in ids
+        # ...and the fleet genuinely sharded (no shard owns everything).
+        assert all(len(ids) < len(STREAMS) for ids in placement.values())
+
+        direct = MonitorService(SyntheticDomain())
+        for i in range(n_raw):
+            for sid in STREAMS:
+                direct.ingest(sid, units[sid][i])
+        for sid in STREAMS:
+            assert_reports_equal(reports[sid], direct.report(sid))
+        direct_fleet = direct.fleet_report()
+        assert list(fleet.stream_reports) == list(direct_fleet.stream_reports)
+        assert_reports_equal(fleet.aggregate, direct_fleet.aggregate)
+        assert fleet.row_offsets == direct_fleet.row_offsets
+
+    def test_merged_stats_ledger_balances(self):
+        n_raw = 6
+
+        async def drive():
+            async with sharded() as (router, servers, connect):
+                client = await connect()
+                for i in range(n_raw):
+                    await client.ingest_batch(
+                        [[sid, raw] for sid in STREAMS
+                         for raw in [raw_units(9, n_raw)[i]]]
+                    )
+                return await client.stats()
+
+        stats = asyncio.run(drive())
+        offered = n_raw * len(STREAMS)
+        assert stats["offered"] == offered
+        assert stats["accepted"] == offered
+        assert stats["completed"] == offered
+        assert stats["failed"] == 0
+        assert stats["rejected"] == 0
+        assert stats["streams"] == len(STREAMS)
+        assert stats["sessions"] == {sid: n_raw for sid in STREAMS}
+        assert stats["per_stream"] == {
+            sid: {"completed": n_raw, "failed": 0} for sid in STREAMS
+        }
+        # per-shard breakdown sums to the totals
+        assert sorted(stats["shards"]) == ["shard-0", "shard-1"]
+        assert sum(s["completed"] for s in stats["shards"].values()) == offered
+        assert set(stats["routing"]["owners"]) == set(STREAMS)
+
+    def test_evict_through_router_drops_the_stream(self):
+        async def drive():
+            async with sharded() as (router, servers, connect):
+                client = await connect()
+                raw = raw_units(3, 1)[0]
+                await client.ingest("gone", raw)
+                await client.ingest("kept", raw)
+                await client.evict("gone")
+                stats = await client.stats()
+                fleet = await client.fleet_report()
+                return stats, fleet
+
+        stats, fleet = asyncio.run(drive())
+        assert set(stats["sessions"]) == {"kept"}
+        assert list(fleet.stream_reports) == ["kept"]
+
+    def test_error_surface(self):
+        async def drive():
+            async with sharded() as (router, servers, connect):
+                client = await connect()
+                errors = {}
+                for label, op, fields in [
+                    ("unknown-domain", "ping", {"domain": "nope"}),
+                    ("unknown-op", "frobnicate", {}),
+                    ("bad-ingest", "ingest", {"stream_id": 7, "raw": {}}),
+                    ("bad-report", "report", {}),
+                    ("bad-migrate", "migrate", {"stream_id": "s"}),
+                ]:
+                    with pytest.raises(ServiceError) as err:
+                        await client.request(op, **fields)
+                    errors[label] = err.value
+                return errors
+
+        errors = asyncio.run(drive())
+        assert errors["unknown-domain"].type == "unknown-domain"
+        assert errors["unknown-op"].type == "bad-request"
+        assert "unknown op" in str(errors["unknown-op"])
+        assert errors["bad-ingest"].type == "bad-request"
+        assert errors["bad-report"].type == "bad-request"
+        assert errors["bad-migrate"].type == "bad-request"
+
+    def test_shard_errors_pass_through_typed(self):
+        """A per-stream failure on a shard (unknown-stream report) comes
+        back with the shard's error type intact."""
+
+        async def drive():
+            async with sharded() as (router, servers, connect):
+                client = await connect()
+                with pytest.raises(ServiceError) as err:
+                    await client.report("never-seen")
+                return err.value
+
+        error = asyncio.run(drive())
+        assert error.type == "unknown-stream"
+
+
+class TestOrdering:
+    def test_per_stream_fifo_through_the_router(self):
+        """Pipelined submissions from multiple clients stay in send order
+        per stream, across whatever shard each stream lands on."""
+        domains = []
+
+        def factory():
+            domains.append(SeqDomain())
+            return domains[-1]
+
+        n = 25
+
+        async def drive():
+            async with sharded(factory, max_batch=8, max_delay=0.02) as (
+                router,
+                servers,
+                connect,
+            ):
+                a, b, c = await connect(), await connect(), await connect()
+                futs = []
+                for i in range(n):
+                    futs.append(a.submit("ingest", stream_id="sa",
+                                         raw={"sid": "sa", "seq": i}))
+                    futs.append(b.submit("ingest", stream_id="sb",
+                                         raw={"sid": "sb", "seq": i}))
+                    futs.append(c.submit("ingest_batch", pairs=[
+                        ["sc", {"sid": "sc", "seq": 2 * i}],
+                        ["sd", {"sid": "sd", "seq": i}],
+                        ["sc", {"sid": "sc", "seq": 2 * i + 1}],
+                    ]))
+                envelopes = await asyncio.gather(*futs)
+                assert all(env["ok"] for env in envelopes)
+
+        asyncio.run(drive())
+        observed = {}
+        for domain in domains:
+            observed.update(domain.observed)  # each stream on one shard
+        assert observed["sa"] == list(range(n))
+        assert observed["sb"] == list(range(n))
+        assert observed["sc"] == list(range(2 * n))
+        assert observed["sd"] == list(range(n))
+
+
+class TestShardFailure:
+    def test_dead_shard_yields_typed_errors_not_hangs(self):
+        async def drive_full():
+            async with sharded(config=FAST_LINKS) as (router, servers, connect):
+                client = await connect()
+                raw = raw_units(1, 1)[0]
+                for sid in STREAMS:
+                    await client.ingest(sid, raw)
+                victim = router.table.owner(STREAMS[0])
+                survivors = [
+                    sid for sid in STREAMS if router.table.owner(sid) != victim
+                ]
+                victims = [
+                    sid for sid in STREAMS if router.table.owner(sid) == victim
+                ]
+                assert survivors and victims
+                await servers[victim].stop()
+
+                # Per-stream failures in a batch come back as per-pair
+                # shard-unavailable docs, while survivors' pairs succeed.
+                batch = await client.ingest_batch(
+                    [(sid, raw) for sid in STREAMS]
+                )
+                # control op against the dead shard: typed, names the shard
+                with pytest.raises(ServiceError) as report_err:
+                    await client.report(victims[0])
+                # surviving shard keeps serving
+                survivor_report = await client.report(survivors[0])
+                ring = await client.request("ring")
+                return batch, report_err.value, survivor_report, ring, victim, victims
+
+        batch, report_err, survivor_report, ring, victim, victims = asyncio.run(
+            drive_full()
+        )
+        assert sorted(batch["failed_streams"]) == sorted(victims)
+        for (sid, doc) in zip(STREAMS, batch["results"]):
+            if sid in victims:
+                assert doc["ok"] is False
+                assert doc["error"]["type"] == "shard-unavailable"
+                assert doc["error"]["shard"] == victim
+                assert doc["error"]["stream_id"] == sid
+            else:
+                assert doc["ok"] is True
+        assert report_err.type == "shard-unavailable"
+        assert report_err.error.get("shard") == victim
+        assert survivor_report.n_items > 0
+        assert ring["shards"][victim]["alive"] is False
+
+    def test_requests_queued_during_redial_flush_in_order(self):
+        domains = []
+
+        def factory():
+            domains.append(SeqDomain())
+            return domains[-1]
+
+        n_before, n_during = 5, 8
+
+        async def drive():
+            async with sharded(factory, n_shards=1) as (router, servers, connect):
+                client = await connect()
+                for i in range(n_before):
+                    await client.ingest("s", {"sid": "s", "seq": i})
+
+                server = servers["shard-0"]
+                port = server.port
+                service = server.service
+                await server.stop()
+
+                # The link discovers the loss on next submit and queues
+                # while redialing; these must flush in order on reconnect.
+                futs = [
+                    client.submit(
+                        "ingest",
+                        stream_id="s",
+                        raw={"sid": "s", "seq": n_before + i},
+                    )
+                    for i in range(n_during)
+                ]
+                await asyncio.sleep(0.05)  # let the redial loop spin
+                revived = MonitorServer(
+                    service, ServerConfig(host="127.0.0.1", port=port)
+                )
+                await revived.start()
+                servers["shard-0"] = revived  # sharded() will stop it
+                envelopes = await asyncio.gather(*futs)
+                assert all(env["ok"] for env in envelopes)
+                # the link is healthy again for ordinary traffic
+                await client.ingest(
+                    "s", {"sid": "s", "seq": n_before + n_during}
+                )
+
+        asyncio.run(drive())
+        (domain,) = domains
+        assert domain.observed["s"] == list(range(n_before + n_during + 1))
+
+    def test_exhausted_redial_marks_the_shard_dead_fast(self):
+        async def drive():
+            async with sharded(
+                SyntheticDomain, n_shards=1, config=FAST_LINKS
+            ) as (router, servers, connect):
+                client = await connect()
+                raw = raw_units(2, 1)[0]
+                await client.ingest("s", raw)
+                await servers["shard-0"].stop()
+                # First request trips the redial loop; with the server
+                # gone for good it exhausts retries and the link dies.
+                with pytest.raises(ServiceError):
+                    await client.report("s")
+                deadline = asyncio.get_running_loop().time() + 2.0
+                while router._links["shard-0"].alive:
+                    assert asyncio.get_running_loop().time() < deadline
+                    await asyncio.sleep(0.01)
+                # ...after which requests fail immediately, still typed.
+                with pytest.raises(ServiceError) as err:
+                    await client.report("s")
+                return err.value
+
+        error = asyncio.run(drive())
+        assert error.type == "shard-unavailable"
+        assert error.error.get("shard") == "shard-0"

@@ -17,6 +17,7 @@ from repro.core.spec import (
     AssertionSuite,
     PerItemSpec,
     SuiteEntry,
+    get_predicate,
     register_predicate,
 )
 from repro.improve.fires import FireStore
@@ -26,10 +27,18 @@ SEED = 7
 STREAMS = [f"s{k}" for k in range(4)]
 
 
-@register_predicate("test.crowded_scene")
 def crowded_scene(inp, outputs, threshold=1):
     """Severity = faces beyond ``threshold`` in one sample."""
     return float(max(0, len(outputs) - threshold))
+
+
+# This module is imported both top-level by pytest (no tests/__init__.py)
+# and as ``tests.serve.test_apply_suite`` by other test files; bind the
+# first registration instead of re-registering a duplicate callable.
+try:
+    crowded_scene = get_predicate("test.crowded_scene")
+except KeyError:
+    register_predicate("test.crowded_scene", crowded_scene)
 
 
 def crowded_entry(weight=1.0, threshold=1):

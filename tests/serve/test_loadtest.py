@@ -104,7 +104,7 @@ class TestBenchPayload:
 
     def test_summary_line_and_table_render(self):
         point = LoadTestPoint(
-            clients=2, mode="closed", elapsed=1.0, measured=1.0,
+            clients=2, mode="closed", shards=2, elapsed=1.0, measured=1.0,
             n_samples=10, items_per_s=10.0,
             latency_ms={"p50": 1.0, "p95": 2.0, "p99": 3.0,
                         "mean": 1.2, "max": 3.5},
@@ -113,8 +113,9 @@ class TestBenchPayload:
         )
         line = point.summary_line()
         assert "clients=2" in line and "p99_ms=3.00" in line
+        assert "shards=2" in line
         broken = LoadTestPoint(
-            clients=1, mode="open", elapsed=1.0, measured=1.0,
+            clients=1, mode="open", shards=1, elapsed=1.0, measured=1.0,
             n_samples=0, items_per_s=0.0,
             latency_ms={"p50": None, "p95": None, "p99": None,
                         "mean": None, "max": None},

@@ -14,8 +14,10 @@ from repro.core.runtime import OMG
 from repro.core.seeding import derive_seed
 from repro.domains.registry import Domain, RawItem
 from repro.serve import (
+    ConnectionLostError,
     MonitorServer,
     MonitorService,
+    ReconnectingClient,
     ServerConfig,
     ServiceClient,
     ServiceConfig,
@@ -434,3 +436,246 @@ class TestErrorSurface:
                 assert stats["completed"] + stats["failed"] == stats["accepted"]
 
         self.run(drive())
+
+
+class TestStreamSnapshotOps:
+    """The migration wire ops: ``snapshot_stream`` hands one session
+    across servers, ``restore_stream`` re-admits it, and the moved
+    stream stays bit-identical to one that never moved."""
+
+    def test_session_handoff_between_two_servers(self):
+        T, M = 5, 5
+        units = raw_units(31, T + M)
+
+        async def drive():
+            source = MonitorService(SyntheticDomain())
+            target = MonitorService(SyntheticDomain())
+            async with serving(source) as (_, connect_src):
+                async with serving(target) as (_, connect_dst):
+                    src, dst = await connect_src(), await connect_dst()
+                    for raw in units[:T]:
+                        await src.ingest("s", raw)
+                    snap = await src.snapshot_stream("s")
+                    assert snap["stream_id"] == "s"
+                    assert snap["n_raw"] == T
+                    restored = await dst.restore_stream("s", snap["session"])
+                    assert restored["n_raw"] == T
+                    await src.evict("s")
+                    for raw in units[T:]:
+                        await dst.ingest("s", raw)
+                    return await dst.report("s")
+
+        report = asyncio.run(drive())
+        direct = MonitorService(SyntheticDomain())
+        for raw in units:
+            direct.ingest("s", raw)
+        assert_reports_equal(report, direct.report("s"))
+
+    def test_snapshot_stream_unknown_stream_is_typed(self):
+        async def drive():
+            async with serving(MonitorService(SyntheticDomain())) as (
+                _,
+                connect,
+            ):
+                client = await connect()
+                with pytest.raises(ServiceError) as err:
+                    await client.snapshot_stream("ghost")
+                return err.value
+
+        assert asyncio.run(drive()).type == "unknown-stream"
+
+    def test_restore_stream_refuses_to_clobber_a_live_stream(self):
+        async def drive():
+            async with serving(MonitorService(SyntheticDomain())) as (
+                _,
+                connect,
+            ):
+                client = await connect()
+                await client.ingest("s", raw_units(4, 1)[0])
+                snap = await client.snapshot_stream("s")
+                with pytest.raises(ServiceError) as err:
+                    await client.restore_stream("s", snap["session"])
+                return err.value
+
+        error = asyncio.run(drive())
+        assert error.type == "bad-request"
+        assert "live" in str(error)
+
+
+class TestApplySuiteOverWire:
+    def test_wire_apply_suite_matches_direct(self):
+        from tests.serve.test_apply_suite import crowded_entry
+
+        domain = MonitorService("tvnews").domain
+        new_suite = domain.assertion_suite().with_entry(crowded_entry())
+        world = domain.build_world(derive_seed(3, "wire-suite", 0))
+        units = [
+            next(stream)
+            for stream in [domain.iter_stream(world)]
+            for _ in range(4)
+        ]
+
+        async def drive():
+            async with serving(MonitorService("tvnews")) as (_, connect):
+                client = await connect()
+                for raw in units[:2]:
+                    await client.ingest("s", raw)
+                diffs = (await client.apply_suite(new_suite, tick=2))["streams"]
+                assert diffs["s"]["added"] == ["crowded"]
+                with pytest.raises(ServiceError) as err:
+                    await client.apply_suite(new_suite, tick=99)
+                for raw in units[2:]:
+                    await client.ingest("s", raw)
+                return err.value, await client.report("s")
+
+        error, report = asyncio.run(drive())
+        assert error.type == "bad-request"
+        assert "crowded" in report.assertion_names
+
+    def test_undecodable_suite_payload_is_bad_request(self):
+        async def drive():
+            async with serving(MonitorService(SyntheticDomain())) as (
+                _,
+                connect,
+            ):
+                client = await connect()
+                with pytest.raises(ServiceError) as err:
+                    await client.request("apply_suite", suite={"nope": 1})
+                return err.value
+
+        error = asyncio.run(drive())
+        assert error.type == "bad-request"
+        assert "does not decode" in str(error)
+        assert "dict" in str(error)
+
+
+class TestPerStreamStats:
+    def test_stats_break_down_by_stream_and_expose_session_units(self):
+        async def drive():
+            service = MonitorService(ExplodingDomain())
+            async with serving(service) as (_, connect):
+                client = await connect()
+                good = raw_units(8, 3)
+                for raw in good:
+                    await client.ingest("ok", raw)
+                await client.ingest("doomed", good[0])
+                with pytest.raises(ServiceError):
+                    await client.ingest("doomed", "malformed")
+                return await client.stats()
+
+        stats = asyncio.run(drive())
+        assert stats["per_stream"] == {
+            "ok": {"completed": 3, "failed": 0},
+            "doomed": {"completed": 1, "failed": 1},
+        }
+        # sessions maps live streams to consumed raw units; the broken
+        # stream is still live (fail-stop, not evicted) at 1 unit
+        assert stats["sessions"] == {"ok": 3, "doomed": 1}
+        assert sum(e["completed"] for e in stats["per_stream"].values()) == (
+            stats["completed"]
+        )
+
+
+class TestReconnectingClient:
+    def test_survives_a_server_bounce_mid_run(self):
+        """Regression: a ReconnectingClient keeps working across a full
+        server stop/start on the same port, redialing and resending; the
+        final report matches an unbounced run."""
+        T, M = 4, 4
+        units = raw_units(22, T + M)
+
+        async def drive():
+            service = MonitorService(SyntheticDomain())
+            server = MonitorServer(service, ServerConfig())
+            await server.start()
+            port = server.port
+            client = await ReconnectingClient.connect(
+                "127.0.0.1", port, retries=10, backoff=0.02
+            )
+            try:
+                for raw in units[:T]:
+                    await client.ingest("s", raw)
+                await server.stop()  # the bounce
+
+                async def revive():
+                    await asyncio.sleep(0.1)
+                    revived = MonitorServer(
+                        service, ServerConfig(host="127.0.0.1", port=port)
+                    )
+                    await revived.start()
+                    return revived
+
+                revive_task = asyncio.create_task(revive())
+                # issued while the server is DOWN: redial + resend
+                for raw in units[T:]:
+                    await client.ingest("s", raw)
+                report = await client.report("s")
+                server = await revive_task
+                return report
+            finally:
+                await client.close()
+                await server.stop()
+
+        report = asyncio.run(drive())
+        direct = MonitorService(SyntheticDomain())
+        for raw in units:
+            direct.ingest("s", raw)
+        assert_reports_equal(report, direct.report("s"))
+
+    def test_service_errors_are_not_retried(self):
+        async def drive():
+            async with serving(MonitorService(SyntheticDomain())) as (
+                server,
+                _connect,
+            ):
+                client = await ReconnectingClient.connect(
+                    server.host, server.port
+                )
+                try:
+                    with pytest.raises(ServiceError) as err:
+                        await client.report("ghost")
+                    return err.value, (await client.stats())["offered"]
+                finally:
+                    await client.close()
+
+        error, offered = asyncio.run(drive())
+        assert error.type == "unknown-stream"
+        assert offered == 0
+
+    def test_exhausted_retries_raise_connection_lost(self):
+        async def drive():
+            # a port nothing listens on
+            probe = MonitorServer(MonitorService(SyntheticDomain()))
+            await probe.start()
+            port = probe.port
+            await probe.stop()
+            with pytest.raises(ConnectionLostError) as err:
+                await ReconnectingClient.connect(
+                    "127.0.0.1", port, retries=2, backoff=0.01
+                )
+            return err.value
+
+        error = asyncio.run(drive())
+        assert error.attempts == 2
+        assert isinstance(error.last_error, OSError)
+
+    def test_request_exhaustion_after_losing_the_server_for_good(self):
+        async def drive():
+            service = MonitorService(SyntheticDomain())
+            server = MonitorServer(service, ServerConfig())
+            await server.start()
+            client = await ReconnectingClient.connect(
+                "127.0.0.1", server.port, retries=2, backoff=0.01
+            )
+            try:
+                await client.ingest("s", raw_units(1, 1)[0])
+                await server.stop()  # ...and never comes back
+                with pytest.raises(ConnectionLostError) as err:
+                    await client.ingest("s", raw_units(1, 2)[1])
+                return err.value
+            finally:
+                await client.close()
+
+        error = asyncio.run(drive())
+        assert error.attempts == 2
+        assert error.last_error is not None
